@@ -1,0 +1,168 @@
+//! Architectural parameters of the RAP hierarchy (§3.3).
+
+use serde::{Deserialize, Serialize};
+
+/// All sizing parameters of a RAP bank. [`ArchConfig::default`] returns the
+/// paper's configuration; the design-space-exploration benches vary the
+/// user-controlled knobs (BV depth and bin size live in the compiler/mapper,
+/// not here, because they are per-workload).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// CAM rows per tile (32).
+    pub cam_rows: u32,
+    /// CAM / local-switch columns per tile — the STE capacity (128).
+    pub tile_columns: u32,
+    /// Tiles per array (16).
+    pub tiles_per_array: u32,
+    /// Arrays per bank (4).
+    pub arrays_per_bank: u32,
+    /// Global-switch ports per tile. The paper quotes a 256×256 global FCB
+    /// for 16 tiles; we allocate 256/16 = 16 ports per tile (see DESIGN.md
+    /// §2 for the discrepancy with the "32 STEs" figure in the text).
+    pub global_ports_per_tile: u32,
+    /// Maximum number of LNFAs per bin (32), which fixes the ring width.
+    pub max_bin_size: u32,
+    /// Width of the inter-tile ring used by LNFA global routing (64 bits).
+    pub ring_width_bits: u32,
+    /// Bank input ping-pong buffer entries (128).
+    pub bank_input_entries: u32,
+    /// Array input FIFO entries (8).
+    pub array_input_entries: u32,
+    /// Bank output ping-pong buffer entries (64).
+    pub bank_output_entries: u32,
+    /// Array output FIFO entries (2).
+    pub array_output_entries: u32,
+    /// Average wire length tile→global switch, in millimeters.
+    pub tile_wire_mm: f64,
+    /// Average ring-hop wire length, in millimeters.
+    pub ring_hop_mm: f64,
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        ArchConfig {
+            cam_rows: 32,
+            tile_columns: 128,
+            tiles_per_array: 16,
+            arrays_per_bank: 4,
+            global_ports_per_tile: 16,
+            max_bin_size: 32,
+            ring_width_bits: 64,
+            bank_input_entries: 128,
+            array_input_entries: 8,
+            bank_output_entries: 64,
+            array_output_entries: 2,
+            tile_wire_mm: 0.5,
+            ring_hop_mm: 0.1,
+        }
+    }
+}
+
+impl ArchConfig {
+    /// STE capacity of an array (2048 in the paper: 16 tiles × 128).
+    pub fn states_per_array(&self) -> u32 {
+        self.tiles_per_array * self.tile_columns
+    }
+
+    /// Maximum size of a single bit vector in bits: all columns but one
+    /// (one column must keep the repetition's character class) times the
+    /// CAM depth — 4064 bits in the paper.
+    pub fn max_bv_bits(&self) -> u32 {
+        (self.tile_columns - 1) * self.cam_rows
+    }
+
+    /// Columns a bit vector of `bits` occupies at BV depth `depth`
+    /// (row-first mapping, §3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero or exceeds the CAM depth.
+    pub fn bv_columns(&self, bits: u32, depth: u32) -> u32 {
+        assert!(
+            depth >= 1 && depth <= self.cam_rows,
+            "BV depth {depth} outside 1..={}",
+            self.cam_rows
+        );
+        bits.div_ceil(depth)
+    }
+
+    /// Upper bound on the STE count a regex may use after unfolding in NBVA
+    /// mode (64528 in the paper — each of the 127 usable column groups can
+    /// compress `cam_rows` states, plus the CC column itself... the paper
+    /// derives 4064 × 15 + remainder; we expose the same headline figure as
+    /// a capacity check: states representable in one array).
+    pub fn max_nbva_unfolded_states(&self) -> u64 {
+        // One tile holds up to (tile_columns - 1) BV columns × cam_rows
+        // unfolded states plus its CC column; an array has tiles_per_array
+        // tiles, but BVs cannot span tiles, so the bound per regex is the
+        // array capacity with every tile maxed out.
+        u64::from(self.max_bv_bits()) * u64::from(self.tiles_per_array)
+            - u64::from(self.tiles_per_array - 1) * u64::from(self.cam_rows)
+    }
+
+    /// Ring hops between two tile indices on the LNFA ring (shortest
+    /// direction on the ring of `tiles_per_array` tiles).
+    pub fn ring_hops(&self, from_tile: u32, to_tile: u32) -> u32 {
+        let n = self.tiles_per_array;
+        assert!(from_tile < n && to_tile < n, "tile index out of range");
+        let d = from_tile.abs_diff(to_tile);
+        d.min(n - d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = ArchConfig::default();
+        assert_eq!(c.cam_rows, 32);
+        assert_eq!(c.tile_columns, 128);
+        assert_eq!(c.tiles_per_array, 16);
+        assert_eq!(c.arrays_per_bank, 4);
+        assert_eq!(c.states_per_array(), 2048);
+        assert_eq!(c.max_bv_bits(), 4064);
+        assert_eq!(c.max_bin_size, 32);
+        assert_eq!(c.ring_width_bits, 64);
+    }
+
+    #[test]
+    fn bv_columns_row_first() {
+        let c = ArchConfig::default();
+        // Example 4.2: d{34} at depth 16 → width 3? No: 34/16 = 2.125 → 3?
+        // The paper uses width 2 by rewriting d{34} into d{32}dd first; the
+        // raw column count for 34 bits at depth 16 is 3.
+        assert_eq!(c.bv_columns(34, 16), 3);
+        assert_eq!(c.bv_columns(32, 16), 2);
+        // Example 4.3: a{1024} at depth 4 → 256 columns.
+        assert_eq!(c.bv_columns(1024, 4), 256);
+        // Example from §4.1: f{128} at depth 16 → width 8.
+        assert_eq!(c.bv_columns(128, 16), 8);
+        // Fig. 5: a{7} at depth 4 → 2 columns.
+        assert_eq!(c.bv_columns(7, 4), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "BV depth")]
+    fn bv_depth_validated() {
+        let _ = ArchConfig::default().bv_columns(16, 64);
+    }
+
+    #[test]
+    fn ring_distance_wraps() {
+        let c = ArchConfig::default();
+        assert_eq!(c.ring_hops(0, 1), 1);
+        assert_eq!(c.ring_hops(0, 15), 1); // wraps around
+        assert_eq!(c.ring_hops(2, 10), 8);
+        assert_eq!(c.ring_hops(5, 5), 0);
+    }
+
+    #[test]
+    fn nbva_capacity_scale() {
+        // The paper quotes "regexes with at most 64528 STEs after unfolding".
+        let c = ArchConfig::default();
+        let cap = c.max_nbva_unfolded_states();
+        assert_eq!(cap, 64544); // 4064×16 − 15×32; within 0.03% of the paper
+    }
+}

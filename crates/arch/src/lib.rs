@@ -1,0 +1,23 @@
+//! Hardware fabric of the RAP reproduction (§3 of the paper).
+//!
+//! This crate models the *structure* of the RAP hierarchy — bank → array →
+//! tile — and the circuit-level building blocks the three execution modes
+//! reconfigure:
+//!
+//! * [`config::ArchConfig`] — every architectural parameter of §3.3 (tile
+//!   geometry, array/bank fan-out, buffer depths, ring width, …),
+//! * [`encoding`] — the character-class encodings: the 32-bit per-column
+//!   CAM code (a product of high-/low-nibble sets, standing in for CAMA's
+//!   multi-zero prefix scheme) and the 256-bit one-hot code used when LNFAs
+//!   fall back to the local switch,
+//! * [`cam::Cam`] — the 32×128 8T-CAM of a tile, searchable per symbol and
+//!   reusable as bit-vector storage in NBVA mode (unified memory, §3.1),
+//! * [`fcb::Crossbar`] — the fully-connected local (128×128) and global
+//!   (256×256) switches,
+//! * [`buffers`] — the two-level input/output buffering of §3.3.
+
+pub mod buffers;
+pub mod cam;
+pub mod config;
+pub mod encoding;
+pub mod fcb;

@@ -1,0 +1,108 @@
+//! Property tests for the hardware building blocks: encodings must be
+//! exact for arbitrary classes, and the structural CAM/crossbar models
+//! must agree with their specs.
+
+use proptest::prelude::*;
+use rap_arch::cam::Cam;
+use rap_arch::config::ArchConfig;
+use rap_arch::encoding::{encode_class, one_hot, one_hot_matches, product_cover, single_code};
+use rap_arch::fcb::Crossbar;
+use rap_automata::bitvec::BitVec;
+use rap_regex::CharClass;
+
+fn arb_class() -> impl Strategy<Value = CharClass> {
+    prop_oneof![
+        // Arbitrary sparse sets.
+        prop::collection::vec(any::<u8>(), 0..24).prop_map(CharClass::from_bytes),
+        // Ranges.
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| {
+            CharClass::range(a.min(b), a.max(b))
+        }),
+        // Complements of small sets.
+        prop::collection::vec(any::<u8>(), 1..6)
+            .prop_map(|v| CharClass::from_bytes(v).complement()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The product-term cover is exact and disjoint for every class.
+    #[test]
+    fn product_cover_is_exact_partition(cc in arb_class()) {
+        let terms = product_cover(&cc);
+        for b in 0..=255u8 {
+            let hits = terms.iter().filter(|t| t.matches(b)).count();
+            prop_assert_eq!(hits > 0, cc.contains(b), "byte {:#04x}", b);
+            prop_assert!(hits <= 1, "byte {:#04x} in {} terms", b, hits);
+        }
+    }
+
+    /// The two-term column codes cover exactly the class.
+    #[test]
+    fn column_codes_are_exact(cc in arb_class()) {
+        let codes = encode_class(&cc);
+        for b in 0..=255u8 {
+            prop_assert_eq!(
+                codes.iter().any(|c| c.matches(b)),
+                cc.contains(b),
+                "byte {:#04x}", b
+            );
+        }
+        prop_assert_eq!(codes.len(), product_cover(&cc).len().div_ceil(2));
+    }
+
+    /// A single code, when it exists, round-trips through `to_class`.
+    #[test]
+    fn single_code_roundtrip(cc in arb_class()) {
+        if let Some(code) = single_code(&cc) {
+            prop_assert_eq!(code.to_class(), cc);
+        }
+    }
+
+    /// The one-hot switch image matches exactly the class.
+    #[test]
+    fn one_hot_is_exact(cc in arb_class()) {
+        let image = one_hot(&cc);
+        for b in 0..=255u8 {
+            prop_assert_eq!(one_hot_matches(&image, b), cc.contains(b), "byte {:#04x}", b);
+        }
+    }
+
+    /// A CAM programmed with a class's codes reports a column hit iff the
+    /// byte is in the class (the OR across an STE's columns).
+    #[test]
+    fn cam_search_implements_membership(cc in arb_class(), probe in any::<u8>()) {
+        let codes = encode_class(&cc);
+        prop_assume!(codes.len() <= 128);
+        let mut cam = Cam::new(&ArchConfig::default());
+        for (i, code) in codes.iter().enumerate() {
+            cam.program_code(i, *code);
+        }
+        let hits = cam.search(probe);
+        prop_assert_eq!(hits.any(), cc.contains(probe));
+    }
+
+    /// Crossbar routing is exactly boolean matrix-vector product.
+    #[test]
+    fn crossbar_route_is_matrix_product(
+        points in prop::collection::vec((0usize..32, 0usize..32), 0..64),
+        inputs in prop::collection::vec(0usize..32, 0..16),
+    ) {
+        let mut xbar = Crossbar::square(32);
+        for &(r, c) in &points {
+            xbar.set(r, c);
+        }
+        let mut input = BitVec::zeros(32);
+        for &c in &inputs {
+            input.set(c, true);
+        }
+        let out = xbar.route(&input);
+        for r in 0..32 {
+            let expect = points
+                .iter()
+                .any(|&(pr, pc)| pr == r && inputs.contains(&pc));
+            prop_assert_eq!(out.get(r), expect, "row {}", r);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Automata models for the RAP (Reconfigurable Automata Processor)
+//! reproduction.
+//!
+//! The paper (§2.1) executes regexes with three automata models, all of which
+//! are implemented here together with software reference executors used as
+//! ground truth by the hardware simulator's consistency checks:
+//!
+//! * [`nfa::Nfa`] — homogeneous NFA built with the Glushkov construction
+//!   (every incoming transition of a state carries the same character class),
+//! * [`nbva::Nbva`] — nondeterministic bit vector automata, where a control
+//!   state may carry a bit vector tracking repetition counts of a bounded
+//!   repetition,
+//! * [`lnfa::Lnfa`] — linear NFA (a chain `q0 → q1 → … → qn−1`), executed
+//!   with the Shift-And bit-parallel algorithm.
+//!
+//! All executors implement *unanchored, report-at-end-position* semantics:
+//! matching starts at every input offset (initial states are re-activated on
+//! every symbol, like the always-available initial STEs of AP-style
+//! hardware) and a match is reported at the offset just past its final
+//! symbol. This is the semantics of the in-memory automata processors the
+//! paper builds on.
+//!
+//! # Example
+//!
+//! ```
+//! use rap_regex::parse;
+//! use rap_automata::nfa::Nfa;
+//!
+//! let nfa = Nfa::from_regex(&parse("a[bc]+d")?);
+//! let ends = nfa.match_ends(b"xabcd--abd");
+//! assert_eq!(ends, vec![5, 10]);
+//! # Ok::<(), rap_regex::ParseError>(())
+//! ```
+
+pub mod bitvec;
+mod glushkov;
+pub mod lnfa;
+pub mod nbva;
+pub mod nca;
+pub mod nfa;
+
+/// Index of an automaton state.
+pub type StateId = u32;

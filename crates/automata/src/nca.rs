@@ -1,0 +1,262 @@
+//! Nondeterministic counter automata (NCA) — the *counter-based*
+//! alternative to bit vectors.
+//!
+//! §2.1 of the paper notes that bit vectors "correspond to sets of counter
+//! values in the closely related model of nondeterministic counter
+//! automata". Counter-extended processors (e.g. the counter modules of the
+//! AP and eAP) track bounded repetitions with explicit counter registers
+//! instead of RAP's bit vectors. This module implements that execution
+//! model over the *same* automaton structure as [`crate::nbva::Nbva`]: a
+//! counting state holds the multiset of in-flight repetition counts as a
+//! sorted queue of birth times (so advancing all counters on a match is
+//! O(1) — the classic offset trick), while the NBVA holds them as a bit
+//! vector (so advancing is a shift).
+//!
+//! The two are language-equivalent by construction; the interesting
+//! difference is cost: a bit vector costs O(width/64) per advance
+//! regardless of how many threads are live, while a counter set costs
+//! O(live threads) for reads/overflow regardless of the width — exactly
+//! the trade-off the `ablation` bench measures and the paper's hardware
+//! resolves in favor of bit vectors (they reuse the CAM; counters need
+//! dedicated adders).
+
+use crate::bitvec::BitVec;
+use crate::nbva::{Nbva, ReadAction, StateKind};
+use crate::StateId;
+use std::collections::VecDeque;
+
+/// The in-flight repetition counts of one counting state, as a queue of
+/// birth steps (oldest first). A thread born at step `b` has consumed
+/// `now − b` repetitions *after* the step that created it, i.e. its
+/// counter value at step `t` is `t − b + 1`.
+#[derive(Clone, Debug, Default)]
+struct CounterSet {
+    births: VecDeque<u64>,
+}
+
+impl CounterSet {
+    fn clear(&mut self) {
+        self.births.clear();
+    }
+
+    fn any(&self) -> bool {
+        !self.births.is_empty()
+    }
+
+    /// Registers a new thread born at step `now` (idempotent per step;
+    /// births arrive in increasing order).
+    fn set1(&mut self, now: u64) {
+        if self.births.back() != Some(&now) {
+            self.births.push_back(now);
+        }
+    }
+
+    /// Drops threads whose counter exceeded `width` by step `now`.
+    fn expire(&mut self, width: u32, now: u64) {
+        while let Some(&b) = self.births.front() {
+            if now - b + 1 > u64::from(width) {
+                self.births.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Whether some thread's counter equals `m` at step `now`.
+    fn has_exact(&self, m: u32, now: u64) -> bool {
+        // value = now − b + 1 = m  ⇔  b = now + 1 − m.
+        let Some(target) = (now + 1).checked_sub(u64::from(m)) else {
+            return false;
+        };
+        self.births.binary_search(&target).is_ok()
+    }
+
+    fn len(&self) -> usize {
+        self.births.len()
+    }
+}
+
+/// An in-progress unanchored run executing an [`Nbva`]'s semantics with
+/// counter sets instead of bit vectors.
+#[derive(Clone, Debug)]
+pub struct NcaRun<'a> {
+    nbva: &'a Nbva,
+    active: BitVec,
+    counters: Vec<CounterSet>,
+    bv_states: Vec<StateId>,
+    incoming: BitVec,
+    scratch: Vec<StateId>,
+    /// Steps consumed so far (the "now" of the counter sets).
+    now: u64,
+}
+
+impl<'a> NcaRun<'a> {
+    /// Creates a fresh run over an NBVA automaton.
+    pub fn new(nbva: &'a Nbva) -> NcaRun<'a> {
+        let bv_states: Vec<StateId> = nbva
+            .states()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s.kind, StateKind::Bv { .. }))
+            .map(|(q, _)| q as StateId)
+            .collect();
+        NcaRun {
+            nbva,
+            active: BitVec::zeros(nbva.len()),
+            counters: vec![CounterSet::default(); nbva.len()],
+            bv_states,
+            incoming: BitVec::zeros(nbva.len()),
+            scratch: Vec::new(),
+            now: 0,
+        }
+    }
+
+    fn read_ok(&self, q: StateId, read: ReadAction, width: u32) -> bool {
+        let set = &self.counters[q as usize];
+        match read {
+            ReadAction::Exact(m) => set.has_exact(m, self.now),
+            ReadAction::All => {
+                // Any live thread with value in 1..=width; expiry keeps the
+                // set pruned, so liveness suffices.
+                let _ = width;
+                set.any()
+            }
+        }
+    }
+
+    /// Consumes one input symbol; returns whether a match ends here.
+    pub fn step(&mut self, byte: u8) -> bool {
+        let nbva = self.nbva;
+        // Emission set from the current configuration (pre-step).
+        self.incoming.clear();
+        self.scratch.clear();
+        for p in self.active.iter_ones() {
+            self.scratch.extend_from_slice(&nbva.states()[p].succ);
+        }
+        for &q in &self.bv_states {
+            let StateKind::Bv { width, read } = nbva.states()[q as usize].kind else {
+                unreachable!("bv_states holds only counting ids")
+            };
+            if self.read_ok(q, read, width) {
+                self.scratch.extend_from_slice(&nbva.states()[q as usize].succ);
+            }
+        }
+        self.scratch.extend_from_slice(nbva.initial());
+        for &q in &self.scratch {
+            self.incoming.set(q as usize, true);
+        }
+
+        self.now += 1;
+        let mut matched = false;
+        self.active.clear();
+        for &q in &self.scratch {
+            let state = &nbva.states()[q as usize];
+            if matches!(state.kind, StateKind::Plain) && state.cc.contains(byte) {
+                self.active.set(q as usize, true);
+                matched |= state.is_final;
+            }
+        }
+        for &q in &self.bv_states {
+            let state = &nbva.states()[q as usize];
+            let StateKind::Bv { width, read } = state.kind else {
+                unreachable!("bv_states holds only counting ids")
+            };
+            let entering = self.incoming.get(q as usize);
+            let set = &mut self.counters[q as usize];
+            if state.cc.contains(byte) {
+                // Counters advance implicitly (their value is now − birth
+                // + 1); expired threads fall off, new threads are born.
+                set.expire(width, self.now);
+                if entering {
+                    set.set1(self.now);
+                }
+            } else {
+                // Homogeneous semantics: every in-flight count dies.
+                set.clear();
+            }
+            matched |= state.is_final && self.read_ok(q, read, width);
+        }
+        matched
+    }
+
+    /// Offsets just past each match end in `input`.
+    pub fn match_ends(nbva: &Nbva, input: &[u8]) -> Vec<usize> {
+        let mut run = NcaRun::new(nbva);
+        let mut out = Vec::new();
+        for (i, &b) in input.iter().enumerate() {
+            if run.step(b) {
+                out.push(i + 1);
+            }
+        }
+        out
+    }
+
+    /// Total live counters across counting states (the NCA's storage
+    /// footprint right now, measured in counters).
+    pub fn live_counters(&self) -> usize {
+        self.counters.iter().map(CounterSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use rap_regex::parse;
+
+    fn assert_equiv(pattern: &str, input: &[u8]) {
+        let re = parse(pattern).expect("parses");
+        let nbva = Nbva::from_regex(&re, 4);
+        let expect = Nfa::from_regex(&re).match_ends(input);
+        assert_eq!(nbva.match_ends(input), expect, "NBVA {pattern}");
+        assert_eq!(NcaRun::match_ends(&nbva, input), expect, "NCA {pattern}");
+    }
+
+    #[test]
+    fn exact_repetition() {
+        assert_equiv("c{5}", b"ccccc cccccc cccc ccXccccc");
+    }
+
+    #[test]
+    fn prefix_and_suffix() {
+        assert_equiv("bc{5}d", b"bcccccd bccccd bccccccd bbcccccdd");
+    }
+
+    #[test]
+    fn range_repetition() {
+        assert_equiv("xc{2,6}y", b"xccy xcccccccy xccccccy xy xcy");
+    }
+
+    #[test]
+    fn overlapping_threads() {
+        assert_equiv("bc{5}", b"bbccccccc");
+        assert_equiv("c{3}d", b"cccccccd");
+    }
+
+    #[test]
+    fn fig5_example() {
+        assert_equiv("b(a{7}|c{5})b", b"bcccccb baaaaaaab bccccccb");
+    }
+
+    #[test]
+    fn plus_over_counting_state() {
+        assert_equiv("(c{5})+d", b"cccccd ccccccccccd ccccccd");
+    }
+
+    #[test]
+    fn live_counter_accounting() {
+        // `cc{100}`: the always-armed initial `c` state re-enters the
+        // counting state on every symbol, so a c-run of length n leaves
+        // n − 1 staggered live counters.
+        let re = parse("cc{100}").expect("parses");
+        let nbva = Nbva::from_regex(&re, 4);
+        let mut run = NcaRun::new(&nbva);
+        for &b in b"ccccc".iter() {
+            run.step(b);
+        }
+        assert_eq!(run.live_counters(), 4);
+        // A mismatch kills them all.
+        run.step(b'x');
+        assert_eq!(run.live_counters(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks of the individual pipeline stages: parsing,
+//! Glushkov construction, software matching, compilation, mapping, and the
+//! cycle simulator itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rap_automata::nfa::Nfa;
+use rap_bench::eval::BenchConfig;
+use rap_bench::{suite_input, suite_regexes};
+use rap_circuit::Machine;
+use rap_engines::{BatchEngine, Engine, NfaEngine, ShiftAndEngine};
+use rap_sim::Simulator;
+use rap_workloads::Suite;
+
+fn cfg() -> BenchConfig {
+    BenchConfig { patterns_per_suite: 60, input_len: 20_000, match_rate: 0.02, seed: 42 }
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let patterns = rap_workloads::generate_patterns(Suite::Snort, 200, 1);
+    let bytes: usize = patterns.iter().map(String::len).sum();
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("snort_200_patterns", |b| {
+        b.iter(|| {
+            for p in &patterns {
+                std::hint::black_box(rap_regex::parse(p).expect("parses"));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_glushkov(c: &mut Criterion) {
+    let regexes = suite_regexes(Suite::RegexLib, &cfg());
+    c.bench_function("glushkov/regexlib_60", |b| {
+        b.iter(|| {
+            for re in &regexes {
+                std::hint::black_box(Nfa::from_regex(re));
+            }
+        });
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let config = cfg();
+    let regexes = suite_regexes(Suite::SpamAssassin, &config);
+    let input = suite_input(Suite::SpamAssassin, &config);
+    let mut group = c.benchmark_group("engines");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    let shift_and = ShiftAndEngine::new(&regexes);
+    group.bench_function("shift_and", |b| b.iter(|| shift_and.scan(&input)));
+    let batch = BatchEngine::new(&regexes, 4096);
+    group.bench_function("batch", |b| b.iter(|| batch.scan(&input)));
+    let interp = NfaEngine::new(&regexes);
+    group.bench_function("nfa_interp", |b| b.iter(|| interp.scan(&input)));
+    group.finish();
+}
+
+fn bench_compile_map(c: &mut Criterion) {
+    let regexes = suite_regexes(Suite::ClamAv, &cfg());
+    let sim = Simulator::new(Machine::Rap);
+    c.bench_function("compile/clamav_60", |b| {
+        b.iter(|| std::hint::black_box(sim.compile(&regexes).expect("compiles")));
+    });
+    let compiled = sim.compile(&regexes).expect("compiles");
+    c.bench_function("map/clamav_60", |b| {
+        b.iter(|| std::hint::black_box(sim.map(&compiled)));
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let config = cfg();
+    let mut group = c.benchmark_group("simulator");
+    for suite in [Suite::SpamAssassin, Suite::ClamAv] {
+        let regexes = suite_regexes(suite, &config);
+        let input = suite_input(suite, &config);
+        group.throughput(Throughput::Bytes(input.len() as u64));
+        for machine in Machine::all() {
+            let sim = Simulator::new(machine);
+            let compiled = sim.compile(&regexes).expect("compiles");
+            let mapping = sim.map(&compiled);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{machine}"), suite.name()),
+                &input,
+                |b, input| b.iter(|| sim.simulate(&compiled, &mapping, input)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_glushkov,
+    bench_engines,
+    bench_compile_map,
+    bench_simulator
+);
+criterion_main!(benches);

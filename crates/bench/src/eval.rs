@@ -1,0 +1,302 @@
+//! Workload materialization and per-machine evaluation.
+
+use rap_circuit::Machine;
+use rap_compiler::{Compiler, CompilerConfig, Mode};
+use rap_regex::Regex;
+use rap_sim::{RunResult, Simulator};
+use rap_workloads::Suite;
+use serde::{Deserialize, Serialize};
+
+/// Harness scale knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchConfig {
+    /// Patterns generated per suite.
+    pub patterns_per_suite: usize,
+    /// Input stream length in bytes.
+    pub input_len: usize,
+    /// Fraction of stream bytes belonging to planted matches.
+    pub match_rate: f64,
+    /// RNG seed for workload synthesis.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig { patterns_per_suite: 300, input_len: 100_000, match_rate: 0.02, seed: 42 }
+    }
+}
+
+/// Aggregate numbers for one (machine, workload) run — one table cell row.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Total energy in microjoules.
+    pub energy_uj: f64,
+    /// Allocated area in mm².
+    pub area_mm2: f64,
+    /// Throughput in Gch/s.
+    pub throughput_gchps: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// Matches reported.
+    pub matches: u64,
+    /// Hardware states (STEs / chain positions) allocated.
+    pub states: u64,
+}
+
+impl RunSummary {
+    /// Energy efficiency in Gch/s/W.
+    pub fn energy_efficiency(&self) -> f64 {
+        if self.power_w == 0.0 {
+            0.0
+        } else {
+            self.throughput_gchps / self.power_w
+        }
+    }
+
+    /// Compute density in Gch/s/mm².
+    pub fn compute_density(&self) -> f64 {
+        if self.area_mm2 == 0.0 {
+            0.0
+        } else {
+            self.throughput_gchps / self.area_mm2
+        }
+    }
+
+    fn from_result(r: &RunResult, states: u64) -> RunSummary {
+        RunSummary {
+            energy_uj: r.metrics.energy_uj,
+            area_mm2: r.metrics.area_mm2,
+            throughput_gchps: r.metrics.throughput_gchps(),
+            power_w: r.metrics.power_w(),
+            matches: r.metrics.matches,
+            states,
+        }
+    }
+}
+
+/// Parses the synthetic patterns of a suite.
+pub fn suite_regexes(suite: Suite, cfg: &BenchConfig) -> Vec<Regex> {
+    rap_workloads::generate_patterns(suite, cfg.patterns_per_suite, cfg.seed)
+        .iter()
+        .map(|p| rap_regex::parse(p).expect("generated patterns always parse"))
+        .collect()
+}
+
+/// Generates the input stream for a suite.
+pub fn suite_input(suite: Suite, cfg: &BenchConfig) -> Vec<u8> {
+    let patterns =
+        rap_workloads::generate_patterns(suite, cfg.patterns_per_suite, cfg.seed);
+    rap_workloads::generate_input(&patterns, cfg.input_len, cfg.match_rate, cfg.seed)
+}
+
+/// Builds a simulator with a suite's DSE-chosen knobs.
+pub fn simulator_for(machine: Machine, suite: Suite) -> Simulator {
+    Simulator::new(machine)
+        .with_bv_depth(suite.chosen_bv_depth())
+        .with_bin_size(suite.chosen_bin_size())
+}
+
+/// Evaluates one machine on a pattern set, optionally forcing a mode (the
+/// RAP-NFA columns of Tables 2/3 force `Mode::Nfa`).
+pub fn eval_machine(
+    machine: Machine,
+    suite: Suite,
+    patterns: &[Regex],
+    input: &[u8],
+    forced: Option<Mode>,
+) -> RunSummary {
+    let sim = simulator_for(machine, suite);
+    let compiled = match forced {
+        Some(mode) => sim.compile_forced(patterns, mode),
+        None => sim.compile(patterns),
+    }
+    .unwrap_or_else(|e| panic!("{machine} compile failed: {e}"));
+    let states: u64 = compiled.iter().map(|c| c.state_count()).sum();
+    let mapping = sim.map(&compiled);
+    let result = sim.simulate(&compiled, &mapping, input);
+    RunSummary::from_result(&result, states)
+}
+
+/// The decided-mode partition of a suite's patterns.
+#[derive(Clone, Debug, Default)]
+pub struct ModeSplit {
+    /// Patterns the decision graph sends to basic NFA.
+    pub nfa: Vec<Regex>,
+    /// Patterns compiled to NBVA.
+    pub nbva: Vec<Regex>,
+    /// Patterns compiled to LNFA.
+    pub lnfa: Vec<Regex>,
+}
+
+impl ModeSplit {
+    /// Partitions patterns with the default decision graph.
+    pub fn of(patterns: &[Regex]) -> ModeSplit {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let mut split = ModeSplit::default();
+        for re in patterns {
+            match compiler.decide(re) {
+                Mode::Nfa => split.nfa.push(re.clone()),
+                Mode::Nbva => split.nbva.push(re.clone()),
+                Mode::Lnfa => split.lnfa.push(re.clone()),
+            }
+        }
+        split
+    }
+}
+
+/// RAP evaluated per mode (the §5.5 system integration): each mode's
+/// patterns run on their own arrays; NBVA arrays below 2 Gch/s are
+/// replicated to share the workload (< 3% area overhead in the paper).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct RapSystem {
+    /// Per-mode summaries (NFA, NBVA, LNFA).
+    pub nfa: RunSummary,
+    /// NBVA summary *after* throughput replication.
+    pub nbva: RunSummary,
+    /// LNFA summary.
+    pub lnfa: RunSummary,
+}
+
+impl RapSystem {
+    /// Whole-system summary: energies/areas/states add; throughput is the
+    /// slowest mode's (arrays run the same stream in parallel).
+    pub fn total(&self) -> RunSummary {
+        let parts = [self.nfa, self.nbva, self.lnfa];
+        let active: Vec<&RunSummary> =
+            parts.iter().filter(|p| p.states > 0).collect();
+        let throughput = active
+            .iter()
+            .map(|p| p.throughput_gchps)
+            .fold(f64::INFINITY, f64::min);
+        let throughput = if active.is_empty() { 0.0 } else { throughput };
+        let energy_uj: f64 = active.iter().map(|p| p.energy_uj).sum();
+        let area_mm2: f64 = active.iter().map(|p| p.area_mm2).sum();
+        let runtime_s = active
+            .iter()
+            .map(|p| if p.power_w > 0.0 { p.energy_uj * 1e-6 / p.power_w } else { 0.0 })
+            .fold(0.0f64, f64::max);
+        RunSummary {
+            energy_uj,
+            area_mm2,
+            throughput_gchps: throughput,
+            power_w: if runtime_s > 0.0 { energy_uj * 1e-6 / runtime_s } else { 0.0 },
+            matches: active.iter().map(|p| p.matches).sum(),
+            states: active.iter().map(|p| p.states).sum(),
+        }
+    }
+}
+
+/// Evaluates RAP with the full decision graph, one run per mode partition.
+pub fn eval_rap_by_mode(suite: Suite, patterns: &[Regex], input: &[u8]) -> RapSystem {
+    let split = ModeSplit::of(patterns);
+    let run = |subset: &[Regex], forced: Mode| -> RunSummary {
+        if subset.is_empty() {
+            return RunSummary::default();
+        }
+        eval_machine(Machine::Rap, suite, subset, input, Some(forced))
+    };
+    let nfa = run(&split.nfa, Mode::Nfa);
+    let mut nbva = run(&split.nbva, Mode::Nbva);
+    let lnfa = run(&split.lnfa, Mode::Lnfa);
+
+    // §5.5 replication: bring NBVA throughput up to ≥ 2 Gch/s by assigning
+    // additional arrays to share the stalling workload.
+    if nbva.states > 0 && nbva.throughput_gchps > 0.0 && nbva.throughput_gchps < 2.0 {
+        let factor = (2.0 / nbva.throughput_gchps).ceil();
+        nbva.throughput_gchps =
+            (nbva.throughput_gchps * factor).min(Machine::Rap.clock_hz() / 1e9);
+        // The replicas are near-idle copies: small area overhead, same
+        // total switching energy (the work is split, not duplicated).
+        nbva.area_mm2 *= 1.0 + 0.03 * (factor - 1.0);
+    }
+    RapSystem { nfa, nbva, lnfa }
+}
+
+/// Maps `f` over `items` in parallel (one scoped thread per item — the
+/// harness parallelizes across the seven suites, matching the paper's
+/// multi-core experiment methodology).
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(items.len(), || None);
+    crossbeam::scope(|scope| {
+        for (slot, item) in out.iter_mut().zip(items) {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(item));
+            });
+        }
+    })
+    .expect("harness worker panicked");
+    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig { patterns_per_suite: 12, input_len: 2_000, match_rate: 0.02, seed: 7 }
+    }
+
+    #[test]
+    fn suite_materialization() {
+        let cfg = tiny();
+        let res = suite_regexes(Suite::Snort, &cfg);
+        assert_eq!(res.len(), 12);
+        let input = suite_input(Suite::Snort, &cfg);
+        assert_eq!(input.len(), 2_000);
+    }
+
+    #[test]
+    fn eval_machine_produces_sane_numbers() {
+        let cfg = tiny();
+        let patterns = suite_regexes(Suite::SpamAssassin, &cfg);
+        let input = suite_input(Suite::SpamAssassin, &cfg);
+        for machine in Machine::all() {
+            let s = eval_machine(machine, Suite::SpamAssassin, &patterns, &input, None);
+            assert!(s.energy_uj > 0.0, "{machine}");
+            assert!(s.area_mm2 > 0.0, "{machine}");
+            assert!(s.throughput_gchps > 0.0, "{machine}");
+            assert!(s.states > 0, "{machine}");
+        }
+    }
+
+    #[test]
+    fn mode_split_partitions_everything() {
+        let cfg = tiny();
+        let patterns = suite_regexes(Suite::Snort, &cfg);
+        let split = ModeSplit::of(&patterns);
+        assert_eq!(split.nfa.len() + split.nbva.len() + split.lnfa.len(), patterns.len());
+    }
+
+    #[test]
+    fn rap_system_total_combines_modes() {
+        let cfg = tiny();
+        let patterns = suite_regexes(Suite::Snort, &cfg);
+        let input = suite_input(Suite::Snort, &cfg);
+        let sys = eval_rap_by_mode(Suite::Snort, &patterns, &input);
+        let total = sys.total();
+        assert!(total.energy_uj > 0.0);
+        assert!(total.area_mm2 >= sys.nbva.area_mm2);
+        // Replication guarantees ≥ 2 Gch/s system throughput (or the mode
+        // was already faster).
+        assert!(total.throughput_gchps >= 1.99, "throughput {}", total.throughput_gchps);
+    }
+
+    #[test]
+    fn all_machines_report_identical_match_counts() {
+        let cfg = tiny();
+        let patterns = suite_regexes(Suite::Yara, &cfg);
+        let input = suite_input(Suite::Yara, &cfg);
+        let counts: Vec<u64> = Machine::all()
+            .iter()
+            .map(|&m| eval_machine(m, Suite::Yara, &patterns, &input, None).matches)
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

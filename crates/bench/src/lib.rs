@@ -1,0 +1,46 @@
+//! Evaluation harness for the RAP reproduction (§5 of the paper).
+//!
+//! Each table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it; this library holds the shared plumbing:
+//! workload materialization, per-machine evaluation, the NBVA
+//! throughput-replication rule of §5.5, and plain-text/CSV table
+//! rendering.
+//!
+//! Run, e.g.:
+//!
+//! ```text
+//! cargo run --release -p rap-bench --bin table2
+//! cargo run --release -p rap-bench --bin fig12
+//! ```
+//!
+//! Results are also written as CSV under `results/`.
+
+pub mod eval;
+pub mod tables;
+
+pub use eval::{
+    eval_machine, eval_rap_by_mode, suite_input, suite_regexes, BenchConfig, ModeSplit,
+    RunSummary,
+};
+
+/// Standard scale knobs for the harness, overridable via environment
+/// variables so CI can run quick versions:
+///
+/// * `RAP_BENCH_PATTERNS` — patterns per suite (default 120),
+/// * `RAP_BENCH_INPUT` — input length in bytes (default 100 000, matching
+///   the paper's §5.4 streams),
+/// * `RAP_BENCH_SEED` — RNG seed (default 42).
+pub fn config_from_env() -> eval::BenchConfig {
+    let get = |key: &str, default: usize| -> usize {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    eval::BenchConfig {
+        patterns_per_suite: get("RAP_BENCH_PATTERNS", 300),
+        input_len: get("RAP_BENCH_INPUT", 100_000),
+        match_rate: 0.02,
+        seed: get("RAP_BENCH_SEED", 42) as u64,
+    }
+}

@@ -1,0 +1,28 @@
+//! 28nm circuit-level cost models for the RAP reproduction.
+//!
+//! The paper evaluates RAP and the baseline automata processors with
+//! SPICE-calibrated models of the memory macros and synthesized controllers
+//! (Table 1). We cannot rerun SPICE, but the published table *is* the
+//! circuit model the authors' simulator consumes, so this crate encodes it
+//! directly:
+//!
+//! | Type | Size | Energy (pJ) | Delay (ps) | Area (µm²) | Leakage (µA) |
+//! |---|---|---|---|---|---|
+//! | 8T SRAM | 128×128 | 1–14 | 298 | 5655 | 57 |
+//! | 8T SRAM | 256×256 | 2–55 | 410 | 18153 | 228 |
+//! | 8T CAM | 32×128 | 4 | 325 | 2626 | 14 |
+//! | Local controller | — | 2 | 90 | 2900 | 18 |
+//! | Global controller | — | 2 | 400 | 1400 | 9 |
+//! | Global wire | 1 mm | 0.07 | 66 | 50 | — |
+//!
+//! Energies with a range scale linearly with the access *activity* (the
+//! fraction of rows/columns toggling), which is how sparse switch traversals
+//! cost less than dense ones.
+
+pub mod energy;
+pub mod metrics;
+pub mod models;
+
+pub use energy::EnergyMeter;
+pub use metrics::Metrics;
+pub use models::{ComponentModel, Machine};

@@ -1,0 +1,157 @@
+//! Minimal flag parsing (positional arguments plus `--flag value` pairs).
+
+use crate::CliError;
+use rap_circuit::Machine;
+
+/// Parsed command arguments: positionals in order, flags by name.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+    /// Bare switches (`--foo` with no value).
+    switches: Vec<String>,
+}
+
+/// Flags that take no value.
+const SWITCHES: &[&str] = &["help", "h"];
+
+impl Args {
+    /// Parses an argv slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when a value-taking flag has no value.
+    pub fn parse(argv: &[String]) -> Result<Args, CliError> {
+        let mut args = Args::default();
+        let mut it = argv.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if SWITCHES.contains(&name) {
+                    args.switches.push(name.to_string());
+                } else {
+                    let value = it.next().ok_or_else(|| {
+                        CliError::Usage(format!("flag --{name} needs a value"))
+                    })?;
+                    args.flags.push((name.to_string(), value.clone()));
+                }
+            } else {
+                args.positional.push(a.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Whether `--help`/`-h` was given.
+    pub fn wants_help(&self) -> bool {
+        self.switches.iter().any(|s| s == "help" || s == "h")
+    }
+
+    /// The `i`-th positional argument.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] naming the missing argument.
+    pub fn positional(&self, i: usize, name: &str) -> Result<&str, CliError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing <{name}> argument")))
+    }
+
+    /// A string flag.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// A parsed numeric flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the value does not parse.
+    pub fn flag_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{name} {v:?} is not a valid number"))),
+        }
+    }
+
+    /// The `--machine` flag parsed into a [`Machine`] (default RAP).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] on an unknown machine name.
+    pub fn machine(&self) -> Result<Machine, CliError> {
+        match self.flag("machine").unwrap_or("rap") {
+            "rap" | "RAP" => Ok(Machine::Rap),
+            "cama" | "CAMA" => Ok(Machine::Cama),
+            "bvap" | "BVAP" => Ok(Machine::Bvap),
+            "ca" | "CA" => Ok(Machine::Ca),
+            other => Err(CliError::Usage(format!(
+                "unknown machine {other:?} (expected rap, cama, bvap, or ca)"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Args {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v).expect("parses")
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse(&["file.txt", "--depth", "16", "input.bin"]);
+        assert_eq!(a.positional(0, "patterns").expect("pos 0"), "file.txt");
+        assert_eq!(a.positional(1, "input").expect("pos 1"), "input.bin");
+        assert_eq!(a.flag_num("depth", 4u32).expect("depth"), 16);
+        assert_eq!(a.flag_num("bin", 8u32).expect("default"), 8);
+    }
+
+    #[test]
+    fn missing_positional_is_usage() {
+        let a = parse(&[]);
+        assert!(matches!(a.positional(0, "x"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn machines_parse() {
+        assert_eq!(parse(&["--machine", "cama"]).machine().expect("cama"), Machine::Cama);
+        assert_eq!(parse(&[]).machine().expect("default"), Machine::Rap);
+        assert!(parse(&["--machine", "gpu"]).machine().is_err());
+    }
+
+    #[test]
+    fn flag_without_value_is_usage() {
+        let v = vec!["--depth".to_string()];
+        assert!(matches!(Args::parse(&v), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_switch() {
+        assert!(parse(&["--help"]).wants_help());
+        assert!(parse(&["-h"]).wants_help());
+        assert!(!parse(&["x"]).wants_help());
+    }
+
+    #[test]
+    fn bad_number_is_usage() {
+        let a = parse(&["--depth", "deep"]);
+        assert!(matches!(a.flag_num("depth", 4u32), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn last_flag_wins() {
+        let a = parse(&["--depth", "4", "--depth", "32"]);
+        assert_eq!(a.flag_num("depth", 0u32).expect("depth"), 32);
+    }
+}

@@ -1,0 +1,53 @@
+//! `rap dot` — render a pattern's Glushkov automaton in Graphviz DOT.
+
+use super::outln;
+use crate::args::Args;
+use crate::CliError;
+use rap_automata::nfa::Nfa;
+use std::io::Write;
+
+const HELP: &str = "\
+rap dot — print a pattern's Glushkov automaton in Graphviz DOT syntax
+
+USAGE:
+    rap dot <pattern>
+
+Pipe into graphviz, e.g.:  rap dot 'a(.a){3}b' | dot -Tsvg > nfa.svg";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        outln!(out, "{HELP}");
+        return Ok(());
+    }
+    let pattern = args.positional(0, "pattern")?;
+    let re = rap_regex::parse(pattern)
+        .map_err(|e| CliError::Runtime(format!("pattern {pattern:?}: {e}")))?;
+    let nfa = Nfa::from_regex(&re);
+    write!(out, "{}", nfa.to_dot(pattern)).map_err(|e| CliError::Runtime(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_paper_example() {
+        let argv = vec!["a(.a){3}b".to_string()];
+        let mut out = Vec::new();
+        run(&argv, &mut out).expect("dot succeeds");
+        let s = String::from_utf8(out).expect("utf8");
+        assert!(s.contains("digraph"));
+        // The unfolded automaton has 8 states, q7 final.
+        assert!(s.contains("q7 [shape=doublecircle"));
+        assert!(s.contains("q0 -> q1"));
+    }
+
+    #[test]
+    fn bad_pattern_is_runtime_error() {
+        let argv = vec!["(".to_string()];
+        let mut out = Vec::new();
+        assert!(matches!(run(&argv, &mut out), Err(CliError::Runtime(_))));
+    }
+}

@@ -1,0 +1,159 @@
+//! `rap gen` / `rap gen-input` — synthesize benchmark workloads.
+
+use super::outln;
+use crate::args::Args;
+use crate::{read_patterns, CliError};
+use rap_workloads::Suite;
+use std::io::Write;
+
+const HELP_GEN: &str = "\
+rap gen — generate a synthetic benchmark suite's patterns (one per line)
+
+USAGE:
+    rap gen <suite> <count> [--seed S]
+
+SUITES:
+    regexlib spamassassin snort suricata prosite yara clamav";
+
+const HELP_INPUT: &str = "\
+rap gen-input — generate a synthetic input stream for a pattern file
+
+USAGE:
+    rap gen-input <patterns.txt> <length> [--rate R] [--seed S] [--out FILE]
+
+FLAGS:
+    --rate R    fraction of bytes belonging to planted matches (default 0.02)
+    --seed S    RNG seed (default 42)
+    --out FILE  write bytes to FILE instead of stdout";
+
+fn parse_suite(name: &str) -> Result<Suite, CliError> {
+    Suite::all()
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown suite {name:?} (expected one of: {})",
+                Suite::all().map(|s| s.name().to_lowercase()).join(" ")
+            ))
+        })
+}
+
+/// Runs `rap gen`.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        outln!(out, "{HELP_GEN}");
+        return Ok(());
+    }
+    let suite = parse_suite(args.positional(0, "suite")?)?;
+    let count: usize = args
+        .positional(1, "count")?
+        .parse()
+        .map_err(|_| CliError::Usage("count must be a number".to_string()))?;
+    let seed: u64 = args.flag_num("seed", 42)?;
+    for p in rap_workloads::generate_patterns(suite, count, seed) {
+        outln!(out, "{p}");
+    }
+    Ok(())
+}
+
+/// Runs `rap gen-input`.
+pub fn run_input(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        outln!(out, "{HELP_INPUT}");
+        return Ok(());
+    }
+    let patterns = read_patterns(args.positional(0, "patterns.txt")?)?;
+    let length: usize = args
+        .positional(1, "length")?
+        .parse()
+        .map_err(|_| CliError::Usage("length must be a number".to_string()))?;
+    let rate: f64 = args.flag_num("rate", 0.02)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::Usage("--rate must be in [0, 1]".to_string()));
+    }
+    let seed: u64 = args.flag_num("seed", 42)?;
+    let stream = rap_workloads::generate_input(&patterns, length, rate, seed);
+    match args.flag("out") {
+        Some(path) => std::fs::write(path, &stream)
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?,
+        None => out
+            .write_all(&stream)
+            .map_err(|e| CliError::Runtime(e.to_string()))?,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(f: fn(&[String], &mut dyn Write) -> Result<(), CliError>, argv: &[&str]) -> Vec<u8> {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        f(&argv, &mut out).expect("command succeeds");
+        out
+    }
+
+    #[test]
+    fn gen_produces_parsable_patterns() {
+        let out = run_ok(run, &["snort", "15", "--seed", "9"]);
+        let text = String::from_utf8(out).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 15);
+        for l in lines {
+            rap_regex::parse(l).unwrap_or_else(|e| panic!("{l}: {e}"));
+        }
+    }
+
+    #[test]
+    fn gen_suite_names_case_insensitive() {
+        let a = run_ok(run, &["ClamAV", "3"]);
+        let b = run_ok(run, &["clamav", "3"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gen_unknown_suite_is_usage() {
+        let argv = vec!["anmldoo".to_string(), "3".to_string()];
+        let mut out = Vec::new();
+        assert!(matches!(run(&argv, &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn gen_input_exact_length() {
+        let dir = std::env::temp_dir().join("rap-cli-gen");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("p.txt");
+        std::fs::write(&p, "abc\n").expect("write");
+        let out = run_ok(run_input, &[p.to_str().expect("utf8"), "512"]);
+        assert_eq!(out.len(), 512);
+    }
+
+    #[test]
+    fn gen_input_out_flag_writes_file() {
+        let dir = std::env::temp_dir().join("rap-cli-gen-out");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("p.txt");
+        std::fs::write(&p, "abc\n").expect("write");
+        let target = dir.join("stream.bin");
+        let _ = run_ok(
+            run_input,
+            &[p.to_str().expect("utf8"), "100", "--out", target.to_str().expect("utf8")],
+        );
+        assert_eq!(std::fs::read(&target).expect("read back").len(), 100);
+    }
+
+    #[test]
+    fn gen_input_bad_rate_is_usage() {
+        let dir = std::env::temp_dir().join("rap-cli-gen-rate");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("p.txt");
+        std::fs::write(&p, "abc\n").expect("write");
+        let argv = vec![p.to_str().expect("utf8").to_string(), "10".to_string(),
+            "--rate".to_string(), "1.5".to_string()];
+        let mut out = Vec::new();
+        assert!(matches!(run_input(&argv, &mut out), Err(CliError::Usage(_))));
+    }
+}

@@ -1,0 +1,144 @@
+//! `rap layout` — render the tile-level placement of a compiled workload.
+
+use super::{outln, parse_all};
+use crate::args::Args;
+use crate::{read_patterns, CliError};
+use rap_circuit::Machine;
+use rap_compiler::Compiled;
+use rap_mapper::ArrayKind;
+use rap_sim::Simulator;
+use std::io::Write;
+
+const HELP: &str = "\
+rap layout — show per-array tile occupancy after mapping
+
+USAGE:
+    rap layout <patterns.txt> [--depth N] [--bin N]
+
+Each tile renders as a 16-cell bar (one cell per 8 of its 128 columns).";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        outln!(out, "{HELP}");
+        return Ok(());
+    }
+    let patterns = read_patterns(args.positional(0, "patterns.txt")?)?;
+    let parsed = parse_all(&patterns)?;
+    let sim = Simulator::new(Machine::Rap)
+        .with_bv_depth(args.flag_num("depth", 8)?)
+        .with_bin_size(args.flag_num("bin", 8)?);
+    let compiled = sim
+        .compile_parsed(&parsed)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let mapping = sim.map(&compiled);
+
+    for (ai, plan) in mapping.arrays.iter().enumerate() {
+        let tile_cols = mapping.config.arch.tile_columns;
+        match &plan.kind {
+            ArrayKind::Nfa { placements } | ArrayKind::Nbva { placements, .. } => {
+                let label = match &plan.kind {
+                    ArrayKind::Nbva { depth, .. } => format!("NBVA, depth {depth}"),
+                    _ => "NFA".to_string(),
+                };
+                outln!(out, "array {ai} ({label}): {} tiles", plan.tiles_used);
+                let mut tile_cols_used = vec![0u32; plan.tiles_used as usize];
+                let mut tile_patterns =
+                    vec![Vec::<usize>::new(); plan.tiles_used as usize];
+                for p in placements {
+                    let cols: &[u32] = match &compiled[p.pattern] {
+                        Compiled::Nfa(img) => &img.state_columns,
+                        Compiled::Nbva(img) => &img.state_columns,
+                        Compiled::Lnfa(_) => unreachable!("mode-homogeneous array"),
+                    };
+                    for (q, &t) in p.state_tile.iter().enumerate() {
+                        tile_cols_used[t as usize] += cols[q];
+                        if tile_patterns[t as usize].last() != Some(&p.pattern) {
+                            tile_patterns[t as usize].push(p.pattern);
+                        }
+                    }
+                }
+                for (t, (&used, pats)) in
+                    tile_cols_used.iter().zip(tile_patterns.iter()).enumerate()
+                {
+                    outln!(
+                        out,
+                        "  tile {t:>2} |{}| {used:>3}/{tile_cols} cols  patterns {:?}",
+                        bar(used, tile_cols),
+                        pats
+                    );
+                }
+            }
+            ArrayKind::Lnfa { bins } => {
+                outln!(out, "array {ai} (LNFA): {} tiles", plan.tiles_used);
+                for (bi, bin) in bins.iter().enumerate() {
+                    let path = match bin.members.first().map(|m| m.path) {
+                        Some(rap_compiler::MatchPath::Cam) => "CAM",
+                        Some(rap_compiler::MatchPath::LocalSwitch) => "switch",
+                        None => "?",
+                    };
+                    let patterns: Vec<usize> =
+                        bin.members.iter().map(|m| m.pattern).collect();
+                    outln!(
+                        out,
+                        "  bin {bi:>2} [{path:>6}] tiles {}..{}  {} chains x {} col regions  patterns {:?}",
+                        bin.first_tile,
+                        bin.first_tile + bin.tiles,
+                        bin.members.len(),
+                        bin.region_columns,
+                        patterns
+                    );
+                }
+            }
+        }
+    }
+    outln!(
+        out,
+        "total: {} arrays, {} tiles, {:.0}% column utilization",
+        mapping.arrays.len(),
+        mapping.tiles_used(),
+        mapping.utilization() * 100.0
+    );
+    Ok(())
+}
+
+/// A 16-cell occupancy bar.
+fn bar(used: u32, total: u32) -> String {
+    let cells = 16u32;
+    let filled = (used * cells).div_ceil(total.max(1)).min(cells);
+    let mut s = String::with_capacity(cells as usize);
+    for i in 0..cells {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_modes() {
+        let dir = std::env::temp_dir().join("rap-cli-layout");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("p.txt");
+        std::fs::write(&p, "abcdef\nx{60}y\nq.*r\n").expect("write");
+        let argv = vec![p.to_str().expect("utf8").to_string()];
+        let mut out = Vec::new();
+        run(&argv, &mut out).expect("layout succeeds");
+        let s = String::from_utf8(out).expect("utf8");
+        assert!(s.contains("NBVA"), "{s}");
+        assert!(s.contains("LNFA"), "{s}");
+        assert!(s.contains("NFA"), "{s}");
+        assert!(s.contains("column utilization"), "{s}");
+        assert!(s.contains('#'), "{s}");
+    }
+
+    #[test]
+    fn bar_shape() {
+        assert_eq!(bar(0, 128), "................");
+        assert_eq!(bar(128, 128), "################");
+        assert_eq!(bar(64, 128), "########........");
+    }
+}

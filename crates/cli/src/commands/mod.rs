@@ -1,0 +1,32 @@
+//! The CLI subcommands.
+
+pub mod compare;
+pub mod compile;
+pub mod dot;
+pub mod gen;
+pub mod layout;
+pub mod scan;
+
+use crate::CliError;
+use rap_regex::Pattern;
+
+/// Parses pattern strings (anchors allowed), mapping failures to numbered
+/// runtime errors.
+pub(crate) fn parse_all(patterns: &[String]) -> Result<Vec<Pattern>, CliError> {
+    patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            rap_regex::parse_pattern(p)
+                .map_err(|e| CliError::Runtime(format!("pattern #{i} {p:?}: {e}")))
+        })
+        .collect()
+}
+
+/// Writes a line, converting I/O failure into a runtime error.
+macro_rules! outln {
+    ($out:expr, $($arg:tt)*) => {
+        writeln!($out, $($arg)*).map_err(|e| crate::CliError::Runtime(e.to_string()))?
+    };
+}
+pub(crate) use outln;

@@ -1,0 +1,14 @@
+//! The `rap` binary: thin wrapper over [`rap_cli::run`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = rap_cli::run(&argv, &mut stdout) {
+        // A closed stdout (e.g. `rap ... | head`) is not an error.
+        if e.to_string().contains("Broken pipe") {
+            return;
+        }
+        eprintln!("{e}");
+        std::process::exit(e.exit_code());
+    }
+}

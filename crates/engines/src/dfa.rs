@@ -1,0 +1,361 @@
+//! Subset-construction DFA over byte equivalence classes — the third tier
+//! of the software stack.
+//!
+//! Hyperscan's fastest general path is a determinized automaton
+//! (McClellan); it falls back to NFA simulation when determinization
+//! blows up. This module mirrors that: [`Dfa::determinize`] builds a dense
+//! transition table for the *union* of a pattern set (per-state accept
+//! lists keep the pattern identities), with two standard space controls:
+//!
+//! * **alphabet compression** — bytes that no character class
+//!   distinguishes share a column, so a table row is `#classes` wide, not
+//!   256;
+//! * a **state cap** — determinization aborts (returns `None`) once the
+//!   subset construction exceeds `max_states`, and the caller keeps those
+//!   patterns on the NFA path.
+//!
+//! The scan loop is one load per byte plus an accept check.
+
+use crate::{normalize, Engine, Hit};
+use rap_automata::nfa::Nfa;
+use rap_regex::Regex;
+use std::collections::HashMap;
+
+/// A dense DFA for a multi-pattern union.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    /// `next[state * classes + class]` → state.
+    next: Vec<u32>,
+    /// Byte → equivalence class.
+    class_of: [u16; 256],
+    /// Number of equivalence classes.
+    classes: usize,
+    /// Pattern ids accepting in each state (sorted, deduplicated).
+    accepts: Vec<Vec<u32>>,
+}
+
+impl Dfa {
+    /// Determinizes the union of `patterns`, giving up when more than
+    /// `max_states` subset states are needed.
+    pub fn determinize(patterns: &[Regex], max_states: usize) -> Option<Dfa> {
+        let nfas: Vec<Nfa> = patterns.iter().map(Nfa::from_regex).collect();
+        // Global state ids: (pattern base + local id).
+        let mut base = Vec::with_capacity(nfas.len());
+        let mut total = 0usize;
+        for nfa in &nfas {
+            base.push(total);
+            total += nfa.len();
+        }
+        // Byte equivalence classes: two bytes are equivalent iff every
+        // state's character class treats them identically.
+        let class_of = byte_classes(&nfas);
+        let classes = (*class_of.iter().max().expect("256 entries") + 1) as usize;
+        let mut representative = vec![0u8; classes];
+        for b in (0..=255u8).rev() {
+            representative[class_of[b as usize] as usize] = b;
+        }
+
+        // The subset construction runs over *available* sets: the DFA
+        // state reached after a byte is the set of NFA states that matched
+        // it; the always-armed initial states are merged into every
+        // successor set (unanchored semantics).
+        let mut states: Vec<Vec<u32>> = vec![Vec::new()]; // state 0 = start (empty active set)
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        index.insert(Vec::new(), 0);
+        let mut next: Vec<u32> = Vec::new();
+        let mut accepts: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut cursor = 0usize;
+        while cursor < states.len() {
+            let current = states[cursor].clone();
+            for class in 0..classes {
+                let byte = representative[class];
+                let mut target: Vec<u32> = Vec::new();
+                // Successors of the current active set...
+                for &g in &current {
+                    let (p, local) = locate(&base, g);
+                    for &q in &nfas[p].states()[local].succ {
+                        push_unique(&mut target, base[p] as u32 + q);
+                    }
+                }
+                // ...plus the always-armed initial states.
+                for (p, nfa) in nfas.iter().enumerate() {
+                    for &q in nfa.initial() {
+                        push_unique(&mut target, base[p] as u32 + q);
+                    }
+                }
+                // Keep those whose class matches the byte.
+                target.retain(|&g| {
+                    let (p, local) = locate(&base, g);
+                    nfas[p].states()[local].cc.contains(byte)
+                });
+                target.sort_unstable();
+                let id = match index.get(&target) {
+                    Some(&id) => id,
+                    None => {
+                        if states.len() >= max_states {
+                            return None;
+                        }
+                        let id = states.len() as u32;
+                        let mut acc: Vec<u32> = target
+                            .iter()
+                            .filter(|&&g| {
+                                let (p, local) = locate(&base, g);
+                                nfas[p].states()[local].is_final
+                            })
+                            .map(|&g| locate(&base, g).0 as u32)
+                            .collect();
+                        acc.sort_unstable();
+                        acc.dedup();
+                        index.insert(target.clone(), id);
+                        states.push(target);
+                        accepts.push(acc);
+                        id
+                    }
+                };
+                next.push(id);
+            }
+            cursor += 1;
+        }
+        Some(Dfa { next, class_of, classes, accepts })
+    }
+
+    /// Number of DFA states.
+    pub fn len(&self) -> usize {
+        self.accepts.len()
+    }
+
+    /// Whether the DFA has no states (never: there is always a start state).
+    pub fn is_empty(&self) -> bool {
+        self.accepts.is_empty()
+    }
+
+    /// Number of byte equivalence classes.
+    pub fn alphabet_classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Scans `input`, pushing hits with `base`-adjusted offsets.
+    pub fn scan_into(&self, input: &[u8], out: &mut Vec<Hit>) {
+        let mut state = 0u32;
+        for (i, &b) in input.iter().enumerate() {
+            let class = self.class_of[b as usize] as usize;
+            state = self.next[state as usize * self.classes + class];
+            for &p in &self.accepts[state as usize] {
+                out.push(Hit { pattern: p as usize, end: i + 1 });
+            }
+        }
+    }
+}
+
+impl Engine for Dfa {
+    fn name(&self) -> &'static str {
+        "dfa"
+    }
+
+    fn scan(&self, input: &[u8]) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        self.scan_into(input, &mut hits);
+        normalize(hits)
+    }
+}
+
+/// Maps a global state id back to (pattern index, local state index).
+fn locate(base: &[usize], global: u32) -> (usize, usize) {
+    let g = global as usize;
+    let p = base.partition_point(|&b| b <= g) - 1;
+    (p, g - base[p])
+}
+
+fn push_unique(v: &mut Vec<u32>, x: u32) {
+    if !v.contains(&x) {
+        v.push(x);
+    }
+}
+
+/// Partitions the byte alphabet so that equivalent bytes share a class.
+fn byte_classes(nfas: &[Nfa]) -> [u16; 256] {
+    // Signature of a byte = the set of (state, matches?) bits; bucket by
+    // signature incrementally using a split-refine over class ids.
+    let mut class_of = [0u16; 256];
+    let mut next_class = 1u16;
+    for nfa in nfas {
+        for s in nfa.states() {
+            // Refine: bytes currently sharing a class but disagreeing on
+            // this character class get split.
+            let mut mapping: HashMap<(u16, bool), u16> = HashMap::new();
+            let mut fresh = next_class;
+            for b in 0..=255usize {
+                let key = (class_of[b], s.cc.contains(b as u8));
+                let id = *mapping.entry(key).or_insert_with(|| {
+                    let id = fresh;
+                    fresh += 1;
+                    id
+                });
+                class_of[b] = id;
+            }
+            next_class = fresh;
+        }
+    }
+    // Renumber densely from 0.
+    let mut dense: HashMap<u16, u16> = HashMap::new();
+    for c in class_of.iter_mut() {
+        let n = dense.len() as u16;
+        *c = *dense.entry(*c).or_insert(n);
+    }
+    class_of
+}
+
+/// The hybrid software engine: one union DFA for everything that
+/// determinizes within the state cap, the prefiltered NBVA interpreter
+/// for the rest — Hyperscan's architecture in miniature.
+#[derive(Clone, Debug)]
+pub struct HybridEngine {
+    dfa: Option<Dfa>,
+    dfa_idx: Vec<usize>,
+    fallback: crate::interp::PrefilteredNfa,
+    fallback_idx: Vec<usize>,
+}
+
+impl HybridEngine {
+    /// Default subset-state budget (per Hyperscan's McClellan limits,
+    /// scaled down).
+    pub const DEFAULT_MAX_STATES: usize = 4096;
+
+    /// Builds the engine. Patterns whose *individual* DFA already exceeds
+    /// a proportional share of the budget are routed to the NFA path, then
+    /// the union of the rest is determinized (retrying without the largest
+    /// contributors is beyond this reproduction's scope — a failed union
+    /// sends everything to the NFA path).
+    pub fn new(patterns: &[Regex], max_states: usize) -> HybridEngine {
+        // Heuristic split: big or loop-heavy patterns determinize badly.
+        let mut dfa_idx = Vec::new();
+        let mut fallback_idx = Vec::new();
+        for (i, re) in patterns.iter().enumerate() {
+            if re.unfolded_size() <= 64 {
+                dfa_idx.push(i);
+            } else {
+                fallback_idx.push(i);
+            }
+        }
+        let dfa_patterns: Vec<Regex> =
+            dfa_idx.iter().map(|&i| patterns[i].clone()).collect();
+        let dfa = Dfa::determinize(&dfa_patterns, max_states);
+        if dfa.is_none() {
+            // Union blow-up: run everything on the NFA path.
+            fallback_idx = (0..patterns.len()).collect();
+            dfa_idx.clear();
+        }
+        let fallback_patterns: Vec<Regex> =
+            fallback_idx.iter().map(|&i| patterns[i].clone()).collect();
+        HybridEngine {
+            dfa,
+            dfa_idx,
+            fallback: crate::interp::PrefilteredNfa::new(&fallback_patterns),
+            fallback_idx,
+        }
+    }
+
+    /// Number of patterns on the DFA path.
+    pub fn dfa_count(&self) -> usize {
+        self.dfa_idx.len()
+    }
+}
+
+impl Engine for HybridEngine {
+    fn name(&self) -> &'static str {
+        "hybrid-dfa"
+    }
+
+    fn scan(&self, input: &[u8]) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        if let Some(dfa) = &self.dfa {
+            let mut raw = Vec::new();
+            dfa.scan_into(input, &mut raw);
+            hits.extend(
+                raw.into_iter()
+                    .map(|h| Hit { pattern: self.dfa_idx[h.pattern], end: h.end }),
+            );
+        }
+        for h in self.fallback.scan(input) {
+            hits.push(Hit { pattern: self.fallback_idx[h.pattern], end: h.end });
+        }
+        normalize(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::NfaEngine;
+    use rap_regex::parse;
+
+    fn regexes(patterns: &[&str]) -> Vec<Regex> {
+        patterns.iter().map(|p| parse(p).expect("parses")).collect()
+    }
+
+    #[test]
+    fn dfa_agrees_with_interpreter() {
+        let patterns = ["abc", "a[bc]d", "q.*z", "m{3}", "x(y|z)+w"];
+        let res = regexes(&patterns);
+        let dfa = Dfa::determinize(&res, 4096).expect("determinizes");
+        let input = b"abcd abd acd qqz qxyzz mmmm xyw xyzyw abc";
+        assert_eq!(dfa.scan(input), NfaEngine::new(&res).scan(input));
+    }
+
+    #[test]
+    fn alphabet_compression_is_tight() {
+        // Patterns over {a, b, c} need at most 4 classes (a, b, c, rest).
+        let res = regexes(&["abc", "a(b|c)a"]);
+        let dfa = Dfa::determinize(&res, 4096).expect("determinizes");
+        assert!(dfa.alphabet_classes() <= 4, "{}", dfa.alphabet_classes());
+    }
+
+    #[test]
+    fn state_cap_aborts() {
+        // A union of many unanchored `.{k}x` patterns is exponential-ish;
+        // a tiny cap must trip.
+        let res = regexes(&["a.{6}b", "c.{6}d", "e.{6}f"]);
+        assert!(Dfa::determinize(&res, 8).is_none());
+        assert!(Dfa::determinize(&res, 100_000).is_some());
+    }
+
+    #[test]
+    fn overlapping_matches_reported() {
+        let res = regexes(&["aa"]);
+        let dfa = Dfa::determinize(&res, 64).expect("determinizes");
+        let hits = dfa.scan(b"aaaa");
+        assert_eq!(hits.iter().map(|h| h.end).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn multi_pattern_ids_survive_union() {
+        let res = regexes(&["ab", "b"]);
+        let dfa = Dfa::determinize(&res, 64).expect("determinizes");
+        let hits = dfa.scan(b"ab");
+        assert_eq!(
+            hits,
+            vec![Hit { pattern: 0, end: 2 }, Hit { pattern: 1, end: 2 }]
+        );
+    }
+
+    #[test]
+    fn hybrid_routes_and_agrees() {
+        let patterns = ["abc", "q{200}r", "x.*y", "hello"];
+        let res = regexes(&patterns);
+        let hybrid = HybridEngine::new(&res, HybridEngine::DEFAULT_MAX_STATES);
+        // q{200}r is too big for the DFA path.
+        assert_eq!(hybrid.dfa_count(), 3);
+        let mut input = b"abc hello xqqy ".to_vec();
+        input.extend(std::iter::repeat_n(b'q', 200));
+        input.push(b'r');
+        assert_eq!(hybrid.scan(&input), NfaEngine::new(&res).scan(&input));
+    }
+
+    #[test]
+    fn empty_pattern_set() {
+        let dfa = Dfa::determinize(&[], 16).expect("empty set determinizes");
+        assert!(dfa.scan(b"anything").is_empty());
+        let hybrid = HybridEngine::new(&[], 16);
+        assert!(hybrid.scan(b"anything").is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! Device power envelopes for the Fig. 13 comparison.
+//!
+//! The paper measures average power with Intel SoC Watch (CPU socket) and
+//! NVML at 50 Hz (GPU). Without those devices we use the published
+//! envelopes of the paper's testbed parts; RAP's power, by contrast, is
+//! *computed* by the simulator from the Table 1 circuit models.
+
+/// Average socket power of the paper's CPU (Intel Core i9-12900K) under
+/// sustained multi-pattern scanning, in watts (PL2-class load).
+pub const CPU_SOCKET_W: f64 = 240.0;
+
+/// Average board power of the paper's GPU (NVIDIA GeForce RTX 4060 Ti)
+/// under sustained HybridSA kernels, in watts (NVML-measured class).
+pub const GPU_BOARD_W: f64 = 60.0;
+
+/// Energy efficiency in Gch/s per watt for a measured throughput and a
+/// device power envelope.
+pub fn energy_efficiency_gchps_per_w(throughput_gchps: f64, power_w: f64) -> f64 {
+    assert!(power_w > 0.0, "power must be positive");
+    throughput_gchps / power_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_math() {
+        let eff = energy_efficiency_gchps_per_w(2.4, 60.0);
+        assert!((eff - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_uses_less_power_than_cpu() {
+        assert!(GPU_BOARD_W < CPU_SOCKET_W);
+    }
+
+    #[test]
+    #[should_panic(expected = "power must be positive")]
+    fn zero_power_rejected() {
+        let _ = energy_efficiency_gchps_per_w(1.0, 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Aho–Corasick multi-literal matching, used as the software engines'
+//! prefilter (the role Hyperscan's FDR literal matcher plays): the scan
+//! hot loop is one table lookup per byte, and the expensive NFA machinery
+//! only wakes up when a pattern's literal prefix actually occurred.
+
+/// A dense-goto Aho–Corasick automaton over byte strings.
+///
+/// # Example
+///
+/// ```
+/// use rap_engines::prefilter::AhoCorasick;
+///
+/// let ac = AhoCorasick::new(&[b"he".to_vec(), b"she".to_vec(), b"hers".to_vec()]);
+/// let mut hits = Vec::new();
+/// ac.scan(b"ushers", |lit, end| hits.push((lit, end)));
+/// // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+/// assert_eq!(hits, vec![(1, 4), (0, 4), (2, 6)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AhoCorasick {
+    /// Dense transition table: `goto[state * 256 + byte]`.
+    goto_table: Vec<u32>,
+    /// Literal ids ending at each state (own + suffix outputs merged).
+    outputs: Vec<Vec<u32>>,
+    /// Literal lengths, for reporting conveniences.
+    lengths: Vec<usize>,
+}
+
+impl AhoCorasick {
+    /// Builds the automaton from literal byte strings. Duplicate literals
+    /// are allowed (each id reports independently); empty literals are
+    /// rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any literal is empty.
+    pub fn new(literals: &[Vec<u8>]) -> AhoCorasick {
+        // Trie construction.
+        let mut children: Vec<[u32; 256]> = vec![[u32::MAX; 256]];
+        let mut own: Vec<Vec<u32>> = vec![Vec::new()];
+        for (id, lit) in literals.iter().enumerate() {
+            assert!(!lit.is_empty(), "empty prefilter literal");
+            let mut node = 0usize;
+            for &b in lit {
+                let next = children[node][b as usize];
+                node = if next == u32::MAX {
+                    children.push([u32::MAX; 256]);
+                    own.push(Vec::new());
+                    let new = (children.len() - 1) as u32;
+                    children[node][b as usize] = new;
+                    new as usize
+                } else {
+                    next as usize
+                };
+            }
+            own[node].push(id as u32);
+        }
+        let n = children.len();
+
+        // BFS failure links, merging output sets, and densifying the goto
+        // table so the scan needs no failure chasing.
+        let mut fail = vec![0u32; n];
+        let mut outputs: Vec<Vec<u32>> = own.clone();
+        let mut goto_table = vec![0u32; n * 256];
+        let mut queue = std::collections::VecDeque::new();
+        for b in 0..256usize {
+            let c = children[0][b];
+            if c != u32::MAX {
+                goto_table[b] = c;
+                queue.push_back(c as usize);
+            }
+        }
+        while let Some(node) = queue.pop_front() {
+            let f = fail[node] as usize;
+            let merged: Vec<u32> = outputs[f].clone();
+            outputs[node].extend(merged);
+            for b in 0..256usize {
+                let c = children[node][b];
+                if c == u32::MAX {
+                    goto_table[node * 256 + b] = goto_table[f * 256 + b];
+                } else {
+                    fail[c as usize] = goto_table[f * 256 + b];
+                    goto_table[node * 256 + b] = c;
+                    queue.push_back(c as usize);
+                }
+            }
+        }
+        AhoCorasick {
+            goto_table,
+            outputs,
+            lengths: literals.iter().map(Vec::len).collect(),
+        }
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Whether the automaton holds no literals.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// Length of literal `id`.
+    pub fn literal_len(&self, id: u32) -> usize {
+        self.lengths[id as usize]
+    }
+
+    /// The root state.
+    pub fn start(&self) -> u32 {
+        0
+    }
+
+    /// One transition.
+    #[inline]
+    pub fn step(&self, state: u32, byte: u8) -> u32 {
+        self.goto_table[state as usize * 256 + byte as usize]
+    }
+
+    /// Literal ids ending at `state` (all suffix occurrences).
+    #[inline]
+    pub fn outputs(&self, state: u32) -> &[u32] {
+        &self.outputs[state as usize]
+    }
+
+    /// Scans a haystack, calling `on_hit(literal id, end offset)` for every
+    /// occurrence (end offset is one past the final byte).
+    pub fn scan<F: FnMut(u32, usize)>(&self, haystack: &[u8], mut on_hit: F) {
+        let mut state = 0u32;
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            for &lit in self.outputs(state) {
+                on_hit(lit, i + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hits(ac: &AhoCorasick, haystack: &[u8]) -> Vec<(u32, usize)> {
+        let mut out = Vec::new();
+        ac.scan(haystack, |lit, end| out.push((lit, end)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn classic_ushers() {
+        let ac = AhoCorasick::new(&[b"he".to_vec(), b"she".to_vec(), b"his".to_vec(), b"hers".to_vec()]);
+        assert_eq!(hits(&ac, b"ushers"), vec![(0, 4), (1, 4), (3, 6)]);
+    }
+
+    #[test]
+    fn overlapping_occurrences() {
+        let ac = AhoCorasick::new(&[b"aa".to_vec()]);
+        assert_eq!(hits(&ac, b"aaaa"), vec![(0, 2), (0, 3), (0, 4)]);
+    }
+
+    #[test]
+    fn duplicate_literals_both_report() {
+        let ac = AhoCorasick::new(&[b"ab".to_vec(), b"ab".to_vec()]);
+        assert_eq!(hits(&ac, b"xab"), vec![(0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn literal_is_suffix_of_another() {
+        let ac = AhoCorasick::new(&[b"abcd".to_vec(), b"cd".to_vec()]);
+        assert_eq!(hits(&ac, b"abcd"), vec![(0, 4), (1, 4)]);
+    }
+
+    #[test]
+    fn no_false_positives_exhaustive() {
+        let lits: Vec<Vec<u8>> = vec![b"ab".to_vec(), b"ba".to_vec(), b"aba".to_vec()];
+        let ac = AhoCorasick::new(&lits);
+        // Brute-force cross-check on all 4-byte strings over {a, b}.
+        for s in 0..(1u32 << 8) {
+            let hay: Vec<u8> = (0..4)
+                .map(|k| if s >> (2 * k) & 1 == 0 { b'a' } else { b'b' })
+                .collect();
+            let got = hits(&ac, &hay);
+            let mut expect = Vec::new();
+            for (id, lit) in lits.iter().enumerate() {
+                for end in lit.len()..=hay.len() {
+                    if &hay[end - lit.len()..end] == lit.as_slice() {
+                        expect.push((id as u32, end));
+                    }
+                }
+            }
+            expect.sort_unstable();
+            assert_eq!(got, expect, "haystack {hay:?}");
+        }
+    }
+
+    #[test]
+    fn binary_bytes() {
+        let ac = AhoCorasick::new(&[vec![0x00, 0xff], vec![0xff, 0xff]]);
+        assert_eq!(hits(&ac, &[0x00, 0xff, 0xff]), vec![(0, 2), (1, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty prefilter literal")]
+    fn empty_literal_rejected() {
+        let _ = AhoCorasick::new(&[Vec::new()]);
+    }
+
+    #[test]
+    fn lengths_exposed() {
+        let ac = AhoCorasick::new(&[b"abc".to_vec()]);
+        assert_eq!(ac.len(), 1);
+        assert_eq!(ac.literal_len(0), 3);
+    }
+}

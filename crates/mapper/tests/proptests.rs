@@ -1,0 +1,187 @@
+//! Property tests for the mapper: every placement must respect the
+//! hardware constraints the paper states, for arbitrary workloads.
+
+use proptest::prelude::*;
+use rap_compiler::{Compiled, Compiler, CompilerConfig, Mode};
+use rap_mapper::{map_workload, ArrayKind, MapperConfig};
+use rap_regex::{CharClass, Regex};
+
+/// Random compilable patterns spanning all three modes.
+fn arb_pattern() -> impl Strategy<Value = Regex> {
+    let literal = prop::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'd')],
+        1..12,
+    )
+    .prop_map(|bytes| {
+        Regex::concat(bytes.into_iter().map(Regex::literal_byte).collect())
+    });
+    prop_oneof![
+        // Chains (LNFA mode).
+        literal.clone(),
+        // Bounded repetitions (NBVA mode).
+        (literal.clone(), 6u32..400, 0u32..60).prop_map(|(lit, m, extra)| {
+            Regex::concat(vec![
+                lit,
+                Regex::repeat(Regex::literal_byte(b'x'), m, Some(m + extra)),
+                Regex::literal_byte(b'y'),
+            ])
+        }),
+        // Loops (NFA mode).
+        (literal.clone(), literal).prop_map(|(a, b)| {
+            Regex::concat(vec![a, Regex::star(Regex::Class(CharClass::dot())), b])
+        }),
+    ]
+}
+
+fn compile_all(patterns: &[Regex]) -> Vec<Compiled> {
+    let compiler = Compiler::new(CompilerConfig::default());
+    patterns
+        .iter()
+        .map(|re| compiler.compile(re).expect("generated patterns compile"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every pattern is placed exactly once, every state has a tile, and
+    /// tile indices stay inside the array.
+    #[test]
+    fn placement_covers_every_state(
+        patterns in prop::collection::vec(arb_pattern(), 1..25),
+        bin in prop_oneof![Just(1u32), Just(4u32), Just(16u32), Just(32u32)],
+    ) {
+        let compiled = compile_all(&patterns);
+        let config = MapperConfig { bin_size: bin, ..MapperConfig::default() };
+        let mapping = map_workload(&compiled, &config);
+        let mut seen = vec![0u32; compiled.len()];
+        for plan in &mapping.arrays {
+            prop_assert!(plan.tiles_used <= config.arch.tiles_per_array);
+            match &plan.kind {
+                ArrayKind::Nfa { placements } | ArrayKind::Nbva { placements, .. } => {
+                    for p in placements {
+                        seen[p.pattern] += 1;
+                        let expect_states = compiled[p.pattern].state_count() as usize;
+                        prop_assert_eq!(p.state_tile.len(), expect_states);
+                        for &t in &p.state_tile {
+                            prop_assert!(t < plan.tiles_used);
+                        }
+                    }
+                }
+                ArrayKind::Lnfa { bins } => {
+                    let mut patterns_here: Vec<usize> = Vec::new();
+                    for b in bins {
+                        prop_assert!(b.first_tile + b.tiles <= plan.tiles_used);
+                        prop_assert!(b.members.len() as u32 <= config.arch.max_bin_size);
+                        for m in &b.members {
+                            patterns_here.push(m.pattern);
+                        }
+                    }
+                    patterns_here.sort_unstable();
+                    patterns_here.dedup();
+                    for p in patterns_here {
+                        seen[p] += 1;
+                    }
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&n| n == 1), "placements {seen:?}");
+    }
+
+    /// Per-tile column budgets hold: the states assigned to one tile never
+    /// exceed its 128 columns.
+    #[test]
+    fn tile_column_budget_holds(
+        patterns in prop::collection::vec(arb_pattern(), 1..25),
+    ) {
+        let compiled = compile_all(&patterns);
+        let config = MapperConfig::default();
+        let mapping = map_workload(&compiled, &config);
+        for plan in &mapping.arrays {
+            let mut tile_cols = vec![0u64; plan.tiles_used as usize];
+            match &plan.kind {
+                ArrayKind::Nfa { placements } => {
+                    for p in placements {
+                        let Compiled::Nfa(img) = &compiled[p.pattern] else {
+                            panic!("NFA plan references non-NFA image")
+                        };
+                        for (q, &t) in p.state_tile.iter().enumerate() {
+                            tile_cols[t as usize] += u64::from(img.state_columns[q]);
+                        }
+                    }
+                }
+                ArrayKind::Nbva { placements, .. } => {
+                    for p in placements {
+                        let Compiled::Nbva(img) = &compiled[p.pattern] else {
+                            panic!("NBVA plan references non-NBVA image")
+                        };
+                        for (q, &t) in p.state_tile.iter().enumerate() {
+                            tile_cols[t as usize] += u64::from(img.state_columns[q]);
+                        }
+                    }
+                }
+                ArrayKind::Lnfa { .. } => continue,
+            }
+            for (t, &cols) in tile_cols.iter().enumerate() {
+                prop_assert!(
+                    cols <= u64::from(config.arch.tile_columns),
+                    "tile {t} holds {cols} columns"
+                );
+            }
+        }
+    }
+
+    /// The no-`r`-with-`rAll` rule: a tile never hosts both read-action
+    /// families (§4.1).
+    #[test]
+    fn read_actions_never_mix(
+        patterns in prop::collection::vec(arb_pattern(), 1..25),
+    ) {
+        use rap_automata::nbva::ReadAction;
+        let compiled = compile_all(&patterns);
+        let mapping = map_workload(&compiled, &MapperConfig::default());
+        for plan in &mapping.arrays {
+            let ArrayKind::Nbva { placements, .. } = &plan.kind else { continue };
+            let mut tile_kind: Vec<Option<bool>> = vec![None; plan.tiles_used as usize];
+            for p in placements {
+                let Compiled::Nbva(img) = &compiled[p.pattern] else {
+                    panic!("NBVA plan references non-NBVA image")
+                };
+                for (q, alloc) in img.bv_allocs.iter().enumerate() {
+                    let Some(a) = alloc else { continue };
+                    let exact = matches!(a.read, ReadAction::Exact(_));
+                    let t = p.state_tile[q] as usize;
+                    match tile_kind[t] {
+                        None => tile_kind[t] = Some(exact),
+                        Some(k) => prop_assert_eq!(
+                            k, exact,
+                            "tile {} mixes r and rAll", t
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    /// LNFA bins: members fit their regions and regions fit the tile.
+    #[test]
+    fn bins_respect_regions(
+        patterns in prop::collection::vec(arb_pattern(), 1..25),
+        bin in prop_oneof![Just(2u32), Just(8u32), Just(32u32)],
+    ) {
+        let compiled = compile_all(&patterns);
+        let config = MapperConfig { bin_size: bin, ..MapperConfig::default() };
+        let mapping = map_workload(&compiled, &config);
+        for plan in &mapping.arrays {
+            let ArrayKind::Lnfa { bins } = &plan.kind else { continue };
+            for b in bins {
+                prop_assert!(b.size as usize >= b.members.len());
+                prop_assert!(b.region_columns * b.size <= config.arch.tile_columns);
+                for m in &b.members {
+                    let span = m.columns().div_ceil(b.region_columns);
+                    prop_assert!(span <= b.tiles, "member spans {span} > bin {}", b.tiles);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Regex front-end for the RAP (Reconfigurable Automata Processor) reproduction.
+//!
+//! This crate implements the textual layer of the RAP software stack:
+//!
+//! * [`CharClass`] — 256-way byte-predicate bitmaps (the σ ⊆ Σ of the paper),
+//! * [`Regex`] — the abstract syntax tree of the PCRE subset used by the
+//!   paper's benchmarks (`ε`, character classes, concatenation, union, `*`,
+//!   `+`, `?`, and bounded repetition `r{m,n}`),
+//! * [`parse`] — a parser for the PCRE-style concrete syntax,
+//! * [`rewrite`] — the source-to-source rewriters used by the RAP compiler
+//!   (§4 of the paper): bounded-repetition unfolding, the
+//!   `r{m,n} → r{m} r{0,n-m}` split, and distribution of union over
+//!   concatenation for LNFA conversion,
+//! * [`analysis`] — structural analyses (Glushkov size estimation, bounded
+//!   repetition inventory, linearizability).
+//!
+//! # Example
+//!
+//! ```
+//! use rap_regex::{parse, analysis};
+//!
+//! let re = parse(r"ab{10,48}c")?;
+//! let reps = analysis::bounded_repetitions(&re);
+//! assert_eq!(reps.len(), 1);
+//! assert_eq!((reps[0].min, reps[0].max), (10, Some(48)));
+//! # Ok::<(), rap_regex::ParseError>(())
+//! ```
+
+pub mod analysis;
+pub mod ast;
+pub mod charclass;
+pub mod parser;
+pub mod rewrite;
+
+pub use ast::Regex;
+pub use charclass::CharClass;
+pub use parser::{parse, parse_pattern, ParseError, Pattern};

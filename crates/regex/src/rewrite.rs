@@ -1,0 +1,380 @@
+//! Source-to-source rewriters used by the RAP compiler (§4 of the paper).
+//!
+//! * [`unfold_all`] — removes every bounded repetition, producing the
+//!   repetition-free expression a basic NFA (and the CA/CAMA baselines)
+//!   executes.
+//! * [`unfold_below_threshold`] — the *unfolding rewriting* of §4.1: unfolds
+//!   a bounded repetition whenever its upper bound is at or below the
+//!   unfolding threshold (and always unfolds repetitions whose body is not a
+//!   single character class, since only single-CC repetitions map to
+//!   bit-vector STEs).
+//! * [`split_bounded`] — the *bounded repetition rewriting* of §4.1:
+//!   `r{m,n} → r{m}·r{0,n-m}` so that `r{m}` maps to the `r(m)` read action
+//!   and `r{0,n-m}` maps to `rAll`.
+//! * [`to_sequences`] — the LNFA rewriting of §4.2: distributes union over
+//!   concatenation and unfolds small repetitions to express the pattern as a
+//!   finite union of character-class strings, giving up when the expansion
+//!   exceeds a state budget.
+
+use crate::ast::Regex;
+use crate::charclass::CharClass;
+
+/// Fully unfolds every bounded repetition.
+///
+/// `r{m,n}` becomes `r…r (r?)…(r?)` (m mandatory copies, n−m optional ones)
+/// and `r{m,}` becomes `r…r r*` (m copies followed by a star, or `r*` when
+/// m = 0).
+///
+/// # Example
+///
+/// ```
+/// use rap_regex::{parse, rewrite::unfold_all};
+/// let r = unfold_all(&parse("a{2,4}")?);
+/// assert_eq!(r.to_string(), "aaa?a?");
+/// # Ok::<(), rap_regex::ParseError>(())
+/// ```
+pub fn unfold_all(regex: &Regex) -> Regex {
+    map_repeats(regex, &|inner, min, max| Some(unfold_one(inner, min, max)))
+}
+
+/// Unfolds a single `r{min,max}` into repetition-free syntax. `inner` must
+/// already be repetition-free.
+fn unfold_one(inner: &Regex, min: u32, max: Option<u32>) -> Regex {
+    let mut parts: Vec<Regex> = Vec::new();
+    for _ in 0..min {
+        parts.push(inner.clone());
+    }
+    match max {
+        Some(n) => {
+            for _ in min..n {
+                parts.push(Regex::opt(inner.clone()));
+            }
+        }
+        None => parts.push(Regex::star(inner.clone())),
+    }
+    Regex::concat(parts)
+}
+
+/// The unfolding rewriting of §4.1.
+///
+/// A bounded repetition `r{m,n}` is unfolded when
+///
+/// * its upper bound `n` is at or below `threshold`, or
+/// * its body `r` is not a single character class (bit-vector STEs track
+///   repetitions of one CC only), or
+/// * it has no upper bound (`r{m,}` becomes `r…r r*`, as in the paper's
+///   Example 4.1 where `f{2,}` becomes `fff*`).
+///
+/// Surviving repetitions are exactly those the NBVA mode will map onto
+/// bit vectors.
+pub fn unfold_below_threshold(regex: &Regex, threshold: u32) -> Regex {
+    map_repeats(regex, &|inner, min, max| match max {
+        None => Some(unfold_one(inner, min, None)),
+        Some(n) => {
+            if n <= threshold || !matches!(inner, Regex::Class(_)) {
+                Some(unfold_one(inner, min, Some(n)))
+            } else {
+                None
+            }
+        }
+    })
+}
+
+/// The bounded repetition rewriting of §4.1: rewrites every surviving
+/// `r{m,n}` with `0 < m < n` into `r{m}·r{0,n-m}` so each factor maps to a
+/// single hardware read action (`r(m)` and `rAll` respectively).
+///
+/// `r{m,m}` and `r{0,n}` are left untouched — they already map directly.
+pub fn split_bounded(regex: &Regex) -> Regex {
+    map_repeats(regex, &|inner, min, max| {
+        let n = max?;
+        if min > 0 && n > min {
+            let head = Regex::repeat(inner.clone(), min, Some(min));
+            let tail = Regex::repeat(inner.clone(), 0, Some(n - min));
+            Some(Regex::concat(vec![head, tail]))
+        } else {
+            None
+        }
+    })
+}
+
+/// Bottom-up transformation of `Repeat` nodes. The callback receives the
+/// (already rewritten) body and the bounds, and returns the replacement or
+/// `None` to keep the repetition.
+fn map_repeats(
+    regex: &Regex,
+    f: &dyn Fn(&Regex, u32, Option<u32>) -> Option<Regex>,
+) -> Regex {
+    match regex {
+        Regex::Empty => Regex::Empty,
+        Regex::Class(cc) => Regex::Class(*cc),
+        Regex::Concat(parts) => {
+            Regex::concat(parts.iter().map(|p| map_repeats(p, f)).collect())
+        }
+        Regex::Alt(parts) => Regex::alt(parts.iter().map(|p| map_repeats(p, f)).collect()),
+        Regex::Star(inner) => Regex::star(map_repeats(inner, f)),
+        Regex::Plus(inner) => Regex::plus(map_repeats(inner, f)),
+        Regex::Opt(inner) => Regex::opt(map_repeats(inner, f)),
+        Regex::Repeat { inner, min, max } => {
+            let body = map_repeats(inner, f);
+            match f(&body, *min, *max) {
+                Some(replacement) => replacement,
+                None => Regex::repeat(body, *min, *max),
+            }
+        }
+    }
+}
+
+/// Result of the LNFA rewriting: the pattern expressed as a finite union of
+/// character-class strings, each executable by one linear automaton.
+pub type Sequences = Vec<Vec<CharClass>>;
+
+/// The LNFA rewriting of §4.2: distributes union over concatenation and
+/// unfolds bounded repetitions to express `regex` as a union of CC strings.
+///
+/// Returns `None` when the pattern contains an unbounded loop, or when the
+/// expansion would exceed `state_budget` total states (the compiler calls
+/// this with 2× the Glushkov size of the original pattern, per Fig. 9).
+///
+/// # Example
+///
+/// ```
+/// use rap_regex::{parse, rewrite::to_sequences};
+/// // The paper's Example 4.4: a(b{1,2}|c)e → abe | abbe | ace.
+/// let seqs = to_sequences(&parse("a(b{1,2}|c)e")?, 64).expect("expands");
+/// assert_eq!(seqs.len(), 3);
+/// let lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+/// assert_eq!(lens, vec![3, 4, 3]);
+/// # Ok::<(), rap_regex::ParseError>(())
+/// ```
+pub fn to_sequences(regex: &Regex, state_budget: u64) -> Option<Sequences> {
+    let seqs = expand(regex, state_budget)?;
+    // Deduplicate identical alternatives produced by the distribution.
+    let mut out: Sequences = Vec::with_capacity(seqs.len());
+    for s in seqs {
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    Some(out)
+}
+
+/// Total states of a sequence set.
+fn seq_states(seqs: &Sequences) -> u64 {
+    seqs.iter().map(|s| s.len() as u64).sum()
+}
+
+/// Cross product of two sequence sets, aborting as soon as the *output's*
+/// total state count exceeds the budget (which also bounds the work, since
+/// the output grows monotonically as it is built).
+fn cross(lhs: &Sequences, rhs: &Sequences, budget: u64) -> Option<Sequences> {
+    let mut out: Sequences = Vec::new();
+    let mut total: u64 = 0;
+    for a in lhs {
+        for b in rhs {
+            total += (a.len() + b.len()) as u64;
+            if total > budget {
+                return None;
+            }
+            let mut s = a.clone();
+            s.extend_from_slice(b);
+            out.push(s);
+        }
+    }
+    Some(out)
+}
+
+/// Recursive expansion; every node's *output* is checked against the
+/// budget, so the returned set always satisfies `Σ lengths ≤ budget` and
+/// pathological patterns fail fast.
+fn expand(regex: &Regex, budget: u64) -> Option<Sequences> {
+    match regex {
+        Regex::Empty => Some(vec![vec![]]),
+        Regex::Class(cc) => {
+            if cc.is_empty() {
+                return Some(vec![]); // matches nothing: zero alternatives
+            }
+            (budget >= 1).then(|| vec![vec![*cc]])
+        }
+        Regex::Concat(parts) => {
+            let mut acc: Sequences = vec![vec![]];
+            for part in parts {
+                let rhs = expand(part, budget)?;
+                acc = cross(&acc, &rhs, budget)?;
+                if acc.is_empty() {
+                    return Some(acc); // concatenation with ∅
+                }
+            }
+            Some(acc)
+        }
+        Regex::Alt(parts) => {
+            let mut acc: Sequences = Vec::new();
+            let mut total = 0u64;
+            for part in parts {
+                let sub = expand(part, budget)?;
+                total += seq_states(&sub);
+                if total > budget {
+                    return None;
+                }
+                acc.extend(sub);
+            }
+            Some(acc)
+        }
+        Regex::Opt(inner) => {
+            let mut acc = vec![vec![]];
+            acc.extend(expand(inner, budget)?);
+            Some(acc)
+        }
+        Regex::Star(_) | Regex::Plus(_) => None,
+        Regex::Repeat { inner, min, max } => {
+            let n = (*max)?;
+            // Expand r{m,n} as the union of r^k for k in m..=n.
+            let base = expand(inner, budget)?;
+            let mut acc: Sequences = Vec::new();
+            let mut total = 0u64;
+            for k in *min..=n {
+                // r^k = cross product of k copies.
+                let mut partial: Sequences = vec![vec![]];
+                for _ in 0..k {
+                    partial = cross(&partial, &base, budget)?;
+                }
+                total += seq_states(&partial);
+                if total > budget {
+                    return None;
+                }
+                acc.extend(partial);
+            }
+            Some(acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn p(s: &str) -> Regex {
+        parse(s).expect("test pattern parses")
+    }
+
+    #[test]
+    fn unfold_exact() {
+        assert_eq!(unfold_all(&p("a{3}")), p("aaa"));
+        assert_eq!(unfold_all(&p("(ab){2}")), p("abab"));
+    }
+
+    #[test]
+    fn unfold_range() {
+        assert_eq!(unfold_all(&p("a{1,3}")), p("aa?a?"));
+        assert_eq!(unfold_all(&p("a{0,2}")), p("a?a?"));
+    }
+
+    #[test]
+    fn unfold_unbounded() {
+        assert_eq!(unfold_all(&p("a{2,}")), p("aaa*"));
+        assert_eq!(unfold_all(&p("a{0,}")), p("a*"));
+    }
+
+    #[test]
+    fn unfold_is_repetition_free() {
+        for s in ["a{3}b{2,7}", "(ab){2,}c", "x(y{2}|z{1,3})w"] {
+            assert!(!unfold_all(&p(s)).has_bounded_repetition(), "{s}");
+        }
+    }
+
+    #[test]
+    fn unfold_preserves_unfolded_size() {
+        for s in ["a{7}", "a{2,5}", "(ab){3}", "a{2,}b"] {
+            let r = p(s);
+            assert_eq!(r.unfolded_size(), unfold_all(&r).unfolded_size(), "{s}");
+        }
+    }
+
+    #[test]
+    fn threshold_unfolding_matches_paper_example_4_1() {
+        // ab(cd){2}e{1,3}f{2,}g{5} with threshold 4 → abcdcdee?e?fff*g{5}.
+        let r = p("ab(cd){2}e{1,3}f{2,}g{5}");
+        let rewritten = unfold_below_threshold(&r, 4);
+        assert_eq!(rewritten, p("abcdcdee?e?fff*g{5}"));
+    }
+
+    #[test]
+    fn threshold_keeps_large_cc_repetitions_only() {
+        // A complex body is unfolded even above the threshold.
+        let r = p("(ab){6}c{6}");
+        let rewritten = unfold_below_threshold(&r, 4);
+        assert_eq!(rewritten, p("ababababababc{6}"));
+    }
+
+    #[test]
+    fn split_bounded_matches_paper_example_4_2() {
+        // b{10,48} → b{10}b{0,38}.
+        let r = p("ab{10,48}c");
+        assert_eq!(split_bounded(&r), p("ab{10}b{0,38}c"));
+        // r{m} and r{0,n} are untouched.
+        assert_eq!(split_bounded(&p("d{34}")), p("d{34}"));
+        assert_eq!(split_bounded(&p("c{0,16}")), p("c{0,16}"));
+    }
+
+    #[test]
+    fn sequences_simple_literal() {
+        let seqs = to_sequences(&p("abc"), 16).expect("literal expands");
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].len(), 3);
+    }
+
+    #[test]
+    fn sequences_distribute_union() {
+        let seqs = to_sequences(&p("a(b|c)d"), 16).expect("expands");
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs.iter().all(|s| s.len() == 3));
+    }
+
+    #[test]
+    fn sequences_optional() {
+        // ab?c → ac | abc.
+        let seqs = to_sequences(&p("ab?c"), 16).expect("expands");
+        assert_eq!(seqs.len(), 2);
+        let mut lens: Vec<usize> = seqs.iter().map(Vec::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![2, 3]);
+    }
+
+    #[test]
+    fn sequences_reject_unbounded() {
+        assert!(to_sequences(&p("ab*c"), 1_000).is_none());
+        assert!(to_sequences(&p("a+"), 1_000).is_none());
+        assert!(to_sequences(&p("a{2,}"), 1_000).is_none());
+    }
+
+    #[test]
+    fn sequences_respect_budget() {
+        // (a|b){8} has 256 alternatives of length 8 = 2048 states.
+        assert!(to_sequences(&p("(a|b){8}"), 100).is_none());
+        assert!(to_sequences(&p("(a|b){8}"), 10_000).is_some());
+    }
+
+    #[test]
+    fn sequences_empty_class_matches_nothing() {
+        let r = Regex::Concat(vec![
+            Regex::literal("a"),
+            Regex::Class(CharClass::empty()),
+        ]);
+        let seqs = to_sequences(&r, 16).expect("expansion succeeds");
+        assert!(seqs.is_empty());
+    }
+
+    #[test]
+    fn sequences_dedup() {
+        // (a|a)b collapses at construction; force duplicates via repetition.
+        let seqs = to_sequences(&p("(aa|a{2})b"), 64).expect("expands");
+        assert_eq!(seqs.len(), 1);
+    }
+
+    #[test]
+    fn epsilon_expands_to_one_empty_sequence() {
+        let seqs = to_sequences(&Regex::Empty, 4).expect("epsilon expands");
+        assert_eq!(seqs, vec![Vec::<CharClass>::new()]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests for the character-class algebra and its concrete
+//! syntax.
+
+use proptest::prelude::*;
+use rap_regex::{parse, CharClass, Regex};
+
+fn arb_class() -> impl Strategy<Value = CharClass> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..32).prop_map(CharClass::from_bytes),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| CharClass::range(a.min(b), a.max(b))),
+        Just(CharClass::any()),
+        Just(CharClass::dot()),
+        Just(CharClass::word()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Complement is an involution and partitions the alphabet.
+    #[test]
+    fn complement_involution(cc in arb_class()) {
+        prop_assert_eq!(cc.complement().complement(), cc);
+        prop_assert_eq!(cc.len() + cc.complement().len(), 256);
+        prop_assert_eq!(cc.intersection(&cc.complement()), CharClass::empty());
+        prop_assert_eq!(cc.union(&cc.complement()), CharClass::any());
+    }
+
+    /// De Morgan over the bitmap operations.
+    #[test]
+    fn de_morgan(a in arb_class(), b in arb_class()) {
+        prop_assert_eq!(
+            a.union(&b).complement(),
+            a.complement().intersection(&b.complement())
+        );
+        prop_assert_eq!(
+            a.intersection(&b).complement(),
+            a.complement().union(&b.complement())
+        );
+    }
+
+    /// Union and intersection agree with per-byte semantics.
+    #[test]
+    fn pointwise_semantics(a in arb_class(), b in arb_class(), byte in any::<u8>()) {
+        prop_assert_eq!(a.union(&b).contains(byte), a.contains(byte) || b.contains(byte));
+        prop_assert_eq!(
+            a.intersection(&b).contains(byte),
+            a.contains(byte) && b.contains(byte)
+        );
+        prop_assert_eq!(a.complement().contains(byte), !a.contains(byte));
+    }
+
+    /// Iteration is ascending, duplicate-free, and matches membership.
+    #[test]
+    fn iteration_is_canonical(cc in arb_class()) {
+        let members: Vec<u8> = cc.iter().collect();
+        prop_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(members.len() as u32, cc.len());
+        for &b in &members {
+            prop_assert!(cc.contains(b));
+        }
+    }
+
+    /// The Display form of a non-empty class parses back (as a regex) into
+    /// exactly the same class.
+    #[test]
+    fn display_parse_roundtrip(cc in arb_class()) {
+        prop_assume!(!cc.is_empty());
+        let shown = cc.to_string();
+        // `\p{any}` is a display nicety, not parser syntax.
+        prop_assume!(shown != "\\p{any}");
+        let re = parse(&shown)
+            .unwrap_or_else(|e| panic!("class display {shown:?} failed to parse: {e}"));
+        prop_assert_eq!(re, Regex::Class(cc), "display {}", shown);
+    }
+}

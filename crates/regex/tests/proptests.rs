@@ -1,0 +1,105 @@
+//! Property-based tests for the regex front-end.
+
+use proptest::prelude::*;
+use rap_regex::rewrite::{split_bounded, to_sequences, unfold_all, unfold_below_threshold};
+use rap_regex::{parse, CharClass, Regex};
+
+/// Strategy producing small random regex ASTs over the alphabet {a, b, c}.
+fn arb_regex() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::literal_byte(b'a')),
+        Just(Regex::literal_byte(b'b')),
+        Just(Regex::literal_byte(b'c')),
+        Just(Regex::Class(CharClass::from_bytes([b'a', b'b']))),
+        Just(Regex::Class(CharClass::dot())),
+        Just(Regex::Empty),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::star),
+            inner.clone().prop_map(Regex::plus),
+            inner.clone().prop_map(Regex::opt),
+            (inner, 0u32..4, 1u32..8).prop_map(|(r, lo, extra)| {
+                Regex::repeat(r, lo, Some(lo + extra))
+            }),
+        ]
+    })
+}
+
+proptest! {
+    /// Displaying an AST and re-parsing it yields the same AST.
+    #[test]
+    fn display_parse_roundtrip(re in arb_regex()) {
+        let shown = re.to_string();
+        if !shown.is_empty() {
+            let reparsed = parse(&shown)
+                .unwrap_or_else(|e| panic!("display form {shown:?} failed to parse: {e}"));
+            prop_assert_eq!(re, reparsed, "display form: {}", shown);
+        }
+    }
+
+    /// Unfolding removes every bounded repetition and preserves the
+    /// unfolded state count.
+    #[test]
+    fn unfold_all_is_repetition_free(re in arb_regex()) {
+        let unfolded = unfold_all(&re);
+        prop_assert!(!unfolded.has_bounded_repetition());
+        prop_assert_eq!(unfolded.unfolded_size(), re.unfolded_size());
+    }
+
+    /// Threshold unfolding never *keeps* a repetition at or below the
+    /// threshold, with a complex body, or without an upper bound.
+    #[test]
+    fn threshold_unfolding_invariant(re in arb_regex(), t in 0u32..8) {
+        let rewritten = unfold_below_threshold(&re, t);
+        for rep in rap_regex::analysis::bounded_repetitions(&rewritten) {
+            prop_assert!(rep.single_class, "kept repetition must be single-class");
+            let n = rep.max.expect("kept repetition must be bounded");
+            prop_assert!(n > t, "kept repetition bound {n} must exceed threshold {t}");
+        }
+    }
+
+    /// The split rewriting leaves only `r{m}` and `r{0,n}` shapes.
+    #[test]
+    fn split_bounded_invariant(re in arb_regex()) {
+        let rewritten = split_bounded(&re);
+        for rep in rap_regex::analysis::bounded_repetitions(&rewritten) {
+            if let Some(n) = rep.max {
+                prop_assert!(
+                    rep.min == n || rep.min == 0,
+                    "rep {{{},{}}} survived the split",
+                    rep.min,
+                    n
+                );
+            }
+        }
+    }
+
+    /// Splitting preserves the total unfolded size.
+    #[test]
+    fn split_bounded_preserves_size(re in arb_regex()) {
+        prop_assert_eq!(split_bounded(&re).unfolded_size(), re.unfolded_size());
+    }
+
+    /// Sequence expansion (when it succeeds) yields only sequences whose
+    /// total length respects the budget, and the pattern's nullability
+    /// matches the presence of an empty sequence.
+    #[test]
+    fn sequences_respect_budget_and_nullability(re in arb_regex()) {
+        let budget = 512u64;
+        if let Some(seqs) = to_sequences(&re, budget) {
+            let total: u64 = seqs.iter().map(|s| s.len() as u64).sum();
+            prop_assert!(total <= budget);
+            let has_empty = seqs.iter().any(Vec::is_empty);
+            // An empty-sequence alternative appears iff the regex is
+            // nullable... unless the nullable branch also produced a
+            // non-empty duplicate that got deduplicated; nullability can
+            // only be under-approximated in one direction:
+            if has_empty {
+                prop_assert!(re.nullable());
+            }
+        }
+    }
+}

@@ -1,0 +1,572 @@
+//! Per-array cycle simulation, one steppable machine per tile mode.
+//!
+//! Each array advances one clock cycle per [`ArraySim::tick`] call:
+//! NFA/LNFA arrays consume one input byte every cycle, while an NBVA array
+//! that entered the bit-vector-processing phase spends the following
+//! `depth` cycles stalled (reporting [`ArraySim::stalled`]) before it
+//! accepts the next byte. Energy is charged per micro-operation against
+//! the circuit models; activity factors (active states per tile,
+//! cross-tile signals) come from the configuration *entering* each cycle,
+//! which is what toggles the switch fabric during that cycle's state
+//! transition.
+//!
+//! The [`run_array`] wrapper drives a machine over a whole input slice
+//! (used by the batch `simulate` entry point); the bank-level streaming
+//! simulation in [`crate::bank`] interleaves several machines cycle by
+//! cycle through the §3.3 buffer hierarchy.
+
+use crate::cost::CostModel;
+use crate::result::MatchEvent;
+use rap_circuit::energy::Category;
+use rap_circuit::{EnergyMeter, Machine};
+use rap_compiler::{Compiled, CompiledLnfa, CompiledNbva, CompiledNfa, MatchPath};
+use rap_mapper::{ArrayKind, ArrayPlan, Bin, Placement};
+
+/// What one array produced: its private cycle count (stalls included), its
+/// match reports, and the tile-cycles that were actually powered (gated
+/// tiles leak ~nothing, which is where LNFA mode's §3.2 savings and the
+/// NBVA phase's §3.3 tile-disabling come from).
+pub(crate) struct ArrayOutcome {
+    pub cycles: u64,
+    pub matches: Vec<MatchEvent>,
+    pub powered_tile_cycles: u64,
+}
+
+/// A cycle-steppable array.
+pub(crate) trait ArraySim {
+    /// Whether the next cycle is a stall cycle (the array will not accept
+    /// an input byte).
+    fn stalled(&self) -> bool;
+
+    /// Advances one clock cycle. When not stalled, `byte` must be the next
+    /// input symbol and `offset` its 0-based position; matches ending this
+    /// cycle are appended to `out`. When stalled, `byte` is ignored.
+    fn tick(
+        &mut self,
+        byte: Option<u8>,
+        offset: usize,
+        meter: &mut EnergyMeter,
+        out: &mut Vec<MatchEvent>,
+    );
+
+    /// Tile-cycles powered so far.
+    fn powered_tile_cycles(&self) -> u64;
+}
+
+/// Builds the steppable machine for an array plan.
+pub(crate) fn build_array<'a>(
+    compiled: &'a [Compiled],
+    plan: &'a ArrayPlan,
+    cost: &CostModel,
+) -> Box<dyn ArraySim + 'a> {
+    match &plan.kind {
+        ArrayKind::Nfa { placements } => {
+            Box::new(NfaArray::new(compiled, placements, plan, *cost))
+        }
+        ArrayKind::Nbva { depth, placements } => {
+            Box::new(NbvaArray::new(compiled, placements, plan, *depth, *cost))
+        }
+        ArrayKind::Lnfa { bins } => Box::new(LnfaArray::new(compiled, bins, plan, *cost)),
+    }
+}
+
+/// Drives one array over a whole input slice (stalls expanded in place).
+pub(crate) fn run_array(
+    sim: &mut dyn ArraySim,
+    input: &[u8],
+    meter: &mut EnergyMeter,
+) -> ArrayOutcome {
+    let mut cycles = 0u64;
+    let mut matches = Vec::new();
+    for (offset, &byte) in input.iter().enumerate() {
+        while sim.stalled() {
+            sim.tick(None, offset, meter, &mut matches);
+            cycles += 1;
+        }
+        sim.tick(Some(byte), offset, meter, &mut matches);
+        cycles += 1;
+    }
+    while sim.stalled() {
+        sim.tick(None, input.len(), meter, &mut matches);
+        cycles += 1;
+    }
+    ArrayOutcome { cycles, matches, powered_tile_cycles: sim.powered_tile_cycles() }
+}
+
+fn expect_nfa<'a>(compiled: &'a [Compiled], pattern: usize) -> &'a CompiledNfa {
+    match &compiled[pattern] {
+        Compiled::Nfa(img) => img,
+        other => panic!(
+            "array plan references pattern {pattern} as NFA but it compiled to {}",
+            other.mode()
+        ),
+    }
+}
+
+fn expect_nbva<'a>(compiled: &'a [Compiled], pattern: usize) -> &'a CompiledNbva {
+    match &compiled[pattern] {
+        Compiled::Nbva(img) => img,
+        other => panic!(
+            "array plan references pattern {pattern} as NBVA but it compiled to {}",
+            other.mode()
+        ),
+    }
+}
+
+fn expect_lnfa<'a>(compiled: &'a [Compiled], pattern: usize) -> &'a CompiledLnfa {
+    match &compiled[pattern] {
+        Compiled::Lnfa(img) => img,
+        other => panic!(
+            "array plan references pattern {pattern} as LNFA but it compiled to {}",
+            other.mode()
+        ),
+    }
+}
+
+/// Per-cycle housekeeping common to all modes: controllers and buffering.
+fn charge_overheads(meter: &mut EnergyMeter, cost: &CostModel, powered_tiles: u32) {
+    meter.charge(
+        Category::Controller,
+        cost.local_ctrl_pj * f64::from(powered_tiles) + cost.global_ctrl_pj,
+    );
+    meter.charge(Category::Buffer, cost.buffer_pj);
+}
+
+/// Charges state matching + transition for one NFA-mode cycle.
+fn charge_nfa_cycle(
+    meter: &mut EnergyMeter,
+    cost: &CostModel,
+    tile_active: &[u32],
+    cross_signals: u32,
+) {
+    let tile_cols = 128.0;
+    meter.charge(Category::StateMatch, cost.match_pj * tile_active.len() as f64);
+    for &active in tile_active {
+        let activity = (f64::from(active) / tile_cols).min(1.0);
+        meter.charge(Category::LocalSwitch, cost.local_switch.access_energy_pj(activity));
+    }
+    let g_activity = (f64::from(cross_signals) / 256.0).min(1.0);
+    meter.charge(Category::GlobalSwitch, cost.global_switch.access_energy_pj(g_activity));
+    meter.charge(Category::Wire, cost.wire_pj * f64::from(cross_signals));
+}
+
+/// Whether each state of each placement has a successor in a different
+/// tile (its active signal must traverse the global switch).
+fn cross_tile_flags<S>(
+    placements: &[Placement],
+    states_of: impl Fn(usize) -> Vec<(usize, S)>,
+    succ_of: impl Fn(&S) -> Vec<u32>,
+) -> Vec<Vec<bool>> {
+    placements
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            states_of(i)
+                .into_iter()
+                .map(|(q, s)| {
+                    succ_of(&s)
+                        .into_iter()
+                        .any(|succ| p.state_tile[succ as usize] != p.state_tile[q])
+                })
+                .collect()
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// NFA mode
+// ---------------------------------------------------------------------
+
+/// Basic NFA array (§2.2): every tile searches and routes every cycle.
+pub(crate) struct NfaArray<'a> {
+    placements: &'a [Placement],
+    runs: Vec<rap_automata::nfa::NfaRun<'a>>,
+    crosses: Vec<Vec<bool>>,
+    tiles: usize,
+    cost: CostModel,
+    tile_active: Vec<u32>,
+    powered_tile_cycles: u64,
+}
+
+impl<'a> NfaArray<'a> {
+    pub(crate) fn new(
+        compiled: &'a [Compiled],
+        placements: &'a [Placement],
+        plan: &ArrayPlan,
+        cost: CostModel,
+    ) -> NfaArray<'a> {
+        let images: Vec<&CompiledNfa> =
+            placements.iter().map(|p| expect_nfa(compiled, p.pattern)).collect();
+        let crosses = cross_tile_flags(
+            placements,
+            |i| {
+                images[i]
+                    .nfa
+                    .states()
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .collect::<Vec<_>>()
+            },
+            |s| s.succ.clone(),
+        );
+        NfaArray {
+            placements,
+            runs: images.iter().map(|img| img.nfa.start()).collect(),
+            crosses,
+            tiles: plan.tiles_used as usize,
+            cost,
+            tile_active: vec![0; plan.tiles_used as usize],
+            powered_tile_cycles: 0,
+        }
+    }
+}
+
+impl ArraySim for NfaArray<'_> {
+    fn stalled(&self) -> bool {
+        false
+    }
+
+    fn tick(
+        &mut self,
+        byte: Option<u8>,
+        offset: usize,
+        meter: &mut EnergyMeter,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let byte = byte.expect("NFA arrays never stall");
+        // Activity entering this cycle drives the transition fabric.
+        self.tile_active.iter_mut().for_each(|c| *c = 0);
+        let mut cross_signals = 0u32;
+        for ((p, run), cross) in
+            self.placements.iter().zip(self.runs.iter()).zip(self.crosses.iter())
+        {
+            for q in run.active_bits().iter_ones() {
+                self.tile_active[p.state_tile[q] as usize] += 1;
+                cross_signals += u32::from(cross[q]);
+            }
+        }
+        charge_nfa_cycle(meter, &self.cost, &self.tile_active, cross_signals);
+        charge_overheads(meter, &self.cost, self.tiles as u32);
+        self.powered_tile_cycles += self.tiles as u64;
+        for (i, run) in self.runs.iter_mut().enumerate() {
+            if run.step(byte) {
+                out.push(MatchEvent { pattern: self.placements[i].pattern, end: offset + 1 });
+            }
+        }
+    }
+
+    fn powered_tile_cycles(&self) -> u64 {
+        self.powered_tile_cycles
+    }
+}
+
+// ---------------------------------------------------------------------
+// NBVA mode
+// ---------------------------------------------------------------------
+
+/// NBVA array (§3.1): NFA-style matching plus the event-driven
+/// bit-vector-processing phase, which stalls the whole array for `depth`
+/// cycles (or the fixed BVM latency on BVAP).
+pub(crate) struct NbvaArray<'a> {
+    placements: &'a [Placement],
+    runs: Vec<rap_automata::nbva::NbvaRun<'a>>,
+    /// (placement idx, state id, tile) of every BV state.
+    bv_states: Vec<(usize, u32, u32)>,
+    crosses: Vec<Vec<bool>>,
+    tiles: usize,
+    cost: CostModel,
+    stall_per_phase: u64,
+    /// Remaining stall cycles of the current bit-vector-processing phase.
+    stall_remaining: u64,
+    /// Tiles with live bit vectors during the current phase.
+    phase_active_tiles: u32,
+    tile_active: Vec<u32>,
+    bv_tile_active: Vec<bool>,
+    powered_tile_cycles: u64,
+}
+
+impl<'a> NbvaArray<'a> {
+    pub(crate) fn new(
+        compiled: &'a [Compiled],
+        placements: &'a [Placement],
+        plan: &ArrayPlan,
+        depth: u32,
+        cost: CostModel,
+    ) -> NbvaArray<'a> {
+        let images: Vec<&CompiledNbva> =
+            placements.iter().map(|p| expect_nbva(compiled, p.pattern)).collect();
+        let bv_states: Vec<(usize, u32, u32)> = placements
+            .iter()
+            .enumerate()
+            .zip(images.iter())
+            .flat_map(|((i, p), img)| {
+                img.bv_allocs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.is_some())
+                    .map(move |(q, _)| (i, q as u32, p.state_tile[q]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let crosses = cross_tile_flags(
+            placements,
+            |i| {
+                images[i]
+                    .nbva
+                    .states()
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .collect::<Vec<_>>()
+            },
+            |s| s.succ.clone(),
+        );
+        let stall_per_phase = if cost.machine == Machine::Bvap {
+            cost.bvap_stall_cycles
+        } else {
+            u64::from(depth)
+        };
+        NbvaArray {
+            placements,
+            runs: images.iter().map(|img| img.nbva.start()).collect(),
+            bv_states,
+            crosses,
+            tiles: plan.tiles_used as usize,
+            cost,
+            stall_per_phase,
+            stall_remaining: 0,
+            phase_active_tiles: 0,
+            tile_active: vec![0; plan.tiles_used as usize],
+            bv_tile_active: vec![false; plan.tiles_used as usize],
+            powered_tile_cycles: 0,
+        }
+    }
+}
+
+impl ArraySim for NbvaArray<'_> {
+    fn stalled(&self) -> bool {
+        self.stall_remaining > 0
+    }
+
+    fn tick(
+        &mut self,
+        byte: Option<u8>,
+        offset: usize,
+        meter: &mut EnergyMeter,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        if self.stall_remaining > 0 {
+            // One cycle of the bit-vector-processing pipeline: only tiles
+            // with live vectors run (read → action/route → write back).
+            self.stall_remaining -= 1;
+            let active = f64::from(self.phase_active_tiles);
+            self.powered_tile_cycles += u64::from(self.phase_active_tiles);
+            meter.charge(Category::BitVector, self.cost.bv_step_pj * active);
+            meter.charge(
+                Category::Controller,
+                self.cost.global_ctrl_pj + self.cost.local_ctrl_pj * active,
+            );
+            return;
+        }
+        let byte = byte.expect("non-stalled tick needs an input byte");
+        self.powered_tile_cycles += self.tiles as u64;
+        self.tile_active.iter_mut().for_each(|c| *c = 0);
+        let mut cross_signals = 0u32;
+        for ((p, run), cross) in
+            self.placements.iter().zip(self.runs.iter()).zip(self.crosses.iter())
+        {
+            for q in run.plain_active_bits().iter_ones() {
+                self.tile_active[p.state_tile[q] as usize] += 1;
+                cross_signals += u32::from(cross[q]);
+            }
+        }
+        for &(i, q, tile) in &self.bv_states {
+            if self.runs[i].vector(q).any() {
+                self.tile_active[tile as usize] += 1;
+                cross_signals += u32::from(self.crosses[i][q as usize]);
+            }
+        }
+        charge_nfa_cycle(meter, &self.cost, &self.tile_active, cross_signals);
+        charge_overheads(meter, &self.cost, self.tiles as u32);
+
+        let mut bv_phase = false;
+        for (i, run) in self.runs.iter_mut().enumerate() {
+            let info = run.step_detailed(byte);
+            bv_phase |= info.bv_touched;
+            if info.matched {
+                out.push(MatchEvent { pattern: self.placements[i].pattern, end: offset + 1 });
+            }
+        }
+        if bv_phase {
+            // The global controller stalls the array for the next `depth`
+            // cycles while the phase streams BV words.
+            self.bv_tile_active.iter_mut().for_each(|b| *b = false);
+            for &(i, q, tile) in &self.bv_states {
+                if self.runs[i].vector(q).any() {
+                    self.bv_tile_active[tile as usize] = true;
+                }
+            }
+            self.phase_active_tiles =
+                self.bv_tile_active.iter().filter(|&&b| b).count() as u32;
+            self.stall_remaining = self.stall_per_phase;
+        }
+    }
+
+    fn powered_tile_cycles(&self) -> u64 {
+        self.powered_tile_cycles
+    }
+}
+
+// ---------------------------------------------------------------------
+// LNFA mode
+// ---------------------------------------------------------------------
+
+/// One mapped chain inside an LNFA array.
+struct ChainRun<'a> {
+    pattern: usize,
+    run: rap_automata::lnfa::ShiftAndRun<'a>,
+    /// Absolute tile index of every chain position.
+    state_tile: Vec<u32>,
+    len: usize,
+}
+
+/// LNFA array (§3.2): Shift-And in the active vector, power-gated tiles,
+/// ring routing between adjacent tiles.
+pub(crate) struct LnfaArray<'a> {
+    chains: Vec<ChainRun<'a>>,
+    tile_cam: Vec<bool>,
+    tile_switch: Vec<bool>,
+    tile_initial: Vec<bool>,
+    initial_cands: Vec<u32>,
+    tiles: usize,
+    cost: CostModel,
+    powered: Vec<bool>,
+    cands: Vec<u32>,
+    powered_tile_cycles: u64,
+}
+
+impl<'a> LnfaArray<'a> {
+    pub(crate) fn new(
+        compiled: &'a [Compiled],
+        bins: &'a [Bin],
+        plan: &ArrayPlan,
+        cost: CostModel,
+    ) -> LnfaArray<'a> {
+        let tiles = plan.tiles_used as usize;
+        let mut chains: Vec<ChainRun<'a>> = Vec::new();
+        // Which powered tiles search via the CAM vs the one-hot local
+        // switch, and which tiles hold initial states (never power-gated).
+        let mut tile_cam = vec![false; tiles];
+        let mut tile_switch = vec![false; tiles];
+        let mut tile_initial = vec![false; tiles];
+        for bin in bins {
+            for member in &bin.members {
+                let img = expect_lnfa(compiled, member.pattern);
+                let lnfa = &img.units[member.unit].lnfa;
+                let state_tile: Vec<u32> = (0..lnfa.len() as u32)
+                    .map(|s| bin.first_tile + bin.tile_of_state(member, s))
+                    .collect();
+                for &t in &state_tile {
+                    match member.path {
+                        MatchPath::Cam => tile_cam[t as usize] = true,
+                        MatchPath::LocalSwitch => tile_switch[t as usize] = true,
+                    }
+                }
+                tile_initial[state_tile[0] as usize] = true;
+                chains.push(ChainRun {
+                    pattern: member.pattern,
+                    run: lnfa.start(),
+                    state_tile,
+                    len: lnfa.len(),
+                });
+            }
+        }
+        // Candidate states per tile: the always-armed initial states plus
+        // the successors of active states. The active vector gates the CAM
+        // columns (§3.2), so matching energy scales with candidates.
+        let mut initial_cands = vec![0u32; tiles];
+        for chain in &chains {
+            initial_cands[chain.state_tile[0] as usize] += 1;
+        }
+        LnfaArray {
+            chains,
+            tile_cam,
+            tile_switch,
+            tile_initial,
+            initial_cands,
+            tiles,
+            cost,
+            powered: vec![false; tiles],
+            cands: vec![0; tiles],
+            powered_tile_cycles: 0,
+        }
+    }
+}
+
+impl ArraySim for LnfaArray<'_> {
+    fn stalled(&self) -> bool {
+        false
+    }
+
+    fn tick(
+        &mut self,
+        byte: Option<u8>,
+        offset: usize,
+        meter: &mut EnergyMeter,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let byte = byte.expect("LNFA arrays never stall");
+        // A tile is powered if it holds an initial state or a state that
+        // can become active this cycle (an active predecessor shifts in).
+        self.powered.copy_from_slice(&self.tile_initial);
+        self.cands.copy_from_slice(&self.initial_cands);
+        let mut ring_crossings = 0u32;
+        for chain in &self.chains {
+            for s in chain.run.states().iter_ones() {
+                if s + 1 < chain.len {
+                    let here = chain.state_tile[s];
+                    let next = chain.state_tile[s + 1];
+                    self.powered[next as usize] = true;
+                    self.cands[next as usize] += 1;
+                    if next != here {
+                        ring_crossings += 1;
+                    }
+                }
+            }
+        }
+        for t in 0..self.tiles {
+            if !self.powered[t] {
+                continue;
+            }
+            let activity = (f64::from(self.cands[t]) / 128.0).min(1.0);
+            if self.tile_cam[t] {
+                // Column-gated CAM search: wordline drive + the candidate
+                // columns' compare energy.
+                meter.charge(Category::StateMatch, 0.5 + self.cost.match_pj * activity);
+            }
+            if self.tile_switch[t] {
+                // One-hot lookup in the local switch: two columns per
+                // candidate state.
+                meter.charge(
+                    Category::StateMatch,
+                    self.cost.local_switch.access_energy_pj((2.0 * activity).min(1.0)),
+                );
+            }
+        }
+        meter.charge(Category::Wire, self.cost.ring_hop_pj * f64::from(ring_crossings));
+        let powered_count = self.powered.iter().filter(|&&b| b).count() as u32;
+        self.powered_tile_cycles += u64::from(powered_count);
+        charge_overheads(meter, &self.cost, powered_count);
+
+        for chain in self.chains.iter_mut() {
+            if chain.run.step(byte) {
+                out.push(MatchEvent { pattern: chain.pattern, end: offset + 1 });
+            }
+        }
+    }
+
+    fn powered_tile_cycles(&self) -> u64 {
+        self.powered_tile_cycles
+    }
+}

@@ -1,0 +1,304 @@
+//! Bank-level streaming simulation: the two-level buffer hierarchy of
+//! §3.3, cycle-interleaved across arrays.
+//!
+//! The batch [`crate::simulate`] entry point runs each array to completion
+//! independently (correct for completion time, since arrays are decoupled
+//! and the bank finishes with its slowest array). This module simulates
+//! the hierarchy explicitly, cycle by cycle:
+//!
+//! * a **bank input ping-pong buffer** (2 × 128 entries) fed by DMA — an
+//!   array can only read bytes inside the bank window, and a page is
+//!   recycled only once *every* array has consumed it, so a stalling NBVA
+//!   array eventually back-pressures the fast arrays;
+//! * per-array **8-entry input FIFOs** refilled by the polling arbiter
+//!   (one byte per array per cycle) that hide short bit-vector phases;
+//! * per-array **2-entry output FIFOs** draining into the **64-entry bank
+//!   output buffer**; when it fills, an interrupt asks the host CPU to
+//!   collect the reports (§3.3).
+//!
+//! The result carries the same [`RunResult`] as the batch path (byte-
+//! identical matches) plus [`BankStats`] — stalls, starvation, buffer
+//! occupancy, interrupts — for studying the buffering itself.
+
+use crate::array::{build_array, ArraySim};
+use crate::cost::CostModel;
+use crate::result::{MatchEvent, RunResult};
+use rap_arch::buffers::Fifo;
+use rap_arch::config::ArchConfig;
+use rap_circuit::energy::Category;
+use rap_circuit::{EnergyMeter, Machine, Metrics};
+use rap_compiler::Compiled;
+use rap_mapper::Mapping;
+
+/// Buffer-hierarchy statistics from one streaming run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Cycles each array spent in bit-vector-processing stalls.
+    pub stall_cycles: Vec<u64>,
+    /// Cycles each array spent starved (input FIFO empty because the bank
+    /// window was held back by a slower array or the stream ended).
+    pub starved_cycles: Vec<u64>,
+    /// Largest observed skew in consumed bytes between the fastest and
+    /// slowest array.
+    pub max_skew: usize,
+    /// Host interrupts raised by a full bank output buffer.
+    pub output_interrupts: u64,
+    /// Match reports that waited in a full array output FIFO (backpressure
+    /// events; the report is delayed, never lost).
+    pub output_backpressure: u64,
+}
+
+/// Per-array streaming state.
+struct ArrayLane<'a> {
+    sim: Box<dyn ArraySim + 'a>,
+    input_fifo: Fifo<(usize, u8)>,
+    output_fifo: Fifo<MatchEvent>,
+    /// Next input byte index the arbiter will fetch for this lane.
+    fetch_pos: usize,
+    /// Bytes consumed by the array so far.
+    consumed: usize,
+    stalled_cycles: u64,
+    starved_cycles: u64,
+    /// Matches produced this cycle, en route to the output FIFO.
+    pending: Vec<MatchEvent>,
+}
+
+/// Streams `input` through the bank buffer hierarchy.
+///
+/// Matches are byte-identical to [`crate::simulate`]; cycle counts include
+/// the buffering effects (they are ≥ the batch path's for the same
+/// workload).
+pub fn simulate_streaming(
+    compiled: &[Compiled],
+    mapping: &Mapping,
+    input: &[u8],
+    machine: Machine,
+) -> (RunResult, BankStats) {
+    let arch = ArchConfig::default();
+    let cost = CostModel::for_machine(machine);
+    let mut meter = EnergyMeter::new();
+    let mut lanes: Vec<ArrayLane<'_>> = mapping
+        .arrays
+        .iter()
+        .map(|plan| ArrayLane {
+            sim: build_array(compiled, plan, &cost),
+            input_fifo: Fifo::new(arch.array_input_entries as usize),
+            output_fifo: Fifo::new(arch.array_output_entries as usize),
+            fetch_pos: 0,
+            consumed: 0,
+            stalled_cycles: 0,
+            starved_cycles: 0,
+            pending: Vec::new(),
+        })
+        .collect();
+    let window = 2 * arch.bank_input_entries as usize; // ping-pong pages
+    let mut bank_output: Fifo<MatchEvent> = Fifo::new(arch.bank_output_entries as usize);
+    let mut collected: Vec<MatchEvent> = Vec::new();
+    let mut cycles: u64 = 0;
+    let mut interrupts: u64 = 0;
+    let mut backpressure: u64 = 0;
+    let mut max_skew = 0usize;
+
+    let done = |lanes: &[ArrayLane<'_>]| {
+        lanes
+            .iter()
+            .all(|l| l.consumed == input.len() && !l.sim.stalled())
+    };
+
+    while !lanes.is_empty() && !done(&lanes) {
+        cycles += 1;
+        // The bank window: DMA cannot recycle a page until every array has
+        // drained it, so the slowest lane bounds everyone's fetch range.
+        let min_consumed = lanes.iter().map(|l| l.consumed).min().unwrap_or(0);
+        let max_consumed = lanes.iter().map(|l| l.consumed).max().unwrap_or(0);
+        max_skew = max_skew.max(max_consumed - min_consumed);
+        let fetch_limit = (min_consumed + window).min(input.len());
+
+        for lane in lanes.iter_mut() {
+            // Polling arbiter: one byte per lane per cycle into its FIFO.
+            if !lane.input_fifo.is_full() && lane.fetch_pos < fetch_limit {
+                lane.input_fifo
+                    .push((lane.fetch_pos, input[lane.fetch_pos]))
+                    .unwrap_or_else(|_| unreachable!("checked not full"));
+                lane.fetch_pos += 1;
+            }
+            // Array cycle.
+            if lane.sim.stalled() {
+                lane.sim.tick(None, lane.consumed, &mut meter, &mut lane.pending);
+                lane.stalled_cycles += 1;
+            } else if let Some(&(offset, byte)) = lane.input_fifo.front() {
+                lane.input_fifo.pop();
+                lane.sim.tick(Some(byte), offset, &mut meter, &mut lane.pending);
+                lane.consumed = offset + 1;
+            } else if lane.consumed < input.len() {
+                lane.starved_cycles += 1;
+            }
+            // Reports: pending → array output FIFO (2-deep).
+            while let Some(&event) = lane.pending.first() {
+                match lane.output_fifo.push(event) {
+                    Ok(()) => {
+                        lane.pending.remove(0);
+                    }
+                    Err(_) => {
+                        backpressure += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        // Bus: one report per lane per cycle into the bank output buffer.
+        for lane in lanes.iter_mut() {
+            if let Some(event) = lane.output_fifo.pop() {
+                if bank_output.is_full() {
+                    // Interrupt: the host drains the whole buffer (§3.3).
+                    interrupts += 1;
+                    while let Some(e) = bank_output.pop() {
+                        collected.push(e);
+                    }
+                }
+                bank_output
+                    .push(event)
+                    .unwrap_or_else(|_| unreachable!("just drained"));
+                meter.charge(Category::Buffer, cost.buffer_pj);
+            }
+        }
+    }
+    // Final drain.
+    for lane in lanes.iter_mut() {
+        collected.append(&mut lane.pending);
+        while let Some(e) = lane.output_fifo.pop() {
+            collected.push(e);
+        }
+    }
+    while let Some(e) = bank_output.pop() {
+        collected.push(e);
+    }
+    collected.sort_unstable_by_key(|m| (m.end, m.pattern));
+    collected.dedup();
+    // `$`-anchored patterns report only at the stream's end.
+    collected.retain(|m| !compiled[m.pattern].anchored_end() || m.end == input.len());
+
+    // Leakage, as in the batch path.
+    let runtime_s = cycles as f64 / cost.clock_hz;
+    let powered: u64 = lanes.iter().map(|l| l.sim.powered_tile_cycles()).sum();
+    let mut leak_w = cost.bank_overhead_leak_w(mapping.arrays.len() as u32);
+    leak_w += cost.array_leak_w * mapping.arrays.len() as f64;
+    let tile_leak_j = cost.tile_leak_w * (powered as f64 / cost.clock_hz);
+    meter.charge(Category::Leakage, (leak_w * runtime_s + tile_leak_j) * 1e12);
+
+    let stats = BankStats {
+        stall_cycles: lanes.iter().map(|l| l.stalled_cycles).collect(),
+        starved_cycles: lanes.iter().map(|l| l.starved_cycles).collect(),
+        max_skew,
+        output_interrupts: interrupts,
+        output_backpressure: backpressure,
+    };
+    let metrics = Metrics {
+        input_chars: input.len() as u64,
+        cycles,
+        clock_hz: cost.clock_hz,
+        energy_uj: meter.total_uj(),
+        area_mm2: cost.area_mm2(mapping),
+        matches: collected.len() as u64,
+    };
+    let result = RunResult {
+        machine,
+        metrics,
+        energy: meter,
+        matches: collected,
+        stall_cycles: stats.stall_cycles.iter().sum(),
+    };
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use rap_regex::Regex;
+
+    fn regexes(patterns: &[&str]) -> Vec<Regex> {
+        patterns
+            .iter()
+            .map(|p| rap_regex::parse(p).expect("parses"))
+            .collect()
+    }
+
+    fn run_both(patterns: &[&str], input: &[u8], machine: Machine) -> (RunResult, RunResult, BankStats) {
+        let sim = Simulator::new(machine);
+        let res = regexes(patterns);
+        let compiled = sim.compile(&res).expect("compiles");
+        let mapping = sim.map(&compiled);
+        let batch = sim.simulate(&compiled, &mapping, input);
+        let (streaming, stats) = simulate_streaming(&compiled, &mapping, input, machine);
+        (batch, streaming, stats)
+    }
+
+    #[test]
+    fn streaming_matches_equal_batch_matches() {
+        let patterns = ["ab{10,30}c", "hello", "x.*yz", "m{8}"];
+        let input = b"hello abbbbbbbbbbbc xqqyz mmmmmmmm hello".repeat(10);
+        for machine in Machine::all() {
+            let (batch, streaming, _) = run_both(&patterns, &input, machine);
+            assert_eq!(streaming.matches, batch.matches, "{machine}");
+        }
+    }
+
+    #[test]
+    fn streaming_cycles_cover_batch_cycles() {
+        let patterns = ["ab{10,30}c", "hello"];
+        let input = b"ab hello abbbbbbbbbbbc ".repeat(20);
+        let (batch, streaming, _) = run_both(&patterns, &input, Machine::Rap);
+        assert!(
+            streaming.metrics.cycles >= batch.metrics.cycles,
+            "streaming {} < batch {}",
+            streaming.metrics.cycles,
+            batch.metrics.cycles
+        );
+    }
+
+    #[test]
+    fn fifos_hide_short_stalls() {
+        // A lightly-stalling NBVA workload: the 8-entry FIFO absorbs the
+        // skew, so the LNFA array never starves more than briefly.
+        let patterns = ["ab{8,16}c", "hello world"];
+        let input = b"hello world abbbbbbbbbc xxxxxxxxxxxxxxxxxxxxxxx".repeat(20);
+        let (_, streaming, stats) = run_both(&patterns, &input, Machine::Rap);
+        assert_eq!(stats.stall_cycles.len(), 2);
+        assert!(stats.max_skew <= 2 * 128, "skew {} exceeds the window", stats.max_skew);
+        assert!(streaming.metrics.cycles >= input.len() as u64);
+    }
+
+    #[test]
+    fn heavy_stalling_backpressures_fast_arrays() {
+        // An NBVA array stalling on nearly every byte drags the bank
+        // window, so the LNFA lane shows starvation.
+        let patterns = ["ab{30,90}c", "zzz"];
+        let input = b"ab".repeat(2_000);
+        let (_, _, stats) = run_both(&patterns, &input, Machine::Rap);
+        let total_starved: u64 = stats.starved_cycles.iter().sum();
+        assert!(total_starved > 0, "expected starvation from window coupling");
+    }
+
+    #[test]
+    fn output_interrupts_fire_on_match_floods() {
+        // Every byte matches: the 64-entry output buffer must overflow into
+        // host interrupts.
+        let patterns = ["[ab]"];
+        let input = b"ab".repeat(500);
+        let (_, streaming, stats) = run_both(&patterns, &input, Machine::Rap);
+        assert_eq!(streaming.matches.len(), 1000);
+        assert!(stats.output_interrupts > 0, "expected interrupts: {stats:?}");
+    }
+
+    #[test]
+    fn empty_workload_is_safe() {
+        let sim = Simulator::new(Machine::Rap);
+        let compiled = sim.compile(&[]).expect("compiles");
+        let mapping = sim.map(&compiled);
+        let (r, stats) = simulate_streaming(&compiled, &mapping, b"abc", Machine::Rap);
+        assert_eq!(r.metrics.cycles, 0);
+        assert!(r.matches.is_empty());
+        assert_eq!(stats.max_skew, 0);
+    }
+}

@@ -1,0 +1,437 @@
+//! Cycle-accurate simulation of RAP and the baseline automata processors.
+//!
+//! The methodology follows §5.2 of the paper: a dataflow-driven cycle
+//! simulator executes the mapped automata against real input streams,
+//! charging every micro-operation (CAM search, switch traversal, bit-vector
+//! pipeline step, controller tick, wire toggle, leakage) to the circuit
+//! models of Table 1. The same simulator runs all four machines:
+//!
+//! * **RAP** — NFA, NBVA and LNFA tiles with reconfiguration (this paper),
+//! * **CAMA** — CAM-based state matching, NFA only (HPCA'22),
+//! * **BVAP** — CAMA plus fixed per-tile bit-vector modules (ASPLOS'24),
+//! * **CA** — SRAM-based Cache Automaton, NFA only (MICRO'17).
+//!
+//! # Example
+//!
+//! ```
+//! use rap_circuit::Machine;
+//! use rap_sim::Simulator;
+//!
+//! let sim = Simulator::new(Machine::Rap);
+//! let patterns = vec!["ab{20}c".to_string(), "hello".to_string()];
+//! let result = sim.run_patterns(&patterns, b"xxhelloxx")?;
+//! assert_eq!(result.matches.len(), 1);
+//! assert!(result.metrics.throughput_gchps() > 0.0);
+//! # Ok::<(), rap_sim::SimError>(())
+//! ```
+
+mod array;
+pub mod bank;
+mod cost;
+pub mod replicate;
+mod result;
+
+pub use bank::{simulate_streaming, BankStats};
+pub use cost::CostModel;
+pub use replicate::{simulate_replicated, ReplicatedRun};
+pub use result::{MatchEvent, RunResult};
+
+use rap_circuit::energy::Category;
+use rap_circuit::{EnergyMeter, Machine, Metrics};
+use rap_compiler::{Compiled, CompileError, Compiler, CompilerConfig, Mode};
+use rap_mapper::{map_workload, Mapping, MapperConfig};
+use rap_regex::Regex;
+use std::fmt;
+
+/// Error produced by the end-to-end [`Simulator`] entry points.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A pattern failed to compile.
+    Compile {
+        /// Index of the offending pattern.
+        pattern: usize,
+        /// The underlying error.
+        error: CompileError,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Compile { pattern, error } => {
+                write!(f, "pattern #{pattern}: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// End-to-end driver: compiles a pattern set for one machine, maps it, and
+/// simulates it over an input stream.
+#[derive(Clone, Debug)]
+pub struct Simulator {
+    /// The machine being modeled.
+    pub machine: Machine,
+    /// Compiler knobs (unfold threshold, BV depth, …).
+    pub compiler: CompilerConfig,
+    /// Mapper knobs (bin size, BVM geometry, …).
+    pub mapper: MapperConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator for `machine` with paper-default parameters.
+    /// BVAP automatically gets its fixed BVM geometry and BV-width cap.
+    pub fn new(machine: Machine) -> Simulator {
+        let mut compiler = CompilerConfig::default();
+        let mut mapper = MapperConfig::default();
+        if machine == Machine::Bvap {
+            let bvm = rap_mapper::plan::BvmConfig::default();
+            mapper.bvm = Some(bvm);
+            compiler.bv_bits_cap = Some(bvm.slot_bits * bvm.slots_per_tile);
+        }
+        Simulator { machine, compiler, mapper }
+    }
+
+    /// Sets the BV depth (RAP's Fig. 10(a) knob).
+    #[must_use]
+    pub fn with_bv_depth(mut self, depth: u32) -> Simulator {
+        self.compiler.bv_depth = depth;
+        self
+    }
+
+    /// Sets the LNFA bin size (RAP's Fig. 10(b) knob).
+    #[must_use]
+    pub fn with_bin_size(mut self, bin: u32) -> Simulator {
+        self.mapper.bin_size = bin;
+        self
+    }
+
+    /// Compiles patterns according to the machine's native capabilities:
+    /// RAP uses the full decision graph; BVAP supports NBVA and NFA (its
+    /// LNFA-decided patterns run as NFAs); CA and CAMA unfold everything to
+    /// basic NFAs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Compile`] for the first pattern that fails.
+    pub fn compile(&self, regexes: &[Regex]) -> Result<Vec<Compiled>, SimError> {
+        let patterns: Vec<rap_regex::Pattern> = regexes
+            .iter()
+            .map(|re| rap_regex::Pattern {
+                regex: re.clone(),
+                anchored_start: false,
+                anchored_end: false,
+            })
+            .collect();
+        self.compile_parsed(&patterns)
+    }
+
+    /// Like [`Simulator::compile`] but over parsed patterns, honouring
+    /// their `^`/`$` anchors (anchored patterns skip LNFA mode; the flags
+    /// travel in the NFA/NBVA image).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Compile`] for the first pattern that fails.
+    pub fn compile_parsed(
+        &self,
+        patterns: &[rap_regex::Pattern],
+    ) -> Result<Vec<Compiled>, SimError> {
+        let compiler = Compiler::new(self.compiler);
+        patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let result = match self.machine {
+                    Machine::Rap => compiler.compile_anchored(p),
+                    Machine::Ca | Machine::Cama => compiler
+                        .compile_with_mode(&p.regex, Mode::Nfa)
+                        .map(|c| c.with_anchors(p.anchored_start, p.anchored_end)),
+                    Machine::Bvap => {
+                        let mode = match compiler.decide(&p.regex) {
+                            Mode::Nbva => Mode::Nbva,
+                            _ => Mode::Nfa,
+                        };
+                        compiler
+                            .compile_with_mode(&p.regex, mode)
+                            .map(|c| c.with_anchors(p.anchored_start, p.anchored_end))
+                    }
+                };
+                result.map_err(|error| SimError::Compile { pattern: i, error })
+            })
+            .collect()
+    }
+
+    /// Compiles every pattern in a forced mode (used for the RAP-NFA
+    /// columns of Tables 2 and 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Compile`] for the first pattern that fails.
+    pub fn compile_forced(&self, regexes: &[Regex], mode: Mode) -> Result<Vec<Compiled>, SimError> {
+        let compiler = Compiler::new(self.compiler);
+        regexes
+            .iter()
+            .enumerate()
+            .map(|(i, re)| {
+                compiler
+                    .compile_with_mode(re, mode)
+                    .map_err(|error| SimError::Compile { pattern: i, error })
+            })
+            .collect()
+    }
+
+    /// Maps a compiled workload onto arrays.
+    pub fn map(&self, compiled: &[Compiled]) -> Mapping {
+        map_workload(compiled, &self.mapper)
+    }
+
+    /// Simulates a mapped workload over `input`.
+    pub fn simulate(&self, compiled: &[Compiled], mapping: &Mapping, input: &[u8]) -> RunResult {
+        simulate(compiled, mapping, input, self.machine)
+    }
+
+    /// Streams `input` through the §3.3 bank buffer hierarchy (ping-pong
+    /// input buffer, per-array FIFOs, output buffers with host
+    /// interrupts), returning buffer statistics alongside the run result.
+    pub fn simulate_streaming(
+        &self,
+        compiled: &[Compiled],
+        mapping: &Mapping,
+        input: &[u8],
+    ) -> (RunResult, BankStats) {
+        bank::simulate_streaming(compiled, mapping, input, self.machine)
+    }
+
+    /// Convenience: compile (native modes) + map + simulate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Compile`] when a pattern fails to compile.
+    pub fn run(&self, regexes: &[Regex], input: &[u8]) -> Result<RunResult, SimError> {
+        let compiled = self.compile(regexes)?;
+        let mapping = self.map(&compiled);
+        Ok(self.simulate(&compiled, &mapping, input))
+    }
+
+    /// Convenience over pattern strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Compile`] on parse or compile failures.
+    pub fn run_patterns(&self, patterns: &[String], input: &[u8]) -> Result<RunResult, SimError> {
+        let parsed: Vec<rap_regex::Pattern> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                rap_regex::parse_pattern(p).map_err(|e| SimError::Compile {
+                    pattern: i,
+                    error: CompileError::Parse(e),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let compiled = self.compile_parsed(&parsed)?;
+        let mapping = self.map(&compiled);
+        Ok(self.simulate(&compiled, &mapping, input))
+    }
+}
+
+/// Simulates a mapped workload over an input stream on one machine.
+///
+/// Arrays run in parallel on the same stream; an array in NBVA mode stalls
+/// independently during bit-vector-processing phases, and the two-level
+/// buffering of §3.3 decouples the arrays, so the bank finishes when its
+/// slowest array does.
+pub fn simulate(
+    compiled: &[Compiled],
+    mapping: &Mapping,
+    input: &[u8],
+    machine: Machine,
+) -> RunResult {
+    let cost = CostModel::for_machine(machine);
+    let mut meter = EnergyMeter::new();
+    let mut matches: Vec<MatchEvent> = Vec::new();
+    let mut max_cycles: u64 = input.len() as u64;
+    let mut stall_cycles: u64 = 0;
+    let mut powered_tile_cycles: u64 = 0;
+
+    for plan in &mapping.arrays {
+        let mut sim = array::build_array(compiled, plan, &cost);
+        let outcome = array::run_array(sim.as_mut(), input, &mut meter);
+        stall_cycles += outcome.cycles.saturating_sub(input.len() as u64);
+        max_cycles = max_cycles.max(outcome.cycles);
+        powered_tile_cycles += outcome.powered_tile_cycles;
+        matches.extend(outcome.matches);
+    }
+
+    // Deduplicate (pattern, end) pairs: a pattern split into several LNFA
+    // chains may report the same end offset from more than one chain.
+    matches.sort_unstable_by_key(|m| (m.end, m.pattern));
+    matches.dedup();
+    // `$`-anchored patterns report only at the stream's end.
+    matches.retain(|m| !compiled[m.pattern].anchored_end() || m.end == input.len());
+
+    // Static leakage: power-gated tiles leak ~nothing, so tile leakage
+    // integrates over *powered* tile-cycles; the array overheads (global
+    // switch/controller) and bank I/O stay on for the whole run.
+    let runtime_s = max_cycles as f64 / cost.clock_hz;
+    let mut leak_w = cost.bank_overhead_leak_w(mapping.arrays.len() as u32);
+    leak_w += cost.array_leak_w * mapping.arrays.len() as f64;
+    let tile_leak_j =
+        cost.tile_leak_w * (powered_tile_cycles as f64 / cost.clock_hz);
+    meter.charge(Category::Leakage, (leak_w * runtime_s + tile_leak_j) * 1e12);
+
+    let metrics = Metrics {
+        input_chars: input.len() as u64,
+        cycles: max_cycles,
+        clock_hz: cost.clock_hz,
+        energy_uj: meter.total_uj(),
+        area_mm2: cost.area_mm2(mapping),
+        matches: matches.len() as u64,
+    };
+    RunResult { machine, metrics, energy: meter, matches, stall_cycles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_automata::nfa::Nfa;
+    use rap_regex::parse;
+
+    fn regexes(patterns: &[&str]) -> Vec<Regex> {
+        patterns.iter().map(|p| parse(p).expect("parses")).collect()
+    }
+
+    /// Reference match set from the software NFA interpreter.
+    fn reference(patterns: &[&str], input: &[u8]) -> Vec<MatchEvent> {
+        let mut out = Vec::new();
+        for (i, p) in patterns.iter().enumerate() {
+            let nfa = Nfa::from_regex(&parse(p).expect("parses"));
+            for end in nfa.match_ends(input) {
+                out.push(MatchEvent { pattern: i, end });
+            }
+        }
+        out.sort_unstable_by_key(|m| (m.end, m.pattern));
+        out
+    }
+
+    /// Every machine must report exactly the ground-truth match set — the
+    /// consistency check of §5.2.
+    #[test]
+    fn all_machines_agree_with_software_matcher() {
+        let patterns =
+            ["ab{12}c", "hello", "a[bc].d", "x.*yz", "n(o|p)q", "c{5,9}d"];
+        let input = b"abbbbbbbbbbbbc hello axbcd xqqyz nopq npq ccccccd hello";
+        let expect = reference(&patterns, input);
+        for machine in Machine::all() {
+            let sim = Simulator::new(machine);
+            let result = sim
+                .run(&regexes(&patterns), input)
+                .unwrap_or_else(|e| panic!("{machine}: {e}"));
+            assert_eq!(result.matches, expect, "machine {machine}");
+        }
+    }
+
+    #[test]
+    fn rap_nbva_stalls_reduce_throughput() {
+        let sim = Simulator::new(Machine::Rap).with_bv_depth(8);
+        // Repetition pattern on an input that keeps the BV active.
+        let result = sim
+            .run(&regexes(&["ab{40}c"]), &b"ab".repeat(200))
+            .expect("runs");
+        assert!(result.stall_cycles > 0, "expected BV-phase stalls");
+        assert!(result.metrics.throughput_gchps() < 2.08);
+    }
+
+    #[test]
+    fn nfa_mode_never_stalls() {
+        let sim = Simulator::new(Machine::Cama);
+        let result = sim
+            .run(&regexes(&["ab{40}c", "xyz"]), &b"ab".repeat(200))
+            .expect("runs");
+        assert_eq!(result.stall_cycles, 0);
+        assert!((result.metrics.throughput_gchps() - 2.14).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nbva_mode_uses_less_area_than_unfolded_nfa() {
+        let patterns = regexes(&["ab{200}c", "pq{150}r"]);
+        // Mostly-miss traffic with occasional prefix hits: the realistic
+        // low-BV-activation regime the paper's benchmarks exhibit (a
+        // pathological stream like "ababab…" would stall every other
+        // cycle and burn leakage during the stalls instead).
+        let input = b"the quick brown fox jumps over ab the lazy dog ".repeat(10);
+        let rap = Simulator::new(Machine::Rap);
+        let auto = rap.run(&patterns, &input).expect("auto runs");
+        let compiled = rap.compile_forced(&patterns, Mode::Nfa).expect("compiles");
+        let mapping = rap.map(&compiled);
+        let forced = rap.simulate(&compiled, &mapping, &input);
+        assert!(
+            auto.metrics.area_mm2 < forced.metrics.area_mm2,
+            "NBVA {} < NFA {}",
+            auto.metrics.area_mm2,
+            forced.metrics.area_mm2
+        );
+        assert!(auto.metrics.energy_uj < forced.metrics.energy_uj);
+    }
+
+    #[test]
+    fn lnfa_mode_saves_energy_over_nfa_mode() {
+        let patterns = regexes(&["abcdefgh", "ijklmnop", "qrstuvwx", "yz012345"]);
+        let input: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
+            .repeat(20);
+        let rap = Simulator::new(Machine::Rap);
+        let auto = rap.run(&patterns, &input).expect("auto runs");
+        let compiled = rap.compile_forced(&patterns, Mode::Nfa).expect("compiles");
+        let mapping = rap.map(&compiled);
+        let forced = rap.simulate(&compiled, &mapping, &input);
+        assert!(
+            auto.metrics.energy_uj < forced.metrics.energy_uj,
+            "LNFA {} < NFA {}",
+            auto.metrics.energy_uj,
+            forced.metrics.energy_uj
+        );
+    }
+
+    #[test]
+    fn bvap_charges_bvm_area_even_without_bvs() {
+        // A pure-literal workload: BVAP still pays for its add-on modules.
+        let patterns = regexes(&["abcdef", "ghijkl"]);
+        let input = b"abcdefghijkl".repeat(5);
+        let bvap = Simulator::new(Machine::Bvap).run(&patterns, &input).expect("runs");
+        let cama = Simulator::new(Machine::Cama).run(&patterns, &input).expect("runs");
+        assert!(bvap.metrics.area_mm2 > cama.metrics.area_mm2);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let sim = Simulator::new(Machine::Rap);
+        let result = sim.run(&regexes(&["abc"]), b"").expect("runs");
+        assert_eq!(result.metrics.cycles, 0);
+        assert!(result.matches.is_empty());
+        assert_eq!(result.metrics.throughput_gchps(), 0.0);
+    }
+
+    #[test]
+    fn compile_error_reports_pattern_index() {
+        let sim = Simulator::new(Machine::Rap);
+        let err = sim
+            .run_patterns(&["ok".to_string(), "(broken".to_string()], b"x")
+            .expect_err("second pattern is malformed");
+        match err {
+            SimError::Compile { pattern, .. } => assert_eq!(pattern, 1),
+        }
+    }
+
+    #[test]
+    fn energy_breakdown_has_expected_categories() {
+        let sim = Simulator::new(Machine::Rap);
+        let result = sim
+            .run(&regexes(&["ab{30}c", "hello", "wxyz"]), &b"hello ab world".repeat(30))
+            .expect("runs");
+        assert!(result.energy.category_pj(Category::StateMatch) > 0.0);
+        assert!(result.energy.category_pj(Category::Leakage) > 0.0);
+        assert!(result.energy.category_pj(Category::Controller) > 0.0);
+    }
+}

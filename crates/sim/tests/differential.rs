@@ -1,0 +1,123 @@
+//! Differential testing of the hardware simulators against the software
+//! NFA interpreter — the §5.2 consistency check, fuzzed.
+
+use proptest::prelude::*;
+use rap_automata::nfa::Nfa;
+use rap_circuit::Machine;
+use rap_regex::{CharClass, Regex};
+use rap_sim::{MatchEvent, Simulator};
+
+/// Random pattern sets that exercise all three RAP modes.
+fn arb_pattern() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::literal_byte(b'a')),
+        Just(Regex::literal_byte(b'b')),
+        Just(Regex::literal_byte(b'c')),
+        Just(Regex::Class(CharClass::from_bytes([b'a', b'b']))),
+        (5u32..40).prop_map(|n| Regex::repeat(Regex::literal_byte(b'c'), n, Some(n))),
+        (1u32..20, 1u32..20).prop_map(|(m, k)| {
+            Regex::repeat(Regex::literal_byte(b'b'), m, Some(m + k))
+        }),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::opt),
+            inner.prop_map(Regex::star),
+        ]
+    })
+    // Stateless patterns (ε-only) do not compile to hardware.
+    .prop_filter("needs at least one state", |re| re.unfolded_size() > 0)
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            6 => Just(b'a'),
+            6 => Just(b'b'),
+            12 => Just(b'c'),
+            1 => Just(b'x'),
+        ],
+        0..120,
+    )
+}
+
+fn reference(patterns: &[Regex], input: &[u8]) -> Vec<MatchEvent> {
+    let mut out = Vec::new();
+    for (i, re) in patterns.iter().enumerate() {
+        for end in Nfa::from_regex(re).match_ends(input) {
+            out.push(MatchEvent { pattern: i, end });
+        }
+    }
+    out.sort_unstable_by_key(|m| (m.end, m.pattern));
+    out.dedup();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every machine reports exactly the software interpreter's matches on
+    /// random multi-pattern workloads.
+    #[test]
+    fn machines_match_ground_truth(
+        patterns in prop::collection::vec(arb_pattern(), 1..5),
+        input in arb_input(),
+        machine_idx in 0usize..4,
+    ) {
+        let machine = Machine::all()[machine_idx];
+        let sim = Simulator::new(machine);
+        let result = match sim.run(&patterns, &input) {
+            Ok(r) => r,
+            // Oversized random patterns may legitimately exceed one array.
+            Err(_) => return Ok(()),
+        };
+        let expect = reference(&patterns, &input);
+        prop_assert_eq!(
+            result.matches, expect,
+            "machine {} on {:?}",
+            machine,
+            patterns.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+
+    /// Cycle count is input length plus stalls, and only NBVA-capable
+    /// machines ever stall.
+    #[test]
+    fn cycle_accounting_is_consistent(
+        patterns in prop::collection::vec(arb_pattern(), 1..4),
+        input in arb_input(),
+    ) {
+        for machine in Machine::all() {
+            let sim = Simulator::new(machine);
+            let Ok(result) = sim.run(&patterns, &input) else { return Ok(()) };
+            prop_assert!(result.metrics.cycles >= input.len() as u64);
+            if matches!(machine, Machine::Ca | Machine::Cama) {
+                prop_assert_eq!(result.stall_cycles, 0, "machine {}", machine);
+                prop_assert_eq!(result.metrics.cycles, input.len() as u64);
+            }
+        }
+    }
+
+    /// Energy and area are positive whenever work is done, and RAP's
+    /// automatic mode choice never loses matches relative to forcing NFA.
+    #[test]
+    fn rap_auto_equals_forced_nfa(
+        patterns in prop::collection::vec(arb_pattern(), 1..4),
+        input in arb_input(),
+    ) {
+        let sim = Simulator::new(Machine::Rap);
+        let Ok(auto) = sim.run(&patterns, &input) else { return Ok(()) };
+        let Ok(compiled) = sim.compile_forced(&patterns, rap_compiler::Mode::Nfa) else {
+            return Ok(());
+        };
+        let mapping = sim.map(&compiled);
+        let forced = sim.simulate(&compiled, &mapping, &input);
+        prop_assert_eq!(auto.matches, forced.matches);
+        if !input.is_empty() {
+            prop_assert!(auto.metrics.energy_uj > 0.0);
+            prop_assert!(auto.metrics.area_mm2 > 0.0);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Random pattern fragment builders shared by the suite generators.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A random lowercase literal of `lo..=hi` characters.
+pub(crate) fn literal(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let len = rng.random_range(lo..=hi);
+    (0..len)
+        .map(|_| (b'a' + rng.random_range(0..26u8)) as char)
+        .collect()
+}
+
+/// A random single-symbol class in PCRE syntax, weighted toward the shapes
+/// real rulesets use. `multi_code` classes (like `[a-z]`) need several CAM
+/// columns; when `false` only single-code classes are produced.
+pub(crate) fn char_class(rng: &mut StdRng, multi_code: bool) -> String {
+    let choices_single: &[&str] = &["\\d", "[0-7]", "[abc]", "x", "q", "[89]"];
+    let choices_multi: &[&str] = &["[a-z]", "[A-Z]", "\\w", ".", "[a-f0-9]", "[^\\n]"];
+    if multi_code && rng.random_bool(0.5) {
+        choices_multi[rng.random_range(0..choices_multi.len())].to_string()
+    } else {
+        choices_single[rng.random_range(0..choices_single.len())].to_string()
+    }
+}
+
+/// An amino-acid alternation class like `[ILVF]` (PROSITE motifs).
+pub(crate) fn amino_class(rng: &mut StdRng) -> String {
+    const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+    let k = rng.random_range(2..=4);
+    let mut set: Vec<u8> = Vec::with_capacity(k);
+    while set.len() < k {
+        let a = AMINO[rng.random_range(0..AMINO.len())];
+        if !set.contains(&a) {
+            set.push(a);
+        }
+    }
+    format!("[{}]", String::from_utf8(set).expect("amino letters are ascii"))
+}
+
+/// A bounded repetition `cc{m[,n]}` with bounds drawn from `lo..=hi`.
+/// About half are exact (`{n}`) and half are ranges (`{m,n}`).
+pub(crate) fn bounded_rep(rng: &mut StdRng, lo: u32, hi: u32) -> String {
+    let cc = char_class(rng, false);
+    let n = rng.random_range(lo..=hi);
+    if rng.random_bool(0.5) || n <= lo + 1 {
+        format!("{cc}{{{n}}}")
+    } else {
+        let m = rng.random_range(lo.min(n - 1)..n);
+        format!("{cc}{{{m},{n}}}")
+    }
+}
+
+/// A small alternation of literals, e.g. `(cat|dog)`.
+pub(crate) fn union(rng: &mut StdRng) -> String {
+    let a = literal(rng, 1, 3);
+    let b = literal(rng, 1, 3);
+    format!("({a}|{b})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn fragments_parse() {
+        let mut r = rng();
+        for _ in 0..200 {
+            for frag in [
+                literal(&mut r, 2, 8),
+                char_class(&mut r, true),
+                amino_class(&mut r),
+                bounded_rep(&mut r, 5, 200),
+                union(&mut r),
+            ] {
+                rap_regex::parse(&frag)
+                    .unwrap_or_else(|e| panic!("fragment {frag:?} failed: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn literal_length_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = literal(&mut r, 3, 6);
+            assert!((3..=6).contains(&s.len()));
+            assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn bounded_rep_bounds_in_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = bounded_rep(&mut r, 10, 20);
+            let re = rap_regex::parse(&s).expect("parses");
+            let reps = rap_regex::analysis::bounded_repetitions(&re);
+            assert_eq!(reps.len(), 1);
+            let n = reps[0].max.expect("bounded");
+            assert!((10..=20).contains(&n), "{s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        assert_eq!(literal(&mut a, 2, 8), literal(&mut b, 2, 8));
+        assert_eq!(bounded_rep(&mut a, 5, 50), bounded_rep(&mut b, 5, 50));
+    }
+}

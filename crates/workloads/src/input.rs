@@ -1,0 +1,192 @@
+//! Input-stream synthesis: background traffic with planted matches at a
+//! controlled rate (the paper's streams keep match rates below 10%, §3.3).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rap_regex::{parse, Regex};
+
+/// Draws one string from the language of `regex` (unbounded loops take 0–2
+/// iterations). Used to plant true matches into synthetic streams.
+pub fn sample_match(regex: &Regex, rng: &mut StdRng) -> Vec<u8> {
+    let mut out = Vec::new();
+    emit(regex, rng, &mut out);
+    out
+}
+
+fn emit(regex: &Regex, rng: &mut StdRng, out: &mut Vec<u8>) {
+    match regex {
+        Regex::Empty => {}
+        Regex::Class(cc) => {
+            // Pick a uniformly random member byte.
+            let n = cc.len();
+            assert!(n > 0, "cannot sample from the empty class");
+            let k = rng.random_range(0..n);
+            let byte = cc.iter().nth(k as usize).expect("index within class size");
+            out.push(byte);
+        }
+        Regex::Concat(parts) => {
+            for p in parts {
+                emit(p, rng, out);
+            }
+        }
+        Regex::Alt(parts) => {
+            let pick = rng.random_range(0..parts.len());
+            emit(&parts[pick], rng, out);
+        }
+        Regex::Star(inner) => {
+            for _ in 0..rng.random_range(0..3u8) {
+                emit(inner, rng, out);
+            }
+        }
+        Regex::Plus(inner) => {
+            for _ in 0..rng.random_range(1..4u8) {
+                emit(inner, rng, out);
+            }
+        }
+        Regex::Opt(inner) => {
+            if rng.random_bool(0.5) {
+                emit(inner, rng, out);
+            }
+        }
+        Regex::Repeat { inner, min, max } => {
+            let hi = max.unwrap_or(min + 2);
+            let k = rng.random_range(*min..=hi);
+            for _ in 0..k {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generates a `len`-byte stream of printable background bytes with
+/// occurrences of the given patterns planted so that roughly
+/// `match_rate × len` *bytes* belong to planted matches (the paper's
+/// streams keep match rates below 10%; long signatures therefore occur
+/// proportionally less often than short ones). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if a pattern fails to parse (the caller generated them).
+pub fn generate_input(patterns: &[String], len: usize, match_rate: f64, seed: u64) -> Vec<u8> {
+    assert!((0.0..=1.0).contains(&match_rate), "match rate out of range");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let regexes: Vec<Regex> = patterns
+        .iter()
+        .map(|p| parse(p).unwrap_or_else(|e| panic!("workload pattern {p:?}: {e}")))
+        .collect();
+    // Byte-budgeted planting: the probability of *starting* a plant at a
+    // given position is scaled by the mean planted length so that planted
+    // bytes — not planted events — make up `match_rate` of the stream.
+    let avg_len = {
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for re in &regexes {
+            for _ in 0..8 {
+                total += sample_match(re, &mut rng).len();
+                count += 1;
+            }
+        }
+        if count == 0 { 1.0 } else { (total as f64 / count as f64).max(1.0) }
+    };
+    let p_start = (match_rate / avg_len).min(0.5);
+    let mut out = Vec::with_capacity(len + 64);
+    while out.len() < len {
+        if !regexes.is_empty() && rng.random_bool(p_start) {
+            let pick = rng.random_range(0..regexes.len());
+            let planted = sample_match(&regexes[pick], &mut rng);
+            out.extend_from_slice(&planted);
+        } else {
+            // Background byte: printable ASCII, space-heavy like text/traffic.
+            let b = if rng.random_bool(0.15) {
+                b' '
+            } else {
+                rng.random_range(0x21..0x7f)
+            };
+            out.push(b);
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_automata::nfa::Nfa;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn sampled_strings_match_their_pattern() {
+        let mut r = rng();
+        for pattern in [
+            "abc",
+            "a[bc]d",
+            "x{3,7}",
+            "a(b|c)*d",
+            "p.{2,5}q",
+            "(ab){2}c?",
+            "m+n",
+        ] {
+            let re = parse(pattern).expect("parses");
+            let nfa = Nfa::from_regex(&re);
+            for _ in 0..50 {
+                let s = sample_match(&re, &mut r);
+                if s.is_empty() {
+                    assert!(re.nullable(), "{pattern} produced ε but is not nullable");
+                    continue;
+                }
+                let ends = nfa.match_ends(&s);
+                assert!(
+                    ends.contains(&s.len()),
+                    "{pattern}: sampled {s:?} does not match to the end"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn input_length_exact() {
+        let patterns = vec!["abc".to_string()];
+        for len in [0usize, 1, 100, 4096] {
+            assert_eq!(generate_input(&patterns, len, 0.01, 5).len(), len);
+        }
+    }
+
+    #[test]
+    fn input_deterministic() {
+        let patterns = vec!["abc".to_string(), "x{4}".to_string()];
+        assert_eq!(
+            generate_input(&patterns, 1000, 0.02, 9),
+            generate_input(&patterns, 1000, 0.02, 9)
+        );
+    }
+
+    #[test]
+    fn planted_matches_appear() {
+        let patterns = vec!["zqzqzq".to_string()];
+        let input = generate_input(&patterns, 20_000, 0.05, 1);
+        let nfa = Nfa::from_regex(&parse("zqzqzq").expect("parses"));
+        assert!(
+            !nfa.match_ends(&input).is_empty(),
+            "no planted matches found at 5% rate"
+        );
+    }
+
+    #[test]
+    fn zero_rate_means_background_only() {
+        // With match_rate 0 and a pattern using bytes outside the printable
+        // background (newline), no match can occur.
+        let patterns = vec!["\\n\\n".to_string()];
+        let input = generate_input(&patterns, 5_000, 0.0, 2);
+        assert!(!input.contains(&b'\n'));
+    }
+
+    #[test]
+    #[should_panic(expected = "match rate out of range")]
+    fn bad_rate_panics() {
+        let _ = generate_input(&[], 10, 1.5, 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic workload generators for the RAP reproduction.
+//!
+//! The paper evaluates on seven suites of real rulesets (Snort, Suricata,
+//! Prosite, Yara, ClamAV, SpamAssassin, RegexLib — >20,000 regexes from a
+//! Zenodo artifact) plus ANMLZoo for the FPGA comparison. Those corpora are
+//! not redistributable here, so this crate synthesizes suites whose
+//! *structural mix* matches Fig. 1 of the paper: the fraction of patterns
+//! that compile to NFA/NBVA/LNFA, the magnitude of bounded-repetition
+//! bounds, and the pattern-length distributions are tuned per suite (see
+//! [`Suite::profile`]). The compiler/mapper/simulator code paths exercised
+//! are identical to the real rulesets'.
+//!
+//! # Example
+//!
+//! ```
+//! use rap_workloads::{Suite, generate_patterns, generate_input};
+//!
+//! let patterns = generate_patterns(Suite::ClamAv, 50, 7);
+//! assert_eq!(patterns.len(), 50);
+//! let input = generate_input(&patterns, 10_000, 0.02, 7);
+//! assert_eq!(input.len(), 10_000);
+//! ```
+
+pub mod anmlzoo;
+mod builder;
+mod input;
+mod suites;
+
+pub use input::{generate_input, sample_match};
+pub use suites::{generate_patterns, ModeMix, Suite, SuiteProfile};

@@ -1,0 +1,65 @@
+//! Quickstart: compile a small mixed pattern set, scan a stream, inspect
+//! the modes, matches, and modeled hardware costs.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rap::{Machine, Rap, Simulator};
+
+fn main() -> Result<(), rap::SimError> {
+    // Three patterns, one per RAP execution mode:
+    //  - a bounded repetition too large to unfold → NBVA (bit vectors),
+    //  - a plain literal → LNFA (Shift-And in the active vector),
+    //  - a Kleene-star pattern → basic NFA.
+    let patterns = vec![
+        "fee.{30,90}fum".to_string(),
+        "magic bytes".to_string(),
+        "begin.*end".to_string(),
+    ];
+    let rap = Rap::compile(&patterns)?;
+
+    println!("pattern -> mode");
+    for (p, m) in patterns.iter().zip(rap.modes()) {
+        println!("  {p:24} {m}");
+    }
+    println!(
+        "hardware image: {} states on {} tiles ({:.0}% column utilization)",
+        rap.state_count(),
+        rap.tiles_used(),
+        rap.utilization() * 100.0
+    );
+
+    let mut input = b"magic bytes ... begin stuff end ... fee ".to_vec();
+    input.extend(std::iter::repeat_n(b'x', 40));
+    input.extend_from_slice(b"fum tail");
+    let report = rap.scan(&input);
+
+    println!("\nmatches (pattern, end offset):");
+    for m in &report.matches {
+        println!("  #{} ends at byte {}", m.pattern, m.end);
+    }
+    println!(
+        "\n{} cycles at {:.2} GHz -> {:.3} Gch/s, {:.4} uJ, {:.3} mm2",
+        report.metrics.cycles,
+        report.metrics.clock_hz / 1e9,
+        report.metrics.throughput_gchps(),
+        report.metrics.energy_uj,
+        report.metrics.area_mm2,
+    );
+    println!("\nenergy breakdown:");
+    for (category, pj) in report.energy.iter() {
+        println!("  {category:13} {pj:10.1} pJ");
+    }
+
+    // The same pattern set on a baseline machine for comparison.
+    let cama = Simulator::new(Machine::Cama);
+    let regexes: Vec<_> = patterns
+        .iter()
+        .map(|p| rap::regex::parse(p).expect("parses"))
+        .collect();
+    let baseline = cama.run(&regexes, &input)?;
+    println!(
+        "\nCAMA baseline (everything unfolded to NFA): {:.4} uJ, {:.3} mm2",
+        baseline.metrics.energy_uj, baseline.metrics.area_mm2
+    );
+    Ok(())
+}

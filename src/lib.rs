@@ -1,0 +1,191 @@
+//! # RAP — Reconfigurable Automata Processor (reproduction)
+//!
+//! A from-scratch Rust reproduction of *RAP: Reconfigurable Automata
+//! Processor* (ISCA 2025): the first reconfigurable in-memory automata
+//! processor, supporting NFA, NBVA (nondeterministic bit vector automata)
+//! and LNFA (linear NFA) execution modes through reconfiguration of the
+//! same 8T-CAM/FCB fabric, plus the regex-to-hardware compiler that picks
+//! the best mode per pattern.
+//!
+//! This crate is the facade: it re-exports the layered workspace crates
+//! and offers [`Rap`], a one-stop engine that compiles a pattern set, maps
+//! it onto arrays, and runs input streams through the cycle-accurate
+//! simulator.
+//!
+//! ```
+//! use rap::Rap;
+//!
+//! // Virus-scanner flavored patterns: a big bounded gap (NBVA mode), a
+//! // literal signature (LNFA mode), and a general regex (NFA mode).
+//! let rap = Rap::compile(&[
+//!     "EVIL.{24,96}PAYLOAD".to_string(),
+//!     "deadbeef".to_string(),
+//!     "GET /.*HTTP".to_string(),
+//! ])?;
+//! let report = rap.scan(b"xx deadbeef GET /index HTTP yy");
+//! assert_eq!(report.matches.len(), 2);
+//! println!("energy: {:.3} uJ over {} cycles", report.metrics.energy_uj, report.metrics.cycles);
+//! # Ok::<(), rap::SimError>(())
+//! ```
+//!
+//! Layered crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`regex`] | PCRE-subset parser, character classes, rewriters (§2.1, §4) |
+//! | [`automata`] | Glushkov NFA, NBVA, LNFA models + reference executors (§2.1) |
+//! | [`circuit`] | 28nm circuit cost models of Table 1 |
+//! | [`arch`] | tile/array/bank geometry, CC encodings, CAM & crossbar models (§3) |
+//! | [`compiler`] | the Fig. 9 decision graph and per-mode compilation (§4) |
+//! | [`mapper`] | greedy array packing and multi-LNFA binning (§4.3) |
+//! | [`sim`] | cycle-accurate RAP + CA/CAMA/BVAP baselines (§5) |
+//! | [`workloads`] | synthetic stand-ins for the seven benchmark suites (§5.1) |
+//! | [`engines`] | software matcher baselines (Hyperscan/HybridSA stand-ins, §5.5) |
+
+pub use rap_arch as arch;
+pub use rap_automata as automata;
+pub use rap_circuit as circuit;
+pub use rap_compiler as compiler;
+pub use rap_engines as engines;
+pub use rap_mapper as mapper;
+pub use rap_regex as regex;
+pub use rap_sim as sim;
+pub use rap_workloads as workloads;
+
+pub use rap_circuit::{Machine, Metrics};
+pub use rap_compiler::Mode;
+pub use rap_sim::{MatchEvent, RunResult, SimError, Simulator};
+
+use rap_compiler::Compiled;
+use rap_mapper::Mapping;
+
+/// A compiled-and-mapped RAP instance, ready to scan input streams.
+///
+/// `Rap` owns the hardware image (one entry per pattern) and its placement
+/// on arrays; [`Rap::scan`] runs the cycle-accurate simulator and returns
+/// both the matches and the modeled hardware metrics.
+#[derive(Clone, Debug)]
+pub struct Rap {
+    simulator: Simulator,
+    compiled: Vec<Compiled>,
+    mapping: Mapping,
+}
+
+/// The outcome of one [`Rap::scan`].
+#[derive(Clone, Debug)]
+pub struct ScanReport {
+    /// Matches as `(pattern index, end offset)`, sorted and deduplicated.
+    pub matches: Vec<MatchEvent>,
+    /// Modeled hardware metrics (cycles, energy, area, throughput, power).
+    pub metrics: Metrics,
+    /// Energy breakdown by category.
+    pub energy: rap_circuit::EnergyMeter,
+}
+
+impl Rap {
+    /// Compiles a pattern set with the full decision graph and paper-default
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Compile`] when a pattern fails to parse or
+    /// exceeds one array's capacity.
+    pub fn compile(patterns: &[String]) -> Result<Rap, SimError> {
+        Rap::with_simulator(Simulator::new(Machine::Rap), patterns)
+    }
+
+    /// Compiles with a custom [`Simulator`] (machine choice, BV depth, bin
+    /// size, unfold threshold, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Compile`] when a pattern fails to compile.
+    pub fn with_simulator(simulator: Simulator, patterns: &[String]) -> Result<Rap, SimError> {
+        let parsed: Vec<rap_regex::Pattern> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                rap_regex::parse_pattern(p).map_err(|e| SimError::Compile {
+                    pattern: i,
+                    error: rap_compiler::CompileError::Parse(e),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let compiled = simulator.compile_parsed(&parsed)?;
+        let mapping = simulator.map(&compiled);
+        Ok(Rap { simulator, compiled, mapping })
+    }
+
+    /// The execution mode each pattern compiled to.
+    pub fn modes(&self) -> Vec<Mode> {
+        self.compiled.iter().map(Compiled::mode).collect()
+    }
+
+    /// Total hardware states (STEs / chain positions) allocated.
+    pub fn state_count(&self) -> u64 {
+        self.compiled.iter().map(Compiled::state_count).sum()
+    }
+
+    /// Tiles allocated across arrays.
+    pub fn tiles_used(&self) -> u32 {
+        self.mapping.tiles_used()
+    }
+
+    /// Column utilization of the allocated tiles.
+    pub fn utilization(&self) -> f64 {
+        self.mapping.utilization()
+    }
+
+    /// Scans an input stream through the cycle-accurate simulator.
+    pub fn scan(&self, input: &[u8]) -> ScanReport {
+        let result = self.simulator.simulate(&self.compiled, &self.mapping, input);
+        ScanReport {
+            matches: result.matches,
+            metrics: result.metrics,
+            energy: result.energy,
+        }
+    }
+
+    /// Scans through the §3.3 bank buffer hierarchy (ping-pong input pages,
+    /// per-array FIFOs, output buffers with host interrupts), returning
+    /// buffer statistics alongside the report.
+    pub fn scan_streaming(&self, input: &[u8]) -> (ScanReport, sim::BankStats) {
+        let (result, stats) =
+            self.simulator.simulate_streaming(&self.compiled, &self.mapping, input);
+        (
+            ScanReport {
+                matches: result.matches,
+                metrics: result.metrics,
+                energy: result.energy,
+            },
+            stats,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_end_to_end() {
+        let rap = Rap::compile(&[
+            "ab{20,60}c".to_string(),
+            "hello world".to_string(),
+            "x.*yz".to_string(),
+        ])
+        .expect("compiles");
+        assert_eq!(rap.modes(), vec![Mode::Nbva, Mode::Lnfa, Mode::Nfa]);
+        assert!(rap.state_count() > 0);
+        assert!(rap.tiles_used() > 0);
+        let report = rap.scan(b"hello world xqqyz");
+        assert_eq!(report.matches.len(), 2);
+        assert!(report.metrics.energy_uj > 0.0);
+    }
+
+    #[test]
+    fn facade_propagates_errors() {
+        let err = Rap::compile(&["(oops".to_string()]).expect_err("parse error");
+        assert!(matches!(err, SimError::Compile { pattern: 0, .. }));
+    }
+}

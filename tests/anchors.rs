@@ -1,0 +1,118 @@
+//! End-to-end tests for `^`/`$`-anchored patterns: parser → compiler →
+//! hardware simulation, on every machine.
+
+use rap::automata::nbva::Nbva;
+use rap::automata::nfa::Nfa;
+use rap::regex::parse_pattern;
+use rap::{Machine, Mode, Rap, Simulator};
+
+#[test]
+fn automaton_level_start_anchor() {
+    let nfa = Nfa::from_pattern(&parse_pattern("^ab").expect("parses"));
+    assert!(nfa.anchored_start());
+    assert_eq!(nfa.match_ends(b"abab"), vec![2]);
+    assert_eq!(nfa.match_ends(b"xab"), Vec::<usize>::new());
+}
+
+#[test]
+fn automaton_level_end_anchor() {
+    let nfa = Nfa::from_pattern(&parse_pattern("ab$").expect("parses"));
+    assert!(nfa.anchored_end());
+    assert_eq!(nfa.match_ends(b"abab"), vec![4]);
+    assert_eq!(nfa.match_ends(b"abx"), Vec::<usize>::new());
+}
+
+#[test]
+fn automaton_level_both_anchors() {
+    let nfa = Nfa::from_pattern(&parse_pattern("^a{3}$").expect("parses"));
+    assert_eq!(nfa.match_ends(b"aaa"), vec![3]);
+    assert!(nfa.match_ends(b"aaaa").is_empty());
+    assert!(nfa.match_ends(b"aa").is_empty());
+}
+
+#[test]
+fn nbva_level_anchors() {
+    // A bounded repetition large enough to stay a bit vector.
+    let p = parse_pattern("^ab{10}c").expect("parses");
+    let nbva = Nbva::from_pattern(&p, 4);
+    assert!(nbva.anchored_start());
+    assert!(nbva.bv_state_count() > 0);
+    let hit = b"abbbbbbbbbbc";
+    assert_eq!(nbva.match_ends(hit), vec![12]);
+    let mut shifted = b"x".to_vec();
+    shifted.extend_from_slice(hit);
+    assert!(nbva.match_ends(&shifted).is_empty(), "must not match offset 1");
+}
+
+#[test]
+fn compiler_routes_anchored_patterns_away_from_lnfa() {
+    let compiler = rap::compiler::Compiler::new(rap::compiler::CompilerConfig::default());
+    // Unanchored: a plain literal takes LNFA mode.
+    assert_eq!(compiler.compile_str("abcd").expect("compiles").mode(), Mode::Lnfa);
+    // Anchored: same literal now takes NFA mode, carrying the flag.
+    let anchored = compiler.compile_str("^abcd").expect("compiles");
+    assert_eq!(anchored.mode(), Mode::Nfa);
+    assert!(anchored.anchored_start());
+    // Anchored repetitions keep NBVA mode.
+    let rep = compiler.compile_str("^ab{20}c$").expect("compiles");
+    assert_eq!(rep.mode(), Mode::Nbva);
+    assert!(rep.anchored_start() && rep.anchored_end());
+}
+
+#[test]
+fn all_machines_agree_on_anchored_workloads() {
+    let patterns = vec![
+        "^GET /".to_string(),
+        "HTTP/1.1$".to_string(),
+        "^hdr:a{6,20}end".to_string(),
+        "plain".to_string(),
+    ];
+    let input = b"GET /index plain HTTP/1.1";
+    let mut reference = None;
+    for machine in Machine::all() {
+        let sim = Simulator::new(machine);
+        let result = sim
+            .run_patterns(&patterns, input)
+            .unwrap_or_else(|e| panic!("{machine}: {e}"));
+        match &reference {
+            None => reference = Some(result.matches),
+            Some(expect) => assert_eq!(&result.matches, expect, "{machine}"),
+        }
+    }
+    let matches = reference.expect("at least one machine ran");
+    // ^GET / matches at offset 5; HTTP/1.1$ at the stream end; "plain"
+    // mid-stream; the anchored repetition does not occur at offset 0.
+    assert_eq!(matches.len(), 3, "{matches:?}");
+    assert!(matches.iter().any(|m| m.pattern == 0 && m.end == 5));
+    assert!(matches.iter().any(|m| m.pattern == 1 && m.end == input.len()));
+    assert!(matches.iter().all(|m| m.pattern != 2));
+}
+
+#[test]
+fn facade_accepts_anchors() {
+    let rap = Rap::compile(&["^start".to_string(), "finish$".to_string()])
+        .expect("compiles");
+    let report = rap.scan(b"start middle finish");
+    assert_eq!(report.matches.len(), 2);
+    // Re-ordered stream: the anchors now miss.
+    let report = rap.scan(b"finish middle start");
+    assert!(report.matches.is_empty());
+}
+
+#[test]
+fn streaming_path_honours_anchors() {
+    let rap = Rap::compile(&["^start".to_string(), "finish$".to_string()])
+        .expect("compiles");
+    let input = b"start middle finish";
+    let batch = rap.scan(input);
+    let (streamed, _) = rap.scan_streaming(input);
+    assert_eq!(streamed.matches, batch.matches);
+    assert_eq!(streamed.matches.len(), 2);
+}
+
+#[test]
+fn dollar_only_counts_final_position() {
+    let rap = Rap::compile(&["ab$".to_string()]).expect("compiles");
+    assert_eq!(rap.scan(b"ab ab ab").matches.len(), 1);
+    assert_eq!(rap.scan(b"ab ab ab ").matches.len(), 0);
+}

@@ -1,0 +1,134 @@
+//! Cross-crate integration tests: the full compile → map → simulate
+//! pipeline against the software ground truth, across machines and
+//! workload suites.
+
+use rap::engines::{Engine, NfaEngine};
+use rap::workloads::{generate_input, generate_patterns, Suite};
+use rap::{Machine, Rap, Simulator};
+
+fn parsed(patterns: &[String]) -> Vec<rap::regex::Regex> {
+    patterns
+        .iter()
+        .map(|p| rap::regex::parse(p).expect("generated patterns parse"))
+        .collect()
+}
+
+/// For every suite, every machine must report exactly the NFA
+/// interpreter's match set — the paper's §5.2 consistency check, across
+/// the whole stack.
+#[test]
+fn all_suites_all_machines_match_ground_truth() {
+    for suite in Suite::all() {
+        let patterns = generate_patterns(suite, 40, 99);
+        let input = generate_input(&patterns, 6_000, 0.03, 99);
+        let regexes = parsed(&patterns);
+        let expect = NfaEngine::new(&regexes).scan(&input);
+        for machine in Machine::all() {
+            let sim = Simulator::new(machine)
+                .with_bv_depth(suite.chosen_bv_depth())
+                .with_bin_size(suite.chosen_bin_size());
+            let result = sim.run(&regexes, &input).unwrap_or_else(|e| {
+                panic!("{suite}/{machine}: {e}");
+            });
+            assert_eq!(
+                result.matches.len(),
+                expect.len(),
+                "{suite}/{machine}: match count"
+            );
+            for (got, want) in result.matches.iter().zip(expect.iter()) {
+                assert_eq!(
+                    (got.pattern, got.end),
+                    (want.pattern, want.end),
+                    "{suite}/{machine}"
+                );
+            }
+        }
+    }
+}
+
+/// The facade pipeline agrees with driving the layers by hand.
+#[test]
+fn facade_equals_manual_pipeline() {
+    let patterns = generate_patterns(Suite::Yara, 25, 5);
+    let input = generate_input(&patterns, 4_000, 0.02, 5);
+    let rap = Rap::compile(&patterns).expect("compiles");
+    let report = rap.scan(&input);
+
+    let sim = Simulator::new(Machine::Rap);
+    let regexes = parsed(&patterns);
+    let manual = sim.run(&regexes, &input).expect("runs");
+    assert_eq!(report.matches, manual.matches);
+    assert_eq!(report.metrics.matches, manual.metrics.matches);
+}
+
+/// Scanning is deterministic and stateless across calls.
+#[test]
+fn scans_are_reproducible() {
+    let patterns = generate_patterns(Suite::Snort, 30, 3);
+    let input = generate_input(&patterns, 5_000, 0.02, 3);
+    let rap = Rap::compile(&patterns).expect("compiles");
+    let a = rap.scan(&input);
+    let b = rap.scan(&input);
+    assert_eq!(a.matches, b.matches);
+    assert_eq!(a.metrics.cycles, b.metrics.cycles);
+    assert_eq!(a.metrics.energy_uj, b.metrics.energy_uj);
+}
+
+/// Concatenating streams is equivalent to scanning the concatenation
+/// (no hidden state leaks between independent scans of the same image).
+#[test]
+fn matches_depend_only_on_prefix() {
+    let patterns = vec!["abc".to_string(), "b{6,20}c".to_string()];
+    let rap = Rap::compile(&patterns).expect("compiles");
+    let full = b"xxabcyy bbbbbbbbc abc";
+    let full_matches = rap.scan(full).matches;
+    // Every match of a prefix scan appears in the full scan.
+    for cut in [5usize, 10, 17] {
+        for m in rap.scan(&full[..cut]).matches {
+            assert!(
+                full_matches.contains(&m),
+                "prefix match {m:?} missing from full scan"
+            );
+        }
+    }
+}
+
+/// The streaming (bank-buffer) path reports exactly the batch path's
+/// matches, with the extra buffer statistics being self-consistent.
+#[test]
+fn streaming_path_equals_batch_path() {
+    let patterns = generate_patterns(Suite::Suricata, 40, 17);
+    let input = generate_input(&patterns, 8_000, 0.03, 17);
+    let rap = Rap::compile(&patterns).expect("compiles");
+    let batch = rap.scan(&input);
+    let (streamed, stats) = rap.scan_streaming(&input);
+    assert_eq!(streamed.matches, batch.matches);
+    assert!(streamed.metrics.cycles >= batch.metrics.cycles);
+    assert_eq!(stats.stall_cycles.len(), stats.starved_cycles.len());
+}
+
+/// Mode assignment on the generated suites matches each suite's profile
+/// direction (the Fig. 1 shape, coarse version).
+#[test]
+fn suite_mode_shapes() {
+    let count_modes = |suite: Suite| -> (usize, usize, usize) {
+        let patterns = generate_patterns(suite, 120, 77);
+        let rap = Rap::compile(&patterns).expect("compiles");
+        let mut c = (0, 0, 0);
+        for m in rap.modes() {
+            match m {
+                rap::Mode::Nfa => c.0 += 1,
+                rap::Mode::Nbva => c.1 += 1,
+                rap::Mode::Lnfa => c.2 += 1,
+            }
+        }
+        c
+    };
+    let (nfa, _, _) = count_modes(Suite::RegexLib);
+    assert!(nfa > 50, "RegexLib should be NFA-majority");
+    let (_, nbva, _) = count_modes(Suite::ClamAv);
+    assert!(nbva > 90, "ClamAV should be NBVA-dominated");
+    let (_, nbva, lnfa) = count_modes(Suite::Prosite);
+    assert_eq!(nbva, 0, "Prosite compiles no NBVA");
+    assert!(lnfa > 60, "Prosite should be LNFA-majority");
+}
