@@ -223,15 +223,14 @@ where
 {
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(items.len(), || None);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, item) in out.iter_mut().zip(items) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(item));
             });
         }
-    })
-    .expect("harness worker panicked");
+    });
     out.into_iter().map(|r| r.expect("every slot filled")).collect()
 }
 

@@ -2,7 +2,7 @@
 //! hardware constraints the paper states, for arbitrary workloads.
 
 use proptest::prelude::*;
-use rap_compiler::{Compiled, Compiler, CompilerConfig, Mode};
+use rap_compiler::{Compiled, Compiler, CompilerConfig};
 use rap_mapper::{map_workload, ArrayKind, MapperConfig};
 use rap_regex::{CharClass, Regex};
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e0f9ae71080fef01.d: crates/bench/benches/ablation.rs
+
+/root/repo/target/debug/deps/libablation-e0f9ae71080fef01.rmeta: crates/bench/benches/ablation.rs
+
+crates/bench/benches/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-944967dee5c0f809.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-944967dee5c0f809.rmeta: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-ddd1e8c48cdd8250.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/liball_experiments-ddd1e8c48cdd8250.rmeta: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

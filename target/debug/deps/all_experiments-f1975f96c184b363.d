@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-f1975f96c184b363.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-f1975f96c184b363: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anchors-2a1727ba4f61af1f.d: tests/anchors.rs
+
+/root/repo/target/debug/deps/libanchors-2a1727ba4f61af1f.rmeta: tests/anchors.rs
+
+tests/anchors.rs:

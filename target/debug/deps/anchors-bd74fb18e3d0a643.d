@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anchors-bd74fb18e3d0a643.d: tests/anchors.rs
+
+/root/repo/target/debug/deps/anchors-bd74fb18e3d0a643: tests/anchors.rs
+
+tests/anchors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/charclass_props-71c44d73bb3b6cec.d: crates/regex/tests/charclass_props.rs
+
+/root/repo/target/debug/deps/libcharclass_props-71c44d73bb3b6cec.rmeta: crates/regex/tests/charclass_props.rs
+
+crates/regex/tests/charclass_props.rs:

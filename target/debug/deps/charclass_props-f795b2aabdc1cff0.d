@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/charclass_props-f795b2aabdc1cff0.d: crates/regex/tests/charclass_props.rs
+
+/root/repo/target/debug/deps/charclass_props-f795b2aabdc1cff0: crates/regex/tests/charclass_props.rs
+
+crates/regex/tests/charclass_props.rs:

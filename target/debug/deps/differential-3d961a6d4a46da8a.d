@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-3d961a6d4a46da8a.d: crates/sim/tests/differential.rs
+
+/root/repo/target/debug/deps/libdifferential-3d961a6d4a46da8a.rmeta: crates/sim/tests/differential.rs
+
+crates/sim/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-e36c8e42b82585e5.d: crates/sim/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-e36c8e42b82585e5: crates/sim/tests/differential.rs
+
+crates/sim/tests/differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f85484a6dc7c4b49.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f85484a6dc7c4b49: tests/end_to_end.rs
+
+tests/end_to_end.rs:

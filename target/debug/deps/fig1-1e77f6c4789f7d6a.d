@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-1e77f6c4789f7d6a.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-1e77f6c4789f7d6a: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

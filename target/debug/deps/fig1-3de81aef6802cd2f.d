@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-3de81aef6802cd2f.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-3de81aef6802cd2f.rmeta: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

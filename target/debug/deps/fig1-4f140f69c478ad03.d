@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-4f140f69c478ad03.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/libfig1-4f140f69c478ad03.rmeta: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

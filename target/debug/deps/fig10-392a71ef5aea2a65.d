@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-392a71ef5aea2a65.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-392a71ef5aea2a65.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

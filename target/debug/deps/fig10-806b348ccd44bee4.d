@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-806b348ccd44bee4.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-806b348ccd44bee4: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-98bff5dec885072c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-98bff5dec885072c.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

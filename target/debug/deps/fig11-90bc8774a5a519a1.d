@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-90bc8774a5a519a1.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-90bc8774a5a519a1.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-a876fef986db0c75.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-a876fef986db0c75: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

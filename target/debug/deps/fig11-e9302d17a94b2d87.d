@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-e9302d17a94b2d87.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-e9302d17a94b2d87.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-19b328639a2ca20c.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-19b328639a2ca20c.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-510e89f7dcda0711.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-510e89f7dcda0711: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-ad5867058894dc07.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/libfig12-ad5867058894dc07.rmeta: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

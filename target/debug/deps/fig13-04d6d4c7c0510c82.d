@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-04d6d4c7c0510c82.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/libfig13-04d6d4c7c0510c82.rmeta: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

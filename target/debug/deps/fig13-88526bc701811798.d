@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-88526bc701811798.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-88526bc701811798: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

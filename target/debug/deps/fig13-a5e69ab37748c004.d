@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-a5e69ab37748c004.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/libfig13-a5e69ab37748c004.rmeta: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

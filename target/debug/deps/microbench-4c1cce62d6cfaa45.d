@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-4c1cce62d6cfaa45.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/libmicrobench-4c1cce62d6cfaa45.rmeta: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

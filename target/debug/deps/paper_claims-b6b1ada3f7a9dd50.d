@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-b6b1ada3f7a9dd50.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-b6b1ada3f7a9dd50: tests/paper_claims.rs
+
+tests/paper_claims.rs:

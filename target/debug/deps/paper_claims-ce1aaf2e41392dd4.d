@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ce1aaf2e41392dd4.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/libpaper_claims-ce1aaf2e41392dd4.rmeta: tests/paper_claims.rs
+
+tests/paper_claims.rs:

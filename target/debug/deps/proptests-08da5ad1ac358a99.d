@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-08da5ad1ac358a99.d: crates/arch/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-08da5ad1ac358a99.rmeta: crates/arch/tests/proptests.rs
+
+crates/arch/tests/proptests.rs:

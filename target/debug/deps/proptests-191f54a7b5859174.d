@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-191f54a7b5859174.d: crates/engines/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-191f54a7b5859174.rmeta: crates/engines/tests/proptests.rs
+
+crates/engines/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-19cd2a698ffe1ee1.d: crates/automata/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-19cd2a698ffe1ee1.rmeta: crates/automata/tests/proptests.rs
+
+crates/automata/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-44a100116f636fa4.d: crates/engines/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-44a100116f636fa4: crates/engines/tests/proptests.rs
+
+crates/engines/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6d890af94252f4e7.d: crates/regex/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6d890af94252f4e7: crates/regex/tests/proptests.rs
+
+crates/regex/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a427b3de4b20be67.d: crates/regex/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-a427b3de4b20be67.rmeta: crates/regex/tests/proptests.rs
+
+crates/regex/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ae4303c742364e8d.d: crates/arch/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ae4303c742364e8d: crates/arch/tests/proptests.rs
+
+crates/arch/tests/proptests.rs:

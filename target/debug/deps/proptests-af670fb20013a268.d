@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-af670fb20013a268.d: crates/automata/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-af670fb20013a268: crates/automata/tests/proptests.rs
+
+crates/automata/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c9db17f35f50d2d8.d: crates/mapper/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c9db17f35f50d2d8: crates/mapper/tests/proptests.rs
+
+crates/mapper/tests/proptests.rs:

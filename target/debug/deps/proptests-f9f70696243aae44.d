@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-f9f70696243aae44.d: crates/mapper/tests/proptests.rs
+
+/root/repo/target/debug/deps/libproptests-f9f70696243aae44.rmeta: crates/mapper/tests/proptests.rs
+
+crates/mapper/tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rap-39ff053dbfeccbd1.d: src/lib.rs
+
+/root/repo/target/debug/deps/librap-39ff053dbfeccbd1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/librap-39ff053dbfeccbd1.rmeta: src/lib.rs
+
+src/lib.rs:

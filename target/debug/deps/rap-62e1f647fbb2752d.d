@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rap-62e1f647fbb2752d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/librap-62e1f647fbb2752d.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rap-7390f66715175e5a.d: src/lib.rs
+
+/root/repo/target/debug/deps/librap-7390f66715175e5a.rmeta: src/lib.rs
+
+src/lib.rs:

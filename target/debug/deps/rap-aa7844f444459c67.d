@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rap-aa7844f444459c67.d: src/lib.rs
+
+/root/repo/target/debug/deps/librap-aa7844f444459c67.rmeta: src/lib.rs
+
+src/lib.rs:

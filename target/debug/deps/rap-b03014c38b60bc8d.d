@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rap-b03014c38b60bc8d.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/librap-b03014c38b60bc8d.rmeta: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

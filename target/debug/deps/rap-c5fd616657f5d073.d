@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rap-c5fd616657f5d073.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/rap-c5fd616657f5d073: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rap-dc12395c0745e96a.d: src/lib.rs
+
+/root/repo/target/debug/deps/rap-dc12395c0745e96a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rap_arch-f0bf6438abcbc84e.d: crates/arch/src/lib.rs crates/arch/src/buffers.rs crates/arch/src/cam.rs crates/arch/src/config.rs crates/arch/src/encoding.rs crates/arch/src/fcb.rs
+
+/root/repo/target/debug/deps/librap_arch-f0bf6438abcbc84e.rmeta: crates/arch/src/lib.rs crates/arch/src/buffers.rs crates/arch/src/cam.rs crates/arch/src/config.rs crates/arch/src/encoding.rs crates/arch/src/fcb.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/buffers.rs:
+crates/arch/src/cam.rs:
+crates/arch/src/config.rs:
+crates/arch/src/encoding.rs:
+crates/arch/src/fcb.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rap_arch-ff4c5eaf3a00547a.d: crates/arch/src/lib.rs crates/arch/src/buffers.rs crates/arch/src/cam.rs crates/arch/src/config.rs crates/arch/src/encoding.rs crates/arch/src/fcb.rs
+
+/root/repo/target/debug/deps/librap_arch-ff4c5eaf3a00547a.rlib: crates/arch/src/lib.rs crates/arch/src/buffers.rs crates/arch/src/cam.rs crates/arch/src/config.rs crates/arch/src/encoding.rs crates/arch/src/fcb.rs
+
+/root/repo/target/debug/deps/librap_arch-ff4c5eaf3a00547a.rmeta: crates/arch/src/lib.rs crates/arch/src/buffers.rs crates/arch/src/cam.rs crates/arch/src/config.rs crates/arch/src/encoding.rs crates/arch/src/fcb.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/buffers.rs:
+crates/arch/src/cam.rs:
+crates/arch/src/config.rs:
+crates/arch/src/encoding.rs:
+crates/arch/src/fcb.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rap_automata-7315b21f0e6c0252.d: crates/automata/src/lib.rs crates/automata/src/bitvec.rs crates/automata/src/glushkov.rs crates/automata/src/lnfa.rs crates/automata/src/nbva.rs crates/automata/src/nca.rs crates/automata/src/nfa.rs
+
+/root/repo/target/debug/deps/librap_automata-7315b21f0e6c0252.rlib: crates/automata/src/lib.rs crates/automata/src/bitvec.rs crates/automata/src/glushkov.rs crates/automata/src/lnfa.rs crates/automata/src/nbva.rs crates/automata/src/nca.rs crates/automata/src/nfa.rs
+
+/root/repo/target/debug/deps/librap_automata-7315b21f0e6c0252.rmeta: crates/automata/src/lib.rs crates/automata/src/bitvec.rs crates/automata/src/glushkov.rs crates/automata/src/lnfa.rs crates/automata/src/nbva.rs crates/automata/src/nca.rs crates/automata/src/nfa.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/bitvec.rs:
+crates/automata/src/glushkov.rs:
+crates/automata/src/lnfa.rs:
+crates/automata/src/nbva.rs:
+crates/automata/src/nca.rs:
+crates/automata/src/nfa.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rap_automata-dc7a621dc17c3f5f.d: crates/automata/src/lib.rs crates/automata/src/bitvec.rs crates/automata/src/glushkov.rs crates/automata/src/lnfa.rs crates/automata/src/nbva.rs crates/automata/src/nca.rs crates/automata/src/nfa.rs
+
+/root/repo/target/debug/deps/librap_automata-dc7a621dc17c3f5f.rmeta: crates/automata/src/lib.rs crates/automata/src/bitvec.rs crates/automata/src/glushkov.rs crates/automata/src/lnfa.rs crates/automata/src/nbva.rs crates/automata/src/nca.rs crates/automata/src/nfa.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/bitvec.rs:
+crates/automata/src/glushkov.rs:
+crates/automata/src/lnfa.rs:
+crates/automata/src/nbva.rs:
+crates/automata/src/nca.rs:
+crates/automata/src/nfa.rs:

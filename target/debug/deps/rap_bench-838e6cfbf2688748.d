@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rap_bench-838e6cfbf2688748.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/librap_bench-838e6cfbf2688748.rlib: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/librap_bench-838e6cfbf2688748.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rap_bench-d227911021f1e4a1.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/librap_bench-d227911021f1e4a1.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/tables.rs:

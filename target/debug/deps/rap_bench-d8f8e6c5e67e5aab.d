@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rap_bench-d8f8e6c5e67e5aab.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/rap_bench-d8f8e6c5e67e5aab: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rap_bench-fe77eb3d8daa8417.d: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+/root/repo/target/debug/deps/librap_bench-fe77eb3d8daa8417.rmeta: crates/bench/src/lib.rs crates/bench/src/eval.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/eval.rs:
+crates/bench/src/tables.rs:

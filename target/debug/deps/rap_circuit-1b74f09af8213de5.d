@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rap_circuit-1b74f09af8213de5.d: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+/root/repo/target/debug/deps/rap_circuit-1b74f09af8213de5: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/energy.rs:
+crates/circuit/src/metrics.rs:
+crates/circuit/src/models.rs:

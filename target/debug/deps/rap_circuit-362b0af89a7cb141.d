@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rap_circuit-362b0af89a7cb141.d: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+/root/repo/target/debug/deps/librap_circuit-362b0af89a7cb141.rmeta: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/energy.rs:
+crates/circuit/src/metrics.rs:
+crates/circuit/src/models.rs:

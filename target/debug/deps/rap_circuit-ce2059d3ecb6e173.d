@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rap_circuit-ce2059d3ecb6e173.d: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+/root/repo/target/debug/deps/librap_circuit-ce2059d3ecb6e173.rlib: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+/root/repo/target/debug/deps/librap_circuit-ce2059d3ecb6e173.rmeta: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/energy.rs:
+crates/circuit/src/metrics.rs:
+crates/circuit/src/models.rs:

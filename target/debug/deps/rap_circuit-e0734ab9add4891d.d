@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rap_circuit-e0734ab9add4891d.d: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+/root/repo/target/debug/deps/librap_circuit-e0734ab9add4891d.rmeta: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/energy.rs:
+crates/circuit/src/metrics.rs:
+crates/circuit/src/models.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rap_cli-61470e1b436847ae.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/compare.rs crates/cli/src/commands/compile.rs crates/cli/src/commands/dot.rs crates/cli/src/commands/gen.rs crates/cli/src/commands/layout.rs crates/cli/src/commands/scan.rs
+
+/root/repo/target/debug/deps/librap_cli-61470e1b436847ae.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands/mod.rs crates/cli/src/commands/compare.rs crates/cli/src/commands/compile.rs crates/cli/src/commands/dot.rs crates/cli/src/commands/gen.rs crates/cli/src/commands/layout.rs crates/cli/src/commands/scan.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands/mod.rs:
+crates/cli/src/commands/compare.rs:
+crates/cli/src/commands/compile.rs:
+crates/cli/src/commands/dot.rs:
+crates/cli/src/commands/gen.rs:
+crates/cli/src/commands/layout.rs:
+crates/cli/src/commands/scan.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rap_compiler-538917ffd9523a98.d: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+/root/repo/target/debug/deps/librap_compiler-538917ffd9523a98.rlib: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+/root/repo/target/debug/deps/librap_compiler-538917ffd9523a98.rmeta: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/lnfa.rs:
+crates/compiler/src/nbva.rs:
+crates/compiler/src/nfa.rs:

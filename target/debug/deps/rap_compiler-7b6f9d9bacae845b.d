@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rap_compiler-7b6f9d9bacae845b.d: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+/root/repo/target/debug/deps/librap_compiler-7b6f9d9bacae845b.rmeta: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/lnfa.rs:
+crates/compiler/src/nbva.rs:
+crates/compiler/src/nfa.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rap_compiler-962162df5bed068f.d: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+/root/repo/target/debug/deps/rap_compiler-962162df5bed068f: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/lnfa.rs:
+crates/compiler/src/nbva.rs:
+crates/compiler/src/nfa.rs:

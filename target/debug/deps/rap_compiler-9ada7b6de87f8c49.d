@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rap_compiler-9ada7b6de87f8c49.d: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+/root/repo/target/debug/deps/librap_compiler-9ada7b6de87f8c49.rmeta: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/lnfa.rs:
+crates/compiler/src/nbva.rs:
+crates/compiler/src/nfa.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rap_engines-246f747d0303d181.d: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+/root/repo/target/debug/deps/rap_engines-246f747d0303d181: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+crates/engines/src/lib.rs:
+crates/engines/src/batch.rs:
+crates/engines/src/dfa.rs:
+crates/engines/src/interp.rs:
+crates/engines/src/power.rs:
+crates/engines/src/prefilter.rs:
+crates/engines/src/shift_and.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rap_engines-4d61368f5a496126.d: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+/root/repo/target/debug/deps/librap_engines-4d61368f5a496126.rmeta: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+crates/engines/src/lib.rs:
+crates/engines/src/batch.rs:
+crates/engines/src/dfa.rs:
+crates/engines/src/interp.rs:
+crates/engines/src/power.rs:
+crates/engines/src/prefilter.rs:
+crates/engines/src/shift_and.rs:

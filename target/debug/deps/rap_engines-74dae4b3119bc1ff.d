@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rap_engines-74dae4b3119bc1ff.d: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+/root/repo/target/debug/deps/librap_engines-74dae4b3119bc1ff.rlib: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+/root/repo/target/debug/deps/librap_engines-74dae4b3119bc1ff.rmeta: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+crates/engines/src/lib.rs:
+crates/engines/src/batch.rs:
+crates/engines/src/dfa.rs:
+crates/engines/src/interp.rs:
+crates/engines/src/power.rs:
+crates/engines/src/prefilter.rs:
+crates/engines/src/shift_and.rs:

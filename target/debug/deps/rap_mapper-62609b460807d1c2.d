@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rap_mapper-62609b460807d1c2.d: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+/root/repo/target/debug/deps/rap_mapper-62609b460807d1c2: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/binning.rs:
+crates/mapper/src/pack.rs:
+crates/mapper/src/plan.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rap_mapper-7816d93f0d520f11.d: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+/root/repo/target/debug/deps/librap_mapper-7816d93f0d520f11.rmeta: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/binning.rs:
+crates/mapper/src/pack.rs:
+crates/mapper/src/plan.rs:

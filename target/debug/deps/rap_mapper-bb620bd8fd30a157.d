@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rap_mapper-bb620bd8fd30a157.d: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+/root/repo/target/debug/deps/librap_mapper-bb620bd8fd30a157.rlib: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+/root/repo/target/debug/deps/librap_mapper-bb620bd8fd30a157.rmeta: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/binning.rs:
+crates/mapper/src/pack.rs:
+crates/mapper/src/plan.rs:

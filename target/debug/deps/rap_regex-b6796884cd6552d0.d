@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rap_regex-b6796884cd6552d0.d: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+/root/repo/target/debug/deps/rap_regex-b6796884cd6552d0: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+crates/regex/src/lib.rs:
+crates/regex/src/analysis.rs:
+crates/regex/src/ast.rs:
+crates/regex/src/charclass.rs:
+crates/regex/src/parser.rs:
+crates/regex/src/rewrite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rap_regex-db6767431fa3a843.d: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+/root/repo/target/debug/deps/librap_regex-db6767431fa3a843.rmeta: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+crates/regex/src/lib.rs:
+crates/regex/src/analysis.rs:
+crates/regex/src/ast.rs:
+crates/regex/src/charclass.rs:
+crates/regex/src/parser.rs:
+crates/regex/src/rewrite.rs:

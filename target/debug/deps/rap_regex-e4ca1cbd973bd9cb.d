@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rap_regex-e4ca1cbd973bd9cb.d: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+/root/repo/target/debug/deps/librap_regex-e4ca1cbd973bd9cb.rlib: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+/root/repo/target/debug/deps/librap_regex-e4ca1cbd973bd9cb.rmeta: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+crates/regex/src/lib.rs:
+crates/regex/src/analysis.rs:
+crates/regex/src/ast.rs:
+crates/regex/src/charclass.rs:
+crates/regex/src/parser.rs:
+crates/regex/src/rewrite.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rap_sim-5f56076596664b9f.d: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/librap_sim-5f56076596664b9f.rlib: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/librap_sim-5f56076596664b9f.rmeta: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/array.rs:
+crates/sim/src/bank.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/replicate.rs:
+crates/sim/src/result.rs:

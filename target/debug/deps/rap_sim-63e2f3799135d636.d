@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rap_sim-63e2f3799135d636.d: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/librap_sim-63e2f3799135d636.rmeta: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/array.rs:
+crates/sim/src/bank.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/replicate.rs:
+crates/sim/src/result.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rap_sim-a0fc8a467aa08920.d: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+/root/repo/target/debug/deps/rap_sim-a0fc8a467aa08920: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/array.rs:
+crates/sim/src/bank.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/replicate.rs:
+crates/sim/src/result.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rap_workloads-414fcbf3c50538a3.d: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+/root/repo/target/debug/deps/librap_workloads-414fcbf3c50538a3.rlib: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+/root/repo/target/debug/deps/librap_workloads-414fcbf3c50538a3.rmeta: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/anmlzoo.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/input.rs:
+crates/workloads/src/suites.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rap_workloads-47afebb113424dd1.d: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+/root/repo/target/debug/deps/rap_workloads-47afebb113424dd1: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/anmlzoo.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/input.rs:
+crates/workloads/src/suites.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rap_workloads-4aebd1b5b24568e1.d: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+/root/repo/target/debug/deps/librap_workloads-4aebd1b5b24568e1.rmeta: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/anmlzoo.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/input.rs:
+crates/workloads/src/suites.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rap_workloads-cd44a4482a426a18.d: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+/root/repo/target/debug/deps/librap_workloads-cd44a4482a426a18.rmeta: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/anmlzoo.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/input.rs:
+crates/workloads/src/suites.rs:

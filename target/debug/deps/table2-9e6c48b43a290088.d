@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-9e6c48b43a290088.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-9e6c48b43a290088: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

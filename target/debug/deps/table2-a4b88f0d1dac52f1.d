@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a4b88f0d1dac52f1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-a4b88f0d1dac52f1.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-ea7b2ee360fe74bd.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/libtable2-ea7b2ee360fe74bd.rmeta: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

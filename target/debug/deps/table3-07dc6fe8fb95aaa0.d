@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-07dc6fe8fb95aaa0.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-07dc6fe8fb95aaa0.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-e09ad43ba7b011d2.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-e09ad43ba7b011d2: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-fcbf38260ace0118.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/libtable3-fcbf38260ace0118.rmeta: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-219da58c0affbf6a.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-219da58c0affbf6a: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

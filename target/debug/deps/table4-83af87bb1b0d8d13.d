@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-83af87bb1b0d8d13.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-83af87bb1b0d8d13.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

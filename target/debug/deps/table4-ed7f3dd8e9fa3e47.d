@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ed7f3dd8e9fa3e47.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/libtable4-ed7f3dd8e9fa3e47.rmeta: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

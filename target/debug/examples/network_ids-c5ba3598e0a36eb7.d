@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_ids-c5ba3598e0a36eb7.d: examples/network_ids.rs
+
+/root/repo/target/debug/examples/network_ids-c5ba3598e0a36eb7: examples/network_ids.rs
+
+examples/network_ids.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_ids-da2908f5ae0ed471.d: examples/network_ids.rs
+
+/root/repo/target/debug/examples/libnetwork_ids-da2908f5ae0ed471.rmeta: examples/network_ids.rs
+
+examples/network_ids.rs:

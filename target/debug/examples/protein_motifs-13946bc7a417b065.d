@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protein_motifs-13946bc7a417b065.d: examples/protein_motifs.rs
+
+/root/repo/target/debug/examples/libprotein_motifs-13946bc7a417b065.rmeta: examples/protein_motifs.rs
+
+examples/protein_motifs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protein_motifs-7d1601bc4edea48c.d: examples/protein_motifs.rs
+
+/root/repo/target/debug/examples/protein_motifs-7d1601bc4edea48c: examples/protein_motifs.rs
+
+examples/protein_motifs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-80c19f76db4f7f69.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-80c19f76db4f7f69.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d66bcc50e3880882.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d66bcc50e3880882: examples/quickstart.rs
+
+examples/quickstart.rs:

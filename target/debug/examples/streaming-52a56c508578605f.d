@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming-52a56c508578605f.d: examples/streaming.rs
+
+/root/repo/target/debug/examples/libstreaming-52a56c508578605f.rmeta: examples/streaming.rs
+
+examples/streaming.rs:

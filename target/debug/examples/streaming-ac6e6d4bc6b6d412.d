@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/streaming-ac6e6d4bc6b6d412.d: examples/streaming.rs
+
+/root/repo/target/debug/examples/streaming-ac6e6d4bc6b6d412: examples/streaming.rs
+
+examples/streaming.rs:

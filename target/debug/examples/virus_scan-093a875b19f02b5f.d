@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/virus_scan-093a875b19f02b5f.d: examples/virus_scan.rs
+
+/root/repo/target/debug/examples/libvirus_scan-093a875b19f02b5f.rmeta: examples/virus_scan.rs
+
+examples/virus_scan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/virus_scan-4674aba64e3a79c2.d: examples/virus_scan.rs
+
+/root/repo/target/debug/examples/virus_scan-4674aba64e3a79c2: examples/virus_scan.rs
+
+examples/virus_scan.rs:

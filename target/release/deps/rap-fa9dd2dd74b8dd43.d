@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rap-fa9dd2dd74b8dd43.d: src/lib.rs
+
+/root/repo/target/release/deps/librap-fa9dd2dd74b8dd43.rlib: src/lib.rs
+
+/root/repo/target/release/deps/librap-fa9dd2dd74b8dd43.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rap_arch-30bd660401a8e798.d: crates/arch/src/lib.rs crates/arch/src/buffers.rs crates/arch/src/cam.rs crates/arch/src/config.rs crates/arch/src/encoding.rs crates/arch/src/fcb.rs
+
+/root/repo/target/release/deps/librap_arch-30bd660401a8e798.rlib: crates/arch/src/lib.rs crates/arch/src/buffers.rs crates/arch/src/cam.rs crates/arch/src/config.rs crates/arch/src/encoding.rs crates/arch/src/fcb.rs
+
+/root/repo/target/release/deps/librap_arch-30bd660401a8e798.rmeta: crates/arch/src/lib.rs crates/arch/src/buffers.rs crates/arch/src/cam.rs crates/arch/src/config.rs crates/arch/src/encoding.rs crates/arch/src/fcb.rs
+
+crates/arch/src/lib.rs:
+crates/arch/src/buffers.rs:
+crates/arch/src/cam.rs:
+crates/arch/src/config.rs:
+crates/arch/src/encoding.rs:
+crates/arch/src/fcb.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rap_automata-5a08a314736804e2.d: crates/automata/src/lib.rs crates/automata/src/bitvec.rs crates/automata/src/glushkov.rs crates/automata/src/lnfa.rs crates/automata/src/nbva.rs crates/automata/src/nca.rs crates/automata/src/nfa.rs
+
+/root/repo/target/release/deps/librap_automata-5a08a314736804e2.rlib: crates/automata/src/lib.rs crates/automata/src/bitvec.rs crates/automata/src/glushkov.rs crates/automata/src/lnfa.rs crates/automata/src/nbva.rs crates/automata/src/nca.rs crates/automata/src/nfa.rs
+
+/root/repo/target/release/deps/librap_automata-5a08a314736804e2.rmeta: crates/automata/src/lib.rs crates/automata/src/bitvec.rs crates/automata/src/glushkov.rs crates/automata/src/lnfa.rs crates/automata/src/nbva.rs crates/automata/src/nca.rs crates/automata/src/nfa.rs
+
+crates/automata/src/lib.rs:
+crates/automata/src/bitvec.rs:
+crates/automata/src/glushkov.rs:
+crates/automata/src/lnfa.rs:
+crates/automata/src/nbva.rs:
+crates/automata/src/nca.rs:
+crates/automata/src/nfa.rs:

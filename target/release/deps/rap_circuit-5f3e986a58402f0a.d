@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rap_circuit-5f3e986a58402f0a.d: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+/root/repo/target/release/deps/librap_circuit-5f3e986a58402f0a.rlib: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+/root/repo/target/release/deps/librap_circuit-5f3e986a58402f0a.rmeta: crates/circuit/src/lib.rs crates/circuit/src/energy.rs crates/circuit/src/metrics.rs crates/circuit/src/models.rs
+
+crates/circuit/src/lib.rs:
+crates/circuit/src/energy.rs:
+crates/circuit/src/metrics.rs:
+crates/circuit/src/models.rs:

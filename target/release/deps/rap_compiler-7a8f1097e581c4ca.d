@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rap_compiler-7a8f1097e581c4ca.d: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+/root/repo/target/release/deps/librap_compiler-7a8f1097e581c4ca.rlib: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+/root/repo/target/release/deps/librap_compiler-7a8f1097e581c4ca.rmeta: crates/compiler/src/lib.rs crates/compiler/src/lnfa.rs crates/compiler/src/nbva.rs crates/compiler/src/nfa.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/lnfa.rs:
+crates/compiler/src/nbva.rs:
+crates/compiler/src/nfa.rs:

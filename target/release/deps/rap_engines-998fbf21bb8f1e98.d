@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/rap_engines-998fbf21bb8f1e98.d: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+/root/repo/target/release/deps/librap_engines-998fbf21bb8f1e98.rlib: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+/root/repo/target/release/deps/librap_engines-998fbf21bb8f1e98.rmeta: crates/engines/src/lib.rs crates/engines/src/batch.rs crates/engines/src/dfa.rs crates/engines/src/interp.rs crates/engines/src/power.rs crates/engines/src/prefilter.rs crates/engines/src/shift_and.rs
+
+crates/engines/src/lib.rs:
+crates/engines/src/batch.rs:
+crates/engines/src/dfa.rs:
+crates/engines/src/interp.rs:
+crates/engines/src/power.rs:
+crates/engines/src/prefilter.rs:
+crates/engines/src/shift_and.rs:

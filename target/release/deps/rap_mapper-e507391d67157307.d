@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rap_mapper-e507391d67157307.d: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+/root/repo/target/release/deps/librap_mapper-e507391d67157307.rlib: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+/root/repo/target/release/deps/librap_mapper-e507391d67157307.rmeta: crates/mapper/src/lib.rs crates/mapper/src/binning.rs crates/mapper/src/pack.rs crates/mapper/src/plan.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/binning.rs:
+crates/mapper/src/pack.rs:
+crates/mapper/src/plan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rap_regex-86e435e80fcc511a.d: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+/root/repo/target/release/deps/librap_regex-86e435e80fcc511a.rlib: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+/root/repo/target/release/deps/librap_regex-86e435e80fcc511a.rmeta: crates/regex/src/lib.rs crates/regex/src/analysis.rs crates/regex/src/ast.rs crates/regex/src/charclass.rs crates/regex/src/parser.rs crates/regex/src/rewrite.rs
+
+crates/regex/src/lib.rs:
+crates/regex/src/analysis.rs:
+crates/regex/src/ast.rs:
+crates/regex/src/charclass.rs:
+crates/regex/src/parser.rs:
+crates/regex/src/rewrite.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rap_sim-aa174f4513f0706d.d: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/librap_sim-aa174f4513f0706d.rlib: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+/root/repo/target/release/deps/librap_sim-aa174f4513f0706d.rmeta: crates/sim/src/lib.rs crates/sim/src/array.rs crates/sim/src/bank.rs crates/sim/src/cost.rs crates/sim/src/replicate.rs crates/sim/src/result.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/array.rs:
+crates/sim/src/bank.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/replicate.rs:
+crates/sim/src/result.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rap_workloads-903cd3732f5c80ff.d: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+/root/repo/target/release/deps/librap_workloads-903cd3732f5c80ff.rlib: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+/root/repo/target/release/deps/librap_workloads-903cd3732f5c80ff.rmeta: crates/workloads/src/lib.rs crates/workloads/src/anmlzoo.rs crates/workloads/src/builder.rs crates/workloads/src/input.rs crates/workloads/src/suites.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/anmlzoo.rs:
+crates/workloads/src/builder.rs:
+crates/workloads/src/input.rs:
+crates/workloads/src/suites.rs:

@@ -1,0 +1,14 @@
+//! Offline stub of the `serde` facade.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the stub
+//! `serde_derive` and declares empty marker traits of the same names so
+//! that trait bounds written against them still compile. No serialization
+//! machinery exists here — see `vendor/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (no methods).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (no methods, no lifetime).
+pub trait Deserialize {}

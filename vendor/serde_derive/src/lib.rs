@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build container has no access to crates.io, and nothing in this
+//! workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` attributes on the plan/config types only reserve the
+//! ability to. These derives therefore expand to nothing; swap the real
+//! `serde`/`serde_derive` back in (delete `vendor/` and restore the
+//! versioned workspace dependencies) when a wire format is needed.
+
+use proc_macro::TokenStream;
+
+/// Stub `Serialize` derive: expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Stub `Deserialize` derive: expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
