@@ -23,7 +23,10 @@ impl<T> Fifo<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Fifo<T> {
         assert!(capacity > 0, "FIFO capacity must be positive");
-        Fifo { capacity, items: VecDeque::with_capacity(capacity) }
+        Fifo {
+            capacity,
+            items: VecDeque::with_capacity(capacity),
+        }
     }
 
     /// Capacity in entries.

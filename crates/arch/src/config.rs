@@ -2,6 +2,23 @@
 
 use serde::{Deserialize, Serialize};
 
+/// An out-of-range BV depth passed to [`ArchConfig::try_bv_columns`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BvDepthError {
+    /// The rejected depth.
+    pub depth: u32,
+    /// The CAM depth bounding it.
+    pub cam_rows: u32,
+}
+
+impl std::fmt::Display for BvDepthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BV depth {} outside 1..={}", self.depth, self.cam_rows)
+    }
+}
+
+impl std::error::Error for BvDepthError {}
+
 /// All sizing parameters of a RAP bank. [`ArchConfig::default`] returns the
 /// paper's configuration; the design-space-exploration benches vary the
 /// user-controlled knobs (BV depth and bin size live in the compiler/mapper,
@@ -72,18 +89,33 @@ impl ArchConfig {
     }
 
     /// Columns a bit vector of `bits` occupies at BV depth `depth`
+    /// (row-first mapping, §3.1), or a [`BvDepthError`] when the depth is
+    /// zero or exceeds the CAM depth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BvDepthError`] when `depth` is outside `1..=cam_rows`.
+    pub fn try_bv_columns(&self, bits: u32, depth: u32) -> Result<u32, BvDepthError> {
+        if depth < 1 || depth > self.cam_rows {
+            return Err(BvDepthError {
+                depth,
+                cam_rows: self.cam_rows,
+            });
+        }
+        Ok(bits.div_ceil(depth))
+    }
+
+    /// Columns a bit vector of `bits` occupies at BV depth `depth`
     /// (row-first mapping, §3.1).
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is zero or exceeds the CAM depth.
+    /// Panics if `depth` is zero or exceeds the CAM depth. Production
+    /// callers should prefer [`ArchConfig::try_bv_columns`] and surface the
+    /// error; this variant remains for tests and quick experiments.
     pub fn bv_columns(&self, bits: u32, depth: u32) -> u32 {
-        assert!(
-            depth >= 1 && depth <= self.cam_rows,
-            "BV depth {depth} outside 1..={}",
-            self.cam_rows
-        );
-        bits.div_ceil(depth)
+        self.try_bv_columns(bits, depth)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Upper bound on the STE count a regex may use after unfolding in NBVA
@@ -147,6 +179,22 @@ mod tests {
     #[should_panic(expected = "BV depth")]
     fn bv_depth_validated() {
         let _ = ArchConfig::default().bv_columns(16, 64);
+    }
+
+    #[test]
+    fn try_bv_columns_reports_bad_depths() {
+        let c = ArchConfig::default();
+        assert_eq!(c.try_bv_columns(34, 16), Ok(3));
+        let err = c.try_bv_columns(16, 64).expect_err("64 > cam_rows");
+        assert_eq!(
+            err,
+            BvDepthError {
+                depth: 64,
+                cam_rows: c.cam_rows
+            }
+        );
+        assert_eq!(err.to_string(), "BV depth 64 outside 1..=32");
+        assert!(c.try_bv_columns(16, 0).is_err());
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub struct CcCode {
 impl CcCode {
     /// A code holding a single product term.
     pub fn single(term: ProductTerm) -> CcCode {
-        CcCode { terms: [term, ProductTerm::default()] }
+        CcCode {
+            terms: [term, ProductTerm::default()],
+        }
     }
 
     /// A code holding two product terms.
@@ -95,15 +97,17 @@ pub fn product_cover(cc: &CharClass) -> Vec<ProductTerm> {
         lo_sets[(b >> 4) as usize] |= 1 << (b & 0x0f);
     }
     let mut terms: Vec<ProductTerm> = Vec::new();
-    for hi in 0..16usize {
-        let lo = lo_sets[hi];
+    for (hi, &lo) in lo_sets.iter().enumerate() {
         if lo == 0 {
             continue;
         }
         if let Some(term) = terms.iter_mut().find(|t| t.lo_mask == lo) {
             term.hi_mask |= 1 << hi;
         } else {
-            terms.push(ProductTerm { hi_mask: 1 << hi, lo_mask: lo });
+            terms.push(ProductTerm {
+                hi_mask: 1 << hi,
+                lo_mask: lo,
+            });
         }
     }
     terms

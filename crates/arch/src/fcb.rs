@@ -21,7 +21,10 @@ pub struct Crossbar {
 impl Crossbar {
     /// Creates an empty (all-zero) `n × n` crossbar.
     pub fn square(n: usize) -> Crossbar {
-        Crossbar { inputs: n, rows: (0..n).map(|_| BitVec::zeros(n)).collect() }
+        Crossbar {
+            inputs: n,
+            rows: (0..n).map(|_| BitVec::zeros(n)).collect(),
+        }
     }
 
     /// Number of input columns.

@@ -15,9 +15,7 @@ fn arb_class() -> impl Strategy<Value = CharClass> {
         // Arbitrary sparse sets.
         prop::collection::vec(any::<u8>(), 0..24).prop_map(CharClass::from_bytes),
         // Ranges.
-        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| {
-            CharClass::range(a.min(b), a.max(b))
-        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| { CharClass::range(a.min(b), a.max(b)) }),
         // Complements of small sets.
         prop::collection::vec(any::<u8>(), 1..6)
             .prop_map(|v| CharClass::from_bytes(v).complement()),

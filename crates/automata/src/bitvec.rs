@@ -19,7 +19,10 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an all-zero vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { len, words: vec![0; len.div_ceil(64)] }
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Creates an all-one vector of `len` bits.
@@ -49,7 +52,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of range for width {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for width {}",
+            self.len
+        );
         self.words[i / 64] & (1u64 << (i % 64)) != 0
     }
 
@@ -60,7 +67,11 @@ impl BitVec {
     /// Panics if `i >= len`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for width {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for width {}",
+            self.len
+        );
         if value {
             self.words[i / 64] |= 1u64 << (i % 64);
         } else {

@@ -56,7 +56,11 @@ pub(crate) struct Glushkov {
 /// Panics if the regex contains a repetition shape the target model cannot
 /// express (callers normalize with the `rap_regex::rewrite` passes first).
 pub(crate) fn construct(regex: &Regex, allow_bv: bool) -> Glushkov {
-    let mut b = Builder { positions: Vec::new(), follow: Vec::new(), allow_bv };
+    let mut b = Builder {
+        positions: Vec::new(),
+        follow: Vec::new(),
+        allow_bv,
+    };
     let f = b.walk(regex);
     Glushkov {
         positions: b.positions,
@@ -76,7 +80,11 @@ struct Factors {
 
 impl Factors {
     fn empty() -> Self {
-        Factors { nullable: true, first: Vec::new(), last: Vec::new() }
+        Factors {
+            nullable: true,
+            first: Vec::new(),
+            last: Vec::new(),
+        }
     }
 }
 
@@ -111,10 +119,18 @@ impl Builder {
             Regex::Class(cc) => {
                 if cc.is_empty() {
                     // ∅ — matches nothing: no positions, not nullable.
-                    return Factors { nullable: false, first: vec![], last: vec![] };
+                    return Factors {
+                        nullable: false,
+                        first: vec![],
+                        last: vec![],
+                    };
                 }
                 let id = self.add_position(*cc, PosKind::Plain);
-                Factors { nullable: false, first: vec![id], last: vec![id] }
+                Factors {
+                    nullable: false,
+                    first: vec![id],
+                    last: vec![id],
+                }
             }
             Regex::Concat(parts) => {
                 let mut acc = Factors::empty();
@@ -126,8 +142,16 @@ impl Builder {
                     } else {
                         acc.first
                     };
-                    let last = if f.nullable { union(&f.last, &acc.last) } else { f.last };
-                    acc = Factors { nullable: acc.nullable && f.nullable, first, last };
+                    let last = if f.nullable {
+                        union(&f.last, &acc.last)
+                    } else {
+                        f.last
+                    };
+                    acc = Factors {
+                        nullable: acc.nullable && f.nullable,
+                        first,
+                        last,
+                    };
                 }
                 acc
             }
@@ -141,21 +165,37 @@ impl Builder {
                     first = union(&first, &f.first);
                     last = union(&last, &f.last);
                 }
-                Factors { nullable, first, last }
+                Factors {
+                    nullable,
+                    first,
+                    last,
+                }
             }
             Regex::Star(inner) => {
                 let f = self.walk(inner);
                 self.link(&f.last, &f.first);
-                Factors { nullable: true, first: f.first, last: f.last }
+                Factors {
+                    nullable: true,
+                    first: f.first,
+                    last: f.last,
+                }
             }
             Regex::Plus(inner) => {
                 let f = self.walk(inner);
                 self.link(&f.last, &f.first);
-                Factors { nullable: f.nullable, first: f.first, last: f.last }
+                Factors {
+                    nullable: f.nullable,
+                    first: f.first,
+                    last: f.last,
+                }
             }
             Regex::Opt(inner) => {
                 let f = self.walk(inner);
-                Factors { nullable: true, first: f.first, last: f.last }
+                Factors {
+                    nullable: true,
+                    first: f.first,
+                    last: f.last,
+                }
             }
             Regex::Repeat { inner, min, max } => {
                 let (cc, kind) = match (&**inner, min, max) {
@@ -226,7 +266,7 @@ mod tests {
         let mut last = gl.last.clone();
         last.sort_unstable();
         assert_eq!(last, vec![1, 4]); // [bc] and d
-        // b (position 2) loops through .* (position 3) to d (position 4).
+                                      // b (position 2) loops through .* (position 3) to d (position 4).
         assert!(gl.follow[2].contains(&3));
         assert!(gl.follow[2].contains(&4));
         assert!(gl.follow[3].contains(&3));
@@ -291,10 +331,7 @@ mod tests {
 
     #[test]
     fn empty_class_matches_nothing() {
-        let gl = construct(
-            &Regex::Class(CharClass::empty()),
-            false,
-        );
+        let gl = construct(&Regex::Class(CharClass::empty()), false);
         assert!(gl.positions.is_empty());
         assert!(!gl.nullable);
         assert!(gl.first.is_empty());

@@ -68,7 +68,10 @@ impl Lnfa {
                 lnfas.push(Lnfa { classes: s });
             }
         }
-        Some(LnfaSet { lnfas, matches_empty })
+        Some(LnfaSet {
+            lnfas,
+            matches_empty,
+        })
     }
 
     /// Number of states.
@@ -88,7 +91,10 @@ impl Lnfa {
 
     /// Creates a fresh Shift-And run.
     pub fn start(&self) -> ShiftAndRun<'_> {
-        ShiftAndRun { lnfa: self, states: BitVec::zeros(self.classes.len()) }
+        ShiftAndRun {
+            lnfa: self,
+            states: BitVec::zeros(self.classes.len()),
+        }
     }
 
     /// Offsets just past each match end in `input`.
@@ -163,8 +169,8 @@ mod tests {
     use rap_regex::parse;
 
     fn chain(pattern: &str) -> Lnfa {
-        let set = Lnfa::from_regex(&parse(pattern).expect("parses"), 1 << 20)
-            .expect("linearizable");
+        let set =
+            Lnfa::from_regex(&parse(pattern).expect("parses"), 1 << 20).expect("linearizable");
         assert_eq!(set.lnfas.len(), 1, "{pattern} is a single chain");
         set.lnfas.into_iter().next().expect("one chain")
     }
@@ -206,7 +212,11 @@ mod tests {
             let mut lnfa_ends: Vec<usize> = Vec::new();
             for (i, _) in input.iter().enumerate() {
                 let end = i + 1;
-                if l_set.lnfas.iter().any(|l| l.match_ends(&input[..end]).contains(&end)) {
+                if l_set
+                    .lnfas
+                    .iter()
+                    .any(|l| l.match_ends(&input[..end]).contains(&end))
+                {
                     lnfa_ends.push(end);
                 }
             }
@@ -216,8 +226,7 @@ mod tests {
 
     #[test]
     fn rewriting_distributes_union() {
-        let set = Lnfa::from_regex(&parse("a(b|c)d").expect("parses"), 64)
-            .expect("linearizable");
+        let set = Lnfa::from_regex(&parse("a(b|c)d").expect("parses"), 64).expect("linearizable");
         assert_eq!(set.lnfas.len(), 2);
         assert!(set.lnfas.iter().all(|l| l.len() == 3));
         assert!(!set.matches_empty);

@@ -115,12 +115,21 @@ impl Nbva {
             .map(|(p, follow)| {
                 let kind = match p.kind {
                     PosKind::Plain => StateKind::Plain,
-                    PosKind::BvExact { width } => {
-                        StateKind::Bv { width, read: ReadAction::Exact(width) }
-                    }
-                    PosKind::BvUpTo { width } => StateKind::Bv { width, read: ReadAction::All },
+                    PosKind::BvExact { width } => StateKind::Bv {
+                        width,
+                        read: ReadAction::Exact(width),
+                    },
+                    PosKind::BvUpTo { width } => StateKind::Bv {
+                        width,
+                        read: ReadAction::All,
+                    },
                 };
-                NbvaState { cc: p.cc, kind, succ: follow.clone(), is_final: false }
+                NbvaState {
+                    cc: p.cc,
+                    kind,
+                    succ: follow.clone(),
+                    is_final: false,
+                }
             })
             .collect();
         for &f in &g.last {
@@ -304,7 +313,8 @@ impl NbvaRun<'_> {
                 unreachable!("bv_states holds only BV ids")
             };
             if read_ok(&self.vectors[q as usize], read) {
-                self.scratch.extend_from_slice(&nbva.states[q as usize].succ);
+                self.scratch
+                    .extend_from_slice(&nbva.states[q as usize].succ);
             }
         }
         if arm_initial && (!nbva.anchored_start || self.pos == 0) {
@@ -350,7 +360,10 @@ impl NbvaRun<'_> {
             }
             matched |= state.is_final && read_ok(v, read);
         }
-        StepInfo { matched, bv_touched }
+        StepInfo {
+            matched,
+            bv_touched,
+        }
     }
 
     /// Number of active plain states plus BV states with a non-zero vector.

@@ -138,7 +138,8 @@ impl<'a> NcaRun<'a> {
                 unreachable!("bv_states holds only counting ids")
             };
             if self.read_ok(q, read, width) {
-                self.scratch.extend_from_slice(&nbva.states()[q as usize].succ);
+                self.scratch
+                    .extend_from_slice(&nbva.states()[q as usize].succ);
             }
         }
         self.scratch.extend_from_slice(nbva.initial());

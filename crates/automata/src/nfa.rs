@@ -61,7 +61,11 @@ impl Nfa {
             .zip(g.follow.iter())
             .map(|(p, follow)| {
                 debug_assert_eq!(p.kind, PosKind::Plain);
-                NfaState { cc: p.cc, succ: follow.clone(), is_final: false }
+                NfaState {
+                    cc: p.cc,
+                    succ: follow.clone(),
+                    is_final: false,
+                }
             })
             .collect();
         for &f in &g.last {
@@ -91,8 +95,7 @@ impl Nfa {
     /// # Ok::<(), rap_regex::ParseError>(())
     /// ```
     pub fn from_pattern(pattern: &rap_regex::parser::Pattern) -> Nfa {
-        Nfa::from_regex(&pattern.regex)
-            .with_anchors(pattern.anchored_start, pattern.anchored_end)
+        Nfa::from_regex(&pattern.regex).with_anchors(pattern.anchored_start, pattern.anchored_end)
     }
 
     /// Sets the anchoring flags (builder style).
@@ -184,7 +187,9 @@ impl Nfa {
         let _ = writeln!(out, "  node [shape=circle];");
         for (q, s) in self.states.iter().enumerate() {
             let shape = if s.is_final { "doublecircle" } else { "circle" };
-            let label = format!("q{q}: {}", s.cc).replace('\\', "\\\\").replace('"', "\\\"");
+            let label = format!("q{q}: {}", s.cc)
+                .replace('\\', "\\\\")
+                .replace('"', "\\\"");
             let _ = writeln!(out, "  q{q} [shape={shape}, label=\"{label}\"];");
         }
         for (i, &q) in self.initial.iter().enumerate() {

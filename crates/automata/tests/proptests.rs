@@ -19,7 +19,11 @@ fn arb_regex() -> impl Strategy<Value = Regex> {
         (1u32..9, 0u32..6).prop_map(|(m, extra)| {
             Regex::repeat(Regex::literal_byte(b'c'), m, Some(m + extra))
         }),
-        (1u32..9).prop_map(|n| Regex::repeat(Regex::Class(CharClass::from_bytes([b'a', b'b'])), 0, Some(n))),
+        (1u32..9).prop_map(|n| Regex::repeat(
+            Regex::Class(CharClass::from_bytes([b'a', b'b'])),
+            0,
+            Some(n)
+        )),
     ];
     leaf.prop_recursive(3, 20, 3, |inner| {
         prop_oneof![

@@ -11,7 +11,12 @@ use rap_sim::Simulator;
 use rap_workloads::Suite;
 
 fn cfg() -> BenchConfig {
-    BenchConfig { patterns_per_suite: 40, input_len: 10_000, match_rate: 0.02, seed: 42 }
+    BenchConfig {
+        patterns_per_suite: 40,
+        input_len: 10_000,
+        match_rate: 0.02,
+        seed: 42,
+    }
 }
 
 /// Sweep the BV depth on an NBVA-heavy workload; Criterion tracks the

@@ -12,7 +12,12 @@ use rap_sim::Simulator;
 use rap_workloads::Suite;
 
 fn cfg() -> BenchConfig {
-    BenchConfig { patterns_per_suite: 60, input_len: 20_000, match_rate: 0.02, seed: 42 }
+    BenchConfig {
+        patterns_per_suite: 60,
+        input_len: 20_000,
+        match_rate: 0.02,
+        seed: 42,
+    }
 }
 
 fn bench_parser(c: &mut Criterion) {

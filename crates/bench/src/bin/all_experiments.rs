@@ -15,7 +15,9 @@ fn main() {
         .parent()
         .expect("exe has a parent dir")
         .to_path_buf();
-    for exp in ["fig1", "fig10", "table2", "table3", "fig11", "fig12", "fig13", "table4"] {
+    for exp in [
+        "fig1", "fig10", "table2", "table3", "fig11", "fig12", "fig13", "table4",
+    ] {
         println!("\n================= {exp} =================\n");
         let status = Command::new(exe_dir.join(exp))
             .status()

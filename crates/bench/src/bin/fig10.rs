@@ -13,7 +13,9 @@ use rap_sim::Simulator;
 use rap_workloads::Suite;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "both".to_string());
     let cfg = config_from_env();
     if which == "nbva" || which == "both" {
         dse_nbva(&cfg);
@@ -26,9 +28,7 @@ fn main() {
 fn dse_nbva(cfg: &rap_bench::BenchConfig) {
     println!("Fig. 10(a) — NBVA DSE over BV depth (normalized to depth 4)\n");
     let depths = [4u32, 8, 16, 32];
-    let mut table = Table::new([
-        "Dataset", "depth", "energy", "area", "throughput", "chosen",
-    ]);
+    let mut table = Table::new(["Dataset", "depth", "energy", "area", "throughput", "chosen"]);
     let rows = par_map(Suite::all().to_vec(), |suite| {
         let patterns = suite_regexes(suite, cfg);
         let nbva = ModeSplit::of(&patterns).nbva;
@@ -40,8 +40,9 @@ fn dse_nbva(cfg: &rap_bench::BenchConfig) {
             .iter()
             .map(|&d| {
                 let sim = Simulator::new(Machine::Rap).with_bv_depth(d);
-                let compiled =
-                    sim.compile_forced(&nbva, Mode::Nbva).expect("NBVA compiles");
+                let compiled = sim
+                    .compile_forced(&nbva, Mode::Nbva)
+                    .expect("NBVA compiles");
                 let mapping = sim.map(&compiled);
                 sim.simulate(&compiled, &mapping, &input)
             })
@@ -63,7 +64,11 @@ fn dse_nbva(cfg: &rap_bench::BenchConfig) {
     });
     for suite_rows in rows {
         for (suite, d, e, a, t) in suite_rows {
-            let chosen = if d == suite.chosen_bv_depth() { "<-" } else { "" };
+            let chosen = if d == suite.chosen_bv_depth() {
+                "<-"
+            } else {
+                ""
+            };
             table.row([
                 suite.name().to_string(),
                 d.to_string(),
@@ -93,8 +98,9 @@ fn dse_lnfa(cfg: &rap_bench::BenchConfig) {
             .iter()
             .map(|&b| {
                 let sim = Simulator::new(Machine::Rap).with_bin_size(b);
-                let compiled =
-                    sim.compile_forced(&lnfa, Mode::Lnfa).expect("LNFA compiles");
+                let compiled = sim
+                    .compile_forced(&lnfa, Mode::Lnfa)
+                    .expect("LNFA compiles");
                 let mapping = sim.map(&compiled);
                 sim.simulate(&compiled, &mapping, &input)
             })
@@ -114,7 +120,11 @@ fn dse_lnfa(cfg: &rap_bench::BenchConfig) {
     });
     for suite_rows in rows {
         for (suite, b, e, a) in suite_rows {
-            let chosen = if b == suite.chosen_bin_size() { "<-" } else { "" };
+            let chosen = if b == suite.chosen_bin_size() {
+                "<-"
+            } else {
+                ""
+            };
             table.row([
                 suite.name().to_string(),
                 b.to_string(),

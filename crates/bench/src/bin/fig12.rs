@@ -16,34 +16,48 @@ fn main() {
         cfg.patterns_per_suite, cfg.input_len
     );
 
-    let results: Vec<(Suite, [RunSummary; 4])> =
-        par_map(Suite::all().to_vec(), |suite| {
-            let patterns = suite_regexes(suite, &cfg);
-            let input = suite_input(suite, &cfg);
-            let rap = eval_rap_by_mode(suite, &patterns, &input).total();
-            let bvap = eval_machine(Machine::Bvap, suite, &patterns, &input, None);
-            let cama = eval_machine(Machine::Cama, suite, &patterns, &input, None);
-            let ca = eval_machine(Machine::Ca, suite, &patterns, &input, None);
-            (suite, [rap, bvap, cama, ca])
-        });
+    let results: Vec<(Suite, [RunSummary; 4])> = par_map(Suite::all().to_vec(), |suite| {
+        let patterns = suite_regexes(suite, &cfg);
+        let input = suite_input(suite, &cfg);
+        let rap = eval_rap_by_mode(suite, &patterns, &input).total();
+        let bvap = eval_machine(Machine::Bvap, suite, &patterns, &input, None);
+        let cama = eval_machine(Machine::Cama, suite, &patterns, &input, None);
+        let ca = eval_machine(Machine::Ca, suite, &patterns, &input, None);
+        (suite, [rap, bvap, cama, ca])
+    });
 
     let machines = ["RAP", "BVAP", "CAMA", "CA"];
     type Get = fn(&RunSummary) -> f64;
     let metrics: [(&str, Get, bool); 5] = [
         ("Area (mm2)", |s: &RunSummary| s.area_mm2, false),
-        ("Throughput (Gch/s)", |s: &RunSummary| s.throughput_gchps, true),
-        ("Energy eff (Gch/s/W)", |s: &RunSummary| s.energy_efficiency(), true),
-        ("Compute density (Gch/s/mm2)", |s: &RunSummary| s.compute_density(), true),
+        (
+            "Throughput (Gch/s)",
+            |s: &RunSummary| s.throughput_gchps,
+            true,
+        ),
+        (
+            "Energy eff (Gch/s/W)",
+            |s: &RunSummary| s.energy_efficiency(),
+            true,
+        ),
+        (
+            "Compute density (Gch/s/mm2)",
+            |s: &RunSummary| s.compute_density(),
+            true,
+        ),
         ("Power (W)", |s: &RunSummary| s.power_w, false),
     ];
 
     for (name, get, higher_better) in metrics {
         println!(
             "\n== {name} ({}) ==",
-            if higher_better { "higher is better" } else { "lower is better" }
+            if higher_better {
+                "higher is better"
+            } else {
+                "lower is better"
+            }
         );
-        let mut table =
-            Table::new(std::iter::once("Dataset").chain(machines.iter().copied()));
+        let mut table = Table::new(std::iter::once("Dataset").chain(machines.iter().copied()));
         let mut ratios = vec![Vec::new(); 4];
         for (suite, cells) in &results {
             let base = get(&cells[0]);

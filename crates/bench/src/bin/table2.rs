@@ -46,14 +46,17 @@ fn main() {
 
     let machines = ["NBVA", "NFA", "CAMA", "BVAP", "CA"];
     for (metric, get) in [
-        ("Energy (uJ)", (|s: &rap_bench::RunSummary| s.energy_uj) as fn(_) -> f64),
+        (
+            "Energy (uJ)",
+            (|s: &rap_bench::RunSummary| s.energy_uj) as fn(_) -> f64,
+        ),
         ("Area (mm2)", |s: &rap_bench::RunSummary| s.area_mm2),
-        ("Throughput (Gch/s)", |s: &rap_bench::RunSummary| s.throughput_gchps),
+        ("Throughput (Gch/s)", |s: &rap_bench::RunSummary| {
+            s.throughput_gchps
+        }),
     ] {
         println!("\n== {metric} ==");
-        let mut table = Table::new(
-            std::iter::once("Dataset").chain(machines.iter().copied()),
-        );
+        let mut table = Table::new(std::iter::once("Dataset").chain(machines.iter().copied()));
         let mut ratios = vec![Vec::new(); 5];
         for row in &rows {
             let base = get(&row.cells[0]);

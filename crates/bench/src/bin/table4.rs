@@ -2,9 +2,9 @@
 //! RAP's power/throughput are simulated; hAP's numbers are the published
 //! Table 4 constants.
 
+use rap_bench::config_from_env;
 use rap_bench::eval::{eval_rap_by_mode, par_map};
 use rap_bench::tables::{f2, Table};
-use rap_bench::config_from_env;
 use rap_workloads::anmlzoo::AnmlZoo;
 use rap_workloads::generate_input;
 
@@ -40,7 +40,10 @@ fn main() {
             f2(rap.throughput_gchps),
             f2(suite.hap_power_w()),
             f2(suite.hap_throughput_gchps()),
-            format!("{:.1}x", rap.throughput_gchps / suite.hap_throughput_gchps()),
+            format!(
+                "{:.1}x",
+                rap.throughput_gchps / suite.hap_throughput_gchps()
+            ),
         ]);
     }
     print!("{}", table.render());

@@ -22,7 +22,12 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        BenchConfig { patterns_per_suite: 300, input_len: 100_000, match_rate: 0.02, seed: 42 }
+        BenchConfig {
+            patterns_per_suite: 300,
+            input_len: 100_000,
+            match_rate: 0.02,
+            seed: 42,
+        }
     }
 }
 
@@ -84,8 +89,7 @@ pub fn suite_regexes(suite: Suite, cfg: &BenchConfig) -> Vec<Regex> {
 
 /// Generates the input stream for a suite.
 pub fn suite_input(suite: Suite, cfg: &BenchConfig) -> Vec<u8> {
-    let patterns =
-        rap_workloads::generate_patterns(suite, cfg.patterns_per_suite, cfg.seed);
+    let patterns = rap_workloads::generate_patterns(suite, cfg.patterns_per_suite, cfg.seed);
     rap_workloads::generate_input(&patterns, cfg.input_len, cfg.match_rate, cfg.seed)
 }
 
@@ -113,8 +117,26 @@ pub fn eval_machine(
     .unwrap_or_else(|e| panic!("{machine} compile failed: {e}"));
     let states: u64 = compiled.iter().map(|c| c.state_count()).sum();
     let mapping = sim.map(&compiled);
+    let lint = sim.verify(&compiled, &mapping);
+    assert!(
+        lint.is_legal(),
+        "{machine} produced an illegal mapping:\n{lint}"
+    );
     let result = sim.simulate(&compiled, &mapping, input);
     RunSummary::from_result(&result, states)
+}
+
+/// Lints one suite's synthetic corpus on one machine: compiles with the
+/// suite's DSE-chosen knobs, maps, and statically verifies the plan,
+/// returning every finding (empty = provably legal, no advisories).
+pub fn lint_suite(machine: Machine, suite: Suite, cfg: &BenchConfig) -> rap_verify::Report {
+    let sim = simulator_for(machine, suite);
+    let patterns = suite_regexes(suite, cfg);
+    let compiled = sim
+        .compile(&patterns)
+        .unwrap_or_else(|e| panic!("{suite} corpus compile failed: {e}"));
+    let mapping = sim.map(&compiled);
+    sim.verify(&compiled, &mapping)
 }
 
 /// The decided-mode partition of a suite's patterns.
@@ -162,8 +184,7 @@ impl RapSystem {
     /// slowest mode's (arrays run the same stream in parallel).
     pub fn total(&self) -> RunSummary {
         let parts = [self.nfa, self.nbva, self.lnfa];
-        let active: Vec<&RunSummary> =
-            parts.iter().filter(|p| p.states > 0).collect();
+        let active: Vec<&RunSummary> = parts.iter().filter(|p| p.states > 0).collect();
         let throughput = active
             .iter()
             .map(|p| p.throughput_gchps)
@@ -173,13 +194,23 @@ impl RapSystem {
         let area_mm2: f64 = active.iter().map(|p| p.area_mm2).sum();
         let runtime_s = active
             .iter()
-            .map(|p| if p.power_w > 0.0 { p.energy_uj * 1e-6 / p.power_w } else { 0.0 })
+            .map(|p| {
+                if p.power_w > 0.0 {
+                    p.energy_uj * 1e-6 / p.power_w
+                } else {
+                    0.0
+                }
+            })
             .fold(0.0f64, f64::max);
         RunSummary {
             energy_uj,
             area_mm2,
             throughput_gchps: throughput,
-            power_w: if runtime_s > 0.0 { energy_uj * 1e-6 / runtime_s } else { 0.0 },
+            power_w: if runtime_s > 0.0 {
+                energy_uj * 1e-6 / runtime_s
+            } else {
+                0.0
+            },
             matches: active.iter().map(|p| p.matches).sum(),
             states: active.iter().map(|p| p.states).sum(),
         }
@@ -203,8 +234,7 @@ pub fn eval_rap_by_mode(suite: Suite, patterns: &[Regex], input: &[u8]) -> RapSy
     // additional arrays to share the stalling workload.
     if nbva.states > 0 && nbva.throughput_gchps > 0.0 && nbva.throughput_gchps < 2.0 {
         let factor = (2.0 / nbva.throughput_gchps).ceil();
-        nbva.throughput_gchps =
-            (nbva.throughput_gchps * factor).min(Machine::Rap.clock_hz() / 1e9);
+        nbva.throughput_gchps = (nbva.throughput_gchps * factor).min(Machine::Rap.clock_hz() / 1e9);
         // The replicas are near-idle copies: small area overhead, same
         // total switching energy (the work is split, not duplicated).
         nbva.area_mm2 *= 1.0 + 0.03 * (factor - 1.0);
@@ -231,7 +261,9 @@ where
             });
         }
     });
-    out.into_iter().map(|r| r.expect("every slot filled")).collect()
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -239,7 +271,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> BenchConfig {
-        BenchConfig { patterns_per_suite: 12, input_len: 2_000, match_rate: 0.02, seed: 7 }
+        BenchConfig {
+            patterns_per_suite: 12,
+            input_len: 2_000,
+            match_rate: 0.02,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -266,11 +303,23 @@ mod tests {
     }
 
     #[test]
+    fn rap_corpus_lints_clean() {
+        let cfg = tiny();
+        for suite in Suite::all() {
+            let report = lint_suite(Machine::Rap, suite, &cfg);
+            assert!(report.is_empty(), "{suite}: {report}");
+        }
+    }
+
+    #[test]
     fn mode_split_partitions_everything() {
         let cfg = tiny();
         let patterns = suite_regexes(Suite::Snort, &cfg);
         let split = ModeSplit::of(&patterns);
-        assert_eq!(split.nfa.len() + split.nbva.len() + split.lnfa.len(), patterns.len());
+        assert_eq!(
+            split.nfa.len() + split.nbva.len() + split.lnfa.len(),
+            patterns.len()
+        );
     }
 
     #[test]
@@ -284,7 +333,11 @@ mod tests {
         assert!(total.area_mm2 >= sys.nbva.area_mm2);
         // Replication guarantees ≥ 2 Gch/s system throughput (or the mode
         // was already faster).
-        assert!(total.throughput_gchps >= 1.99, "throughput {}", total.throughput_gchps);
+        assert!(
+            total.throughput_gchps >= 1.99,
+            "throughput {}",
+            total.throughput_gchps
+        );
     }
 
     #[test]

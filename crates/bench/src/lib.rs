@@ -19,8 +19,7 @@ pub mod eval;
 pub mod tables;
 
 pub use eval::{
-    eval_machine, eval_rap_by_mode, suite_input, suite_regexes, BenchConfig, ModeSplit,
-    RunSummary,
+    eval_machine, eval_rap_by_mode, suite_input, suite_regexes, BenchConfig, ModeSplit, RunSummary,
 };
 
 /// Standard scale knobs for the harness, overridable via environment

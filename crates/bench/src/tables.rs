@@ -13,7 +13,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -72,7 +75,12 @@ impl Table {
             }
         };
         csv.push_str(
-            &self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         csv.push('\n');
         for row in &self.rows {

@@ -80,7 +80,10 @@ impl EnergyMeter {
     ///
     /// Panics on negative or non-finite charges (a sign of a modeling bug).
     pub fn charge(&mut self, category: Category, pj: f64) {
-        assert!(pj.is_finite() && pj >= 0.0, "invalid energy charge {pj} pJ to {category}");
+        assert!(
+            pj.is_finite() && pj >= 0.0,
+            "invalid energy charge {pj} pJ to {category}"
+        );
         *self.by_category.entry(category).or_insert(0.0) += pj;
     }
 

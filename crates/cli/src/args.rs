@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["help", "h"];
+const SWITCHES: &[&str] = &["help", "h", "json"];
 
 impl Args {
     /// Parses an argv slice.
@@ -29,9 +29,9 @@ impl Args {
                 if SWITCHES.contains(&name) {
                     args.switches.push(name.to_string());
                 } else {
-                    let value = it.next().ok_or_else(|| {
-                        CliError::Usage(format!("flag --{name} needs a value"))
-                    })?;
+                    let value = it
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
                     args.flags.push((name.to_string(), value.clone()));
                 }
             } else {
@@ -44,6 +44,11 @@ impl Args {
     /// Whether `--help`/`-h` was given.
     pub fn wants_help(&self) -> bool {
         self.switches.iter().any(|s| s == "help" || s == "h")
+    }
+
+    /// Whether a bare switch (e.g. `--json`) was given.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     /// The `i`-th positional argument.
@@ -125,7 +130,10 @@ mod tests {
 
     #[test]
     fn machines_parse() {
-        assert_eq!(parse(&["--machine", "cama"]).machine().expect("cama"), Machine::Cama);
+        assert_eq!(
+            parse(&["--machine", "cama"]).machine().expect("cama"),
+            Machine::Cama
+        );
         assert_eq!(parse(&[]).machine().expect("default"), Machine::Rap);
         assert!(parse(&["--machine", "gpu"]).machine().is_err());
     }

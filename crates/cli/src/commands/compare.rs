@@ -35,11 +35,19 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     outln!(
         out,
         "{:>10} {:>10} {:>10} {:>12} {:>12} {:>9} {:>8}",
-        "machine", "energy uJ", "area mm2", "thpt Gch/s", "eff Gch/s/W", "power W", "matches"
+        "machine",
+        "energy uJ",
+        "area mm2",
+        "thpt Gch/s",
+        "eff Gch/s/W",
+        "power W",
+        "matches"
     );
     let mut reference: Option<usize> = None;
     for machine in Machine::all() {
-        let sim = Simulator::new(machine).with_bv_depth(depth).with_bin_size(bin);
+        let sim = Simulator::new(machine)
+            .with_bv_depth(depth)
+            .with_bin_size(bin);
         let compiled = sim
             .compile_parsed(&parsed)
             .map_err(|e| CliError::Runtime(e.to_string()))?;
@@ -75,7 +83,13 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     outln!(
         out,
         "{:>10} {:>10} {:>10} {:>12.5} {:>12} {:>9} {:>8}",
-        "sw-cpu", "-", "-", thpt, "-", "-", hits
+        "sw-cpu",
+        "-",
+        "-",
+        thpt,
+        "-",
+        "-",
+        hits
     );
     Ok(())
 }

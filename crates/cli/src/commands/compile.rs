@@ -38,10 +38,25 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .compile_parsed(&parsed)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
 
-    outln!(out, "{:>4}  {:>5}  {:>7}  {:>7}  pattern", "#", "mode", "states", "columns");
+    outln!(
+        out,
+        "{:>4}  {:>5}  {:>7}  {:>7}  pattern",
+        "#",
+        "mode",
+        "states",
+        "columns"
+    );
     let mut counts = [0usize; 3];
     for (i, (c, p)) in compiled.iter().zip(patterns.iter()).enumerate() {
-        outln!(out, "{:>4}  {:>5}  {:>7}  {:>7}  {}", i, c.mode().to_string(), c.state_count(), c.column_count(), p);
+        outln!(
+            out,
+            "{:>4}  {:>5}  {:>7}  {:>7}  {}",
+            i,
+            c.mode().to_string(),
+            c.state_count(),
+            c.column_count(),
+            p
+        );
         counts[match c.mode() {
             Mode::Nfa => 0,
             Mode::Nbva => 1,

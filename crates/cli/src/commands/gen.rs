@@ -140,7 +140,12 @@ mod tests {
         let target = dir.join("stream.bin");
         let _ = run_ok(
             run_input,
-            &[p.to_str().expect("utf8"), "100", "--out", target.to_str().expect("utf8")],
+            &[
+                p.to_str().expect("utf8"),
+                "100",
+                "--out",
+                target.to_str().expect("utf8"),
+            ],
         );
         assert_eq!(std::fs::read(&target).expect("read back").len(), 100);
     }
@@ -151,9 +156,16 @@ mod tests {
         std::fs::create_dir_all(&dir).expect("mkdir");
         let p = dir.join("p.txt");
         std::fs::write(&p, "abc\n").expect("write");
-        let argv = vec![p.to_str().expect("utf8").to_string(), "10".to_string(),
-            "--rate".to_string(), "1.5".to_string()];
+        let argv = vec![
+            p.to_str().expect("utf8").to_string(),
+            "10".to_string(),
+            "--rate".to_string(),
+            "1.5".to_string(),
+        ];
         let mut out = Vec::new();
-        assert!(matches!(run_input(&argv, &mut out), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_input(&argv, &mut out),
+            Err(CliError::Usage(_))
+        ));
     }
 }

@@ -44,8 +44,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 };
                 outln!(out, "array {ai} ({label}): {} tiles", plan.tiles_used);
                 let mut tile_cols_used = vec![0u32; plan.tiles_used as usize];
-                let mut tile_patterns =
-                    vec![Vec::<usize>::new(); plan.tiles_used as usize];
+                let mut tile_patterns = vec![Vec::<usize>::new(); plan.tiles_used as usize];
                 for p in placements {
                     let cols: &[u32] = match &compiled[p.pattern] {
                         Compiled::Nfa(img) => &img.state_columns,
@@ -78,8 +77,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                         Some(rap_compiler::MatchPath::LocalSwitch) => "switch",
                         None => "?",
                     };
-                    let patterns: Vec<usize> =
-                        bin.members.iter().map(|m| m.pattern).collect();
+                    let patterns: Vec<usize> = bin.members.iter().map(|m| m.pattern).collect();
                     outln!(
                         out,
                         "  bin {bi:>2} [{path:>6}] tiles {}..{}  {} chains x {} col regions  patterns {:?}",

@@ -1,0 +1,179 @@
+//! `rap lint` — statically verify a workload's mapping plan.
+
+use super::{outln, parse_all};
+use crate::args::Args;
+use crate::{read_patterns, CliError};
+use rap_sim::Simulator;
+use rap_verify::{Report, Severity};
+use std::io::Write;
+
+const HELP: &str = "\
+rap lint — compile + map a pattern file and statically verify the plan
+
+Runs every rap-verify legality rule (V001..V012) against the mapping the
+compiler and mapper produce for the pattern file, and prints each finding
+with its rule code, severity, and location. Exits non-zero when an error
+(hardware-illegal plan) is found; warnings and infos do not fail the lint.
+
+USAGE:
+    rap lint <patterns.txt> [--machine rap|cama|bvap|ca] [--depth N]
+             [--bin N] [--threshold N] [--json]
+
+FLAGS:
+    --machine M     machine model to map for (default rap)
+    --depth N       BV depth for NBVA mode (4/8/16/32, default 8)
+    --bin N         max LNFAs per bin (default 8)
+    --threshold N   bounded-repetition unfolding threshold (default 4)
+    --json          emit the report as JSON on stdout";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        outln!(out, "{HELP}");
+        return Ok(());
+    }
+    let path = args.positional(0, "patterns.txt")?;
+    let patterns = read_patterns(path)?;
+    let parsed = parse_all(&patterns)?;
+
+    let mut sim = Simulator::new(args.machine()?)
+        .with_bv_depth(args.flag_num("depth", 8)?)
+        .with_bin_size(args.flag_num("bin", 8)?);
+    sim.compiler.unfold_threshold = args.flag_num("threshold", 4)?;
+    let compiled = sim
+        .compile_parsed(&parsed)
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+    let mapping = sim.map(&compiled);
+    let report = sim.verify(&compiled, &mapping);
+
+    if args.switch("json") {
+        outln!(out, "{}", report_json(&report));
+    } else {
+        out.write_all(report.to_string().as_bytes())
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        outln!(
+            out,
+            "{} pattern(s), {} array(s), {} finding(s)",
+            patterns.len(),
+            mapping.arrays.len(),
+            report.len()
+        );
+    }
+    if !report.is_legal() {
+        return Err(CliError::Runtime(format!(
+            "mapping is illegal: {} error(s)",
+            report.errors().count()
+        )));
+    }
+    Ok(())
+}
+
+/// Renders a report as a JSON object (hand-rolled; the workspace carries no
+/// JSON dependency).
+fn report_json(report: &Report) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"legal\": {},\n", report.is_legal()));
+    s.push_str("  \"findings\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"array\": {}, \
+             \"pattern\": {}, \"tile\": {}, \"bin\": {}, \"message\": \"{}\"}}",
+            d.rule,
+            match d.severity {
+                Severity::Info => "info",
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            },
+            json_opt(d.location.array.map(|v| v as u64)),
+            json_opt(d.location.pattern.map(|v| v as u64)),
+            json_opt(d.location.tile.map(u64::from)),
+            json_opt(d.location.bin.map(|v| v as u64)),
+            json_escape(&d.message),
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}");
+    s
+}
+
+fn json_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |v| v.to_string())
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_patterns(name: &str, body: &str) -> String {
+        let dir = std::env::temp_dir().join("rap-cli-lint");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(name);
+        std::fs::write(&path, body).expect("write");
+        path.to_str().expect("utf8").to_string()
+    }
+
+    fn run_ok(argv: &[&str]) -> String {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&argv, &mut out).expect("lint succeeds");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    #[test]
+    fn clean_workload_lints_clean() {
+        let path = write_patterns("mix.txt", "abcdef\nx{40}y\na.*b\n");
+        let s = run_ok(&[&path]);
+        assert!(s.contains("mapping verified clean"), "{s}");
+        assert!(s.contains("0 finding(s)"), "{s}");
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let path = write_patterns("j.txt", "abc\n");
+        let s = run_ok(&[&path, "--json"]);
+        assert!(s.contains("\"legal\": true"), "{s}");
+        assert!(s.contains("\"findings\": []"), "{s}");
+    }
+
+    #[test]
+    fn unswept_depth_warns_but_passes() {
+        let path = write_patterns("warn.txt", "x{100}y\n");
+        let s = run_ok(&[&path, "--depth", "10"]);
+        assert!(s.contains("V001-bv-depth"), "{s}");
+        assert!(s.contains("warning"), "{s}");
+        let j = run_ok(&[&path, "--depth", "10", "--json"]);
+        assert!(j.contains("\"legal\": true"), "{j}");
+        assert!(j.contains("\"rule\": \"V001-bv-depth\""), "{j}");
+    }
+
+    #[test]
+    fn help_flag() {
+        let s = run_ok(&["--help"]);
+        assert!(s.contains("rap lint"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_control() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -5,6 +5,7 @@ pub mod compile;
 pub mod dot;
 pub mod gen;
 pub mod layout;
+pub mod lint;
 pub mod scan;
 
 use crate::CliError;

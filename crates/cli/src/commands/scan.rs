@@ -44,19 +44,44 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     outln!(out, "machine: {}", result.machine);
     outln!(out, "matches: {}", result.matches.len());
     for m in result.matches.iter().take(limit) {
-        outln!(out, "  pattern {:>4} ends at byte {:>8}  /{}/", m.pattern, m.end, patterns[m.pattern]);
+        outln!(
+            out,
+            "  pattern {:>4} ends at byte {:>8}  /{}/",
+            m.pattern,
+            m.end,
+            patterns[m.pattern]
+        );
     }
     if result.matches.len() > limit {
-        outln!(out, "  ... and {} more (raise --limit)", result.matches.len() - limit);
+        outln!(
+            out,
+            "  ... and {} more (raise --limit)",
+            result.matches.len() - limit
+        );
     }
     let metrics = &result.metrics;
     outln!(out, "");
-    outln!(out, "cycles      : {} ({} stall)", metrics.cycles, result.stall_cycles);
-    outln!(out, "throughput  : {:.3} Gch/s @ {:.2} GHz", metrics.throughput_gchps(), metrics.clock_hz / 1e9);
+    outln!(
+        out,
+        "cycles      : {} ({} stall)",
+        metrics.cycles,
+        result.stall_cycles
+    );
+    outln!(
+        out,
+        "throughput  : {:.3} Gch/s @ {:.2} GHz",
+        metrics.throughput_gchps(),
+        metrics.clock_hz / 1e9
+    );
     outln!(out, "energy      : {:.4} uJ", metrics.energy_uj);
     outln!(out, "area        : {:.4} mm2", metrics.area_mm2);
     outln!(out, "power       : {:.4} W", metrics.power_w());
-    outln!(out, "efficiency  : {:.3} Gch/s/W, {:.3} Gch/s/mm2", metrics.energy_efficiency(), metrics.compute_density());
+    outln!(
+        out,
+        "efficiency  : {:.3} Gch/s/W, {:.3} Gch/s/mm2",
+        metrics.energy_efficiency(),
+        metrics.compute_density()
+    );
     outln!(out, "");
     outln!(out, "energy breakdown:");
     for (category, pj) in result.energy.iter() {

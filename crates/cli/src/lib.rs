@@ -8,6 +8,7 @@
 //! rap gen     <suite> <count> [--seed S]
 //! rap gen-input <patterns.txt> <length> [--rate R] [--seed S] [--out FILE]
 //! rap compare <patterns.txt> <input-file>
+//! rap lint    <patterns.txt> [--machine rap|cama|bvap|ca] [--json]
 //! ```
 //!
 //! Pattern files contain one PCRE-style pattern per line; blank lines and
@@ -65,6 +66,7 @@ COMMANDS:
     compare    Run all four machines plus the software engines on a workload
     dot        Print a pattern's Glushkov automaton in Graphviz DOT
     layout     Show per-array tile occupancy after mapping
+    lint       Statically verify the mapping plan for a pattern file
     help       Show this message
 
 Run `rap <COMMAND> --help` for command-specific flags.";
@@ -88,10 +90,13 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "compare" => commands::compare::run(rest, out),
         "dot" => commands::dot::run(rest, out),
         "layout" => commands::layout::run(rest, out),
+        "lint" => commands::lint::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| CliError::Runtime(e.to_string()))
         }
-        other => Err(CliError::Usage(format!("unknown command {other:?}\n\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     }
 }
 

@@ -106,6 +106,8 @@ pub enum CompileError {
     },
     /// The pattern matches only the empty string (no states to map).
     EmptyLanguageOrEpsilon,
+    /// The configured BV depth is invalid for the CAM geometry.
+    BadBvDepth(rap_arch::config::BvDepthError),
 }
 
 impl fmt::Display for CompileError {
@@ -119,6 +121,7 @@ impl fmt::Display for CompileError {
             CompileError::EmptyLanguageOrEpsilon => {
                 write!(f, "pattern has no states to map (empty language or ε)")
             }
+            CompileError::BadBvDepth(e) => write!(f, "{e}"),
         }
     }
 }
@@ -128,6 +131,12 @@ impl std::error::Error for CompileError {}
 impl From<ParseError> for CompileError {
     fn from(e: ParseError) -> Self {
         CompileError::Parse(e)
+    }
+}
+
+impl From<rap_arch::config::BvDepthError> for CompileError {
+    fn from(e: rap_arch::config::BvDepthError) -> Self {
+        CompileError::BadBvDepth(e)
     }
 }
 
@@ -339,11 +348,17 @@ mod tests {
     fn decision_graph_modes() {
         let c = compiler();
         // Bounded repetition above threshold → NBVA.
-        assert_eq!(c.compile_str("ac{16}d").expect("compiles").mode(), Mode::Nbva);
+        assert_eq!(
+            c.compile_str("ac{16}d").expect("compiles").mode(),
+            Mode::Nbva
+        );
         // Plain chain → LNFA.
         assert_eq!(c.compile_str("abcd").expect("compiles").mode(), Mode::Lnfa);
         // Small union distributes → LNFA.
-        assert_eq!(c.compile_str("a(b|c)d").expect("compiles").mode(), Mode::Lnfa);
+        assert_eq!(
+            c.compile_str("a(b|c)d").expect("compiles").mode(),
+            Mode::Lnfa
+        );
         // Kleene star cannot linearize → NFA.
         assert_eq!(c.compile_str("ab*c").expect("compiles").mode(), Mode::Nfa);
     }
@@ -352,7 +367,10 @@ mod tests {
     fn small_bounds_unfold_away_from_nbva() {
         let c = compiler();
         // Bound 3 ≤ threshold 4: unfolds, then linearizes.
-        assert_eq!(c.compile_str("ab{3}c").expect("compiles").mode(), Mode::Lnfa);
+        assert_eq!(
+            c.compile_str("ab{3}c").expect("compiles").mode(),
+            Mode::Lnfa
+        );
     }
 
     #[test]
@@ -369,7 +387,9 @@ mod tests {
         let c = compiler();
         // (a|b)(a|b)(a|b)(a|b)(a|b) has 10 positions; expansion needs
         // 32 × 5 = 160 > 2×10 states → NFA.
-        let compiled = c.compile_str("(a|b)(a|b)(a|b)(a|b)(a|b)").expect("compiles");
+        let compiled = c
+            .compile_str("(a|b)(a|b)(a|b)(a|b)(a|b)")
+            .expect("compiles");
         assert_eq!(compiled.mode(), Mode::Nfa);
     }
 

@@ -82,16 +82,26 @@ pub(crate) fn compile(
             let all_single = lnfa.classes().iter().all(|cc| single_code(cc).is_some());
             LnfaUnit {
                 lnfa,
-                path: if all_single { MatchPath::Cam } else { MatchPath::LocalSwitch },
+                path: if all_single {
+                    MatchPath::Cam
+                } else {
+                    MatchPath::LocalSwitch
+                },
             }
         })
         .collect();
-    let compiled = CompiledLnfa { units, matches_empty: set.matches_empty };
+    let compiled = CompiledLnfa {
+        units,
+        matches_empty: set.matches_empty,
+    };
 
     let capacity = u64::from(config.arch.states_per_array());
     let columns = compiled.total_columns();
     if columns > capacity {
-        return Err(CompileError::TooLarge { states: columns, capacity });
+        return Err(CompileError::TooLarge {
+            states: columns,
+            capacity,
+        });
     }
     Ok(compiled)
 }
@@ -102,8 +112,7 @@ mod tests {
     use rap_regex::parse;
 
     fn compile_str(pattern: &str) -> CompiledLnfa {
-        compile(&parse(pattern).expect("parses"), &CompilerConfig::default())
-            .expect("compiles")
+        compile(&parse(pattern).expect("parses"), &CompilerConfig::default()).expect("compiles")
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub(crate) fn compile(
     config: &CompilerConfig,
 ) -> Result<CompiledNbva, CompileError> {
     let depth = config.bv_depth;
+    // Reject an invalid depth before rewriting: fit_to_tile sizes tile
+    // budgets as `columns × depth`, which degenerates at depth 0.
+    config.arch.try_bv_columns(0, depth)?;
     // §4.1 pipeline: unfold small/complex repetitions, split r{m,n} into
     // r{m}·r{0,n−m}, then split repetitions too wide for one tile
     // (Example 4.3's dichotomic search reduces to this closed form).
@@ -83,14 +86,24 @@ pub(crate) fn compile(
                 bv_allocs.push(None);
             }
             StateKind::Bv { width, read } => {
-                let columns = config.arch.bv_columns(width, depth);
+                let columns = config.arch.try_bv_columns(width, depth)?;
                 // CC codes + one initial-vector column (set1) + BV storage.
                 state_columns.push(cc_cols + 1 + columns);
-                bv_allocs.push(Some(BvAlloc { width_bits: width, depth, columns, read }));
+                bv_allocs.push(Some(BvAlloc {
+                    width_bits: width,
+                    depth,
+                    columns,
+                    read,
+                }));
             }
         }
     }
-    let compiled = CompiledNbva { nbva, depth, state_columns, bv_allocs };
+    let compiled = CompiledNbva {
+        nbva,
+        depth,
+        state_columns,
+        bv_allocs,
+    };
 
     // Per-state fit (must hold by construction) and whole-array capacity.
     let tile_cols = u64::from(config.arch.tile_columns);
@@ -103,7 +116,10 @@ pub(crate) fn compile(
     let capacity = u64::from(config.arch.states_per_array());
     let columns = compiled.total_columns();
     if columns > capacity {
-        return Err(CompileError::TooLarge { states: columns, capacity });
+        return Err(CompileError::TooLarge {
+            states: columns,
+            capacity,
+        });
     }
     Ok(compiled)
 }
@@ -117,12 +133,18 @@ pub(crate) fn compile(
 fn fit_to_tile(regex: &Regex, depth: u32, config: &CompilerConfig) -> Regex {
     match regex {
         Regex::Empty | Regex::Class(_) => regex.clone(),
-        Regex::Concat(parts) => {
-            Regex::concat(parts.iter().map(|p| fit_to_tile(p, depth, config)).collect())
-        }
-        Regex::Alt(parts) => {
-            Regex::alt(parts.iter().map(|p| fit_to_tile(p, depth, config)).collect())
-        }
+        Regex::Concat(parts) => Regex::concat(
+            parts
+                .iter()
+                .map(|p| fit_to_tile(p, depth, config))
+                .collect(),
+        ),
+        Regex::Alt(parts) => Regex::alt(
+            parts
+                .iter()
+                .map(|p| fit_to_tile(p, depth, config))
+                .collect(),
+        ),
         Regex::Star(inner) => Regex::star(fit_to_tile(inner, depth, config)),
         Regex::Plus(inner) => Regex::plus(fit_to_tile(inner, depth, config)),
         Regex::Opt(inner) => Regex::opt(fit_to_tile(inner, depth, config)),
@@ -170,7 +192,19 @@ mod tests {
     use rap_regex::parse;
 
     fn cfg(depth: u32) -> CompilerConfig {
-        CompilerConfig { bv_depth: depth, ..CompilerConfig::default() }
+        CompilerConfig {
+            bv_depth: depth,
+            ..CompilerConfig::default()
+        }
+    }
+
+    #[test]
+    fn invalid_depth_is_an_error_not_a_panic() {
+        let regex = parse("x{100}y").expect("parses");
+        for depth in [0, 64] {
+            let err = compile(&regex, &cfg(depth)).expect_err("bad depth");
+            assert!(matches!(err, CompileError::BadBvDepth(_)), "{err}");
+        }
     }
 
     fn compile_str(pattern: &str, depth: u32) -> CompiledNbva {
@@ -183,8 +217,7 @@ mod tests {
         let c = compile_str("b(a{7}|c{5})b", 4);
         assert_eq!(c.nbva.len(), 4);
         assert_eq!(c.bv_states(), 2);
-        let widths: Vec<u32> =
-            c.bv_allocs.iter().flatten().map(|a| a.columns).collect();
+        let widths: Vec<u32> = c.bv_allocs.iter().flatten().map(|a| a.columns).collect();
         assert_eq!(widths, vec![2, 2]);
         // Each BV state: 1 CC + 1 init + 2 BV = 4 columns.
         assert_eq!(c.state_columns, vec![1, 4, 4, 1]);
@@ -207,12 +240,7 @@ mod tests {
     fn example_4_3_tile_splitting() {
         // a{1024} at depth 4 splits into 504 + 504 + 16.
         let c = compile_str("a{1024}bc{0,16}", 4);
-        let widths: Vec<u32> = c
-            .bv_allocs
-            .iter()
-            .flatten()
-            .map(|a| a.width_bits)
-            .collect();
+        let widths: Vec<u32> = c.bv_allocs.iter().flatten().map(|a| a.width_bits).collect();
         assert_eq!(widths, vec![504, 504, 16, 16]);
         // Semantics preserved.
         let re = parse("a{1024}bc{0,16}").expect("parses");

@@ -24,10 +24,7 @@ impl CompiledNfa {
 }
 
 /// Compiles a regex for NFA mode.
-pub(crate) fn compile(
-    regex: &Regex,
-    config: &CompilerConfig,
-) -> Result<CompiledNfa, CompileError> {
+pub(crate) fn compile(regex: &Regex, config: &CompilerConfig) -> Result<CompiledNfa, CompileError> {
     let nfa = Nfa::from_regex(regex);
     if nfa.is_empty() {
         return Err(CompileError::EmptyLanguageOrEpsilon);
@@ -37,7 +34,10 @@ pub(crate) fn compile(
     let capacity = u64::from(config.arch.states_per_array());
     let columns = compiled.total_columns();
     if columns > capacity {
-        return Err(CompileError::TooLarge { states: columns, capacity });
+        return Err(CompileError::TooLarge {
+            states: columns,
+            capacity,
+        });
     }
     Ok(compiled)
 }

@@ -48,11 +48,15 @@ impl BatchEngine {
             if idx.is_empty() {
                 continue;
             }
-            let shard_patterns: Vec<Regex> =
-                idx.iter().map(|&i| patterns[i].clone()).collect();
+            let shard_patterns: Vec<Regex> = idx.iter().map(|&i| patterns[i].clone()).collect();
             fallback_shards.push((PrefilteredNfa::new(&shard_patterns), idx));
         }
-        BatchEngine { inner, fallback_shards, chunk_size, threads }
+        BatchEngine {
+            inner,
+            fallback_shards,
+            chunk_size,
+            threads,
+        }
     }
 
     /// Number of worker threads used per scan.
@@ -105,7 +109,10 @@ impl Engine for BatchEngine {
                     shard
                         .scan(input)
                         .into_iter()
-                        .map(|h| Hit { pattern: idx[h.pattern], end: h.end })
+                        .map(|h| Hit {
+                            pattern: idx[h.pattern],
+                            end: h.end,
+                        })
                         .collect()
                 }));
             }
@@ -131,8 +138,7 @@ mod tests {
     fn agrees_with_interpreter_across_chunk_sizes() {
         let patterns = ["abc", "a[bc]d", "needle", "q.*z"];
         let res = regexes(&patterns);
-        let input =
-            b"abcd needle acd needleneedle qz abc qqz needle abcd".repeat(7);
+        let input = b"abcd needle acd needleneedle qz abc qqz needle abcd".repeat(7);
         let expect = NfaEngine::new(&res).scan(&input);
         for chunk in [1usize, 3, 16, 64, 1 << 20] {
             let e = BatchEngine::new(&res, chunk);

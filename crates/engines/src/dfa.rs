@@ -67,8 +67,7 @@ impl Dfa {
         let mut cursor = 0usize;
         while cursor < states.len() {
             let current = states[cursor].clone();
-            for class in 0..classes {
-                let byte = representative[class];
+            for &byte in representative.iter().take(classes) {
                 let mut target: Vec<u32> = Vec::new();
                 // Successors of the current active set...
                 for &g in &current {
@@ -116,7 +115,12 @@ impl Dfa {
             }
             cursor += 1;
         }
-        Some(Dfa { next, class_of, classes, accepts })
+        Some(Dfa {
+            next,
+            class_of,
+            classes,
+            accepts,
+        })
     }
 
     /// Number of DFA states.
@@ -141,7 +145,10 @@ impl Dfa {
             let class = self.class_of[b as usize] as usize;
             state = self.next[state as usize * self.classes + class];
             for &p in &self.accepts[state as usize] {
-                out.push(Hit { pattern: p as usize, end: i + 1 });
+                out.push(Hit {
+                    pattern: p as usize,
+                    end: i + 1,
+                });
             }
         }
     }
@@ -184,14 +191,14 @@ fn byte_classes(nfas: &[Nfa]) -> [u16; 256] {
             // this character class get split.
             let mut mapping: HashMap<(u16, bool), u16> = HashMap::new();
             let mut fresh = next_class;
-            for b in 0..=255usize {
-                let key = (class_of[b], s.cc.contains(b as u8));
+            for (b, class) in class_of.iter_mut().enumerate() {
+                let key = (*class, s.cc.contains(b as u8));
                 let id = *mapping.entry(key).or_insert_with(|| {
                     let id = fresh;
                     fresh += 1;
                     id
                 });
-                class_of[b] = id;
+                *class = id;
             }
             next_class = fresh;
         }
@@ -237,8 +244,7 @@ impl HybridEngine {
                 fallback_idx.push(i);
             }
         }
-        let dfa_patterns: Vec<Regex> =
-            dfa_idx.iter().map(|&i| patterns[i].clone()).collect();
+        let dfa_patterns: Vec<Regex> = dfa_idx.iter().map(|&i| patterns[i].clone()).collect();
         let dfa = Dfa::determinize(&dfa_patterns, max_states);
         if dfa.is_none() {
             // Union blow-up: run everything on the NFA path.
@@ -271,13 +277,16 @@ impl Engine for HybridEngine {
         if let Some(dfa) = &self.dfa {
             let mut raw = Vec::new();
             dfa.scan_into(input, &mut raw);
-            hits.extend(
-                raw.into_iter()
-                    .map(|h| Hit { pattern: self.dfa_idx[h.pattern], end: h.end }),
-            );
+            hits.extend(raw.into_iter().map(|h| Hit {
+                pattern: self.dfa_idx[h.pattern],
+                end: h.end,
+            }));
         }
         for h in self.fallback.scan(input) {
-            hits.push(Hit { pattern: self.fallback_idx[h.pattern], end: h.end });
+            hits.push(Hit {
+                pattern: self.fallback_idx[h.pattern],
+                end: h.end,
+            });
         }
         normalize(hits)
     }
@@ -324,7 +333,10 @@ mod tests {
         let res = regexes(&["aa"]);
         let dfa = Dfa::determinize(&res, 64).expect("determinizes");
         let hits = dfa.scan(b"aaaa");
-        assert_eq!(hits.iter().map(|h| h.end).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            hits.iter().map(|h| h.end).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl Engine for NfaEngine {
             while k < live.len() {
                 let p = live[k] as usize;
                 if runs[p].step(byte) {
-                    hits.push(Hit { pattern: p, end: offset + 1 });
+                    hits.push(Hit {
+                        pattern: p,
+                        end: offset + 1,
+                    });
                 }
                 if runs[p].active_count() == 0 {
                     is_live[p] = false;
@@ -160,16 +163,16 @@ impl PrefilteredNfa {
     /// Builds the engine from parsed patterns.
     pub fn new(patterns: &[Regex]) -> PrefilteredNfa {
         const UNFOLD_THRESHOLD: u32 = 4;
-        let nbvas: Vec<Nbva> =
-            patterns.iter().map(|re| Nbva::from_regex(re, UNFOLD_THRESHOLD)).collect();
+        let nbvas: Vec<Nbva> = patterns
+            .iter()
+            .map(|re| Nbva::from_regex(re, UNFOLD_THRESHOLD))
+            .collect();
         let mut literals: Vec<Vec<u8>> = Vec::new();
         let mut arms: Vec<Vec<Arm>> = Vec::new();
         let mut triggers: Vec<Vec<u32>> = vec![Vec::new(); 256];
         let mut anchored = vec![false; patterns.len()];
         for (i, (re, nfa)) in patterns.iter().zip(nbvas.iter()).enumerate() {
-            if let Some((prefixes, state)) =
-                enumerate_prefixes(re).filter(|_| !nfa.is_empty())
-            {
+            if let Some((prefixes, state)) = enumerate_prefixes(re).filter(|_| !nfa.is_empty()) {
                 anchored[i] = true;
                 let arm = Arm {
                     pattern: i as u32,
@@ -201,7 +204,13 @@ impl PrefilteredNfa {
         } else {
             Some(crate::prefilter::AhoCorasick::new(&literals))
         };
-        PrefilteredNfa { nbvas, ac, arms, triggers, anchored }
+        PrefilteredNfa {
+            nbvas,
+            ac,
+            arms,
+            triggers,
+            anchored,
+        }
     }
 
     /// Scans while collecting work counters: `(hits, automaton steps,
@@ -232,7 +241,10 @@ impl PrefilteredNfa {
                     runs[p].step(byte)
                 };
                 if matched {
-                    hits.push(Hit { pattern: p, end: offset + 1 });
+                    hits.push(Hit {
+                        pattern: p,
+                        end: offset + 1,
+                    });
                 }
                 if runs[p].active_count() == 0 {
                     is_live[p] = false;
@@ -247,7 +259,10 @@ impl PrefilteredNfa {
                     for arm in &self.arms[lit as usize] {
                         armed += 1;
                         if arm.report {
-                            hits.push(Hit { pattern: arm.pattern as usize, end: offset + 1 });
+                            hits.push(Hit {
+                                pattern: arm.pattern as usize,
+                                end: offset + 1,
+                            });
                         }
                         let p = arm.pattern as usize;
                         runs[p].activate_plain(arm.state);
@@ -299,7 +314,10 @@ impl Engine for PrefilteredNfa {
                     runs[p].step(byte)
                 };
                 if matched {
-                    hits.push(Hit { pattern: p, end: offset + 1 });
+                    hits.push(Hit {
+                        pattern: p,
+                        end: offset + 1,
+                    });
                 }
                 if runs[p].active_count() == 0 {
                     is_live[p] = false;
@@ -315,7 +333,10 @@ impl Engine for PrefilteredNfa {
                 for &lit in ac.outputs(*state) {
                     for arm in &self.arms[lit as usize] {
                         if arm.report {
-                            hits.push(Hit { pattern: arm.pattern as usize, end: offset + 1 });
+                            hits.push(Hit {
+                                pattern: arm.pattern as usize,
+                                end: offset + 1,
+                            });
                         }
                         let p = arm.pattern as usize;
                         runs[p].activate_plain(arm.state);
@@ -338,8 +359,10 @@ mod tests {
 
     #[test]
     fn multi_pattern_hits() {
-        let patterns: Vec<Regex> =
-            ["ab", "b"].iter().map(|p| parse(p).expect("parses")).collect();
+        let patterns: Vec<Regex> = ["ab", "b"]
+            .iter()
+            .map(|p| parse(p).expect("parses"))
+            .collect();
         let engine = NfaEngine::new(&patterns);
         let hits = engine.scan(b"abb");
         assert_eq!(
@@ -357,12 +380,10 @@ mod tests {
     /// pattern on every byte.
     #[test]
     fn triggered_scan_equals_naive_scan() {
-        let patterns: Vec<Regex> = [
-            "abc", "a.*c", "c{3}d", "x(y|z)w", "[0-9]{2}", "q?r",
-        ]
-        .iter()
-        .map(|p| parse(p).expect("parses"))
-        .collect();
+        let patterns: Vec<Regex> = ["abc", "a.*c", "c{3}d", "x(y|z)w", "[0-9]{2}", "q?r"]
+            .iter()
+            .map(|p| parse(p).expect("parses"))
+            .collect();
         let input = b"abc accc cccd xyw xzw 42 r qr abcccd";
         let engine = NfaEngine::new(&patterns);
         let got = engine.scan(input);
@@ -382,16 +403,15 @@ mod tests {
     #[test]
     fn prefiltered_equals_reference() {
         let shapes = [
-            "needle",                 // pure literal (report at AC hit)
-            "abc.*xyz",               // literal prefix + loop rest
-            "abc(d)?",                // nullable rest (prefix is a match)
-            "ab{3,9}c",               // prefix "a" too short → trigger path
-            "[0-9]+px",               // no prefix (class head)
-            "aa",                     // overlapping prefix occurrences
-            "aab",                    // shared prefix with the above
+            "needle",   // pure literal (report at AC hit)
+            "abc.*xyz", // literal prefix + loop rest
+            "abc(d)?",  // nullable rest (prefix is a match)
+            "ab{3,9}c", // prefix "a" too short → trigger path
+            "[0-9]+px", // no prefix (class head)
+            "aa",       // overlapping prefix occurrences
+            "aab",      // shared prefix with the above
         ];
-        let patterns: Vec<Regex> =
-            shapes.iter().map(|p| parse(p).expect("parses")).collect();
+        let patterns: Vec<Regex> = shapes.iter().map(|p| parse(p).expect("parses")).collect();
         let reference = NfaEngine::new(&patterns);
         let fast = PrefilteredNfa::new(&patterns);
         assert!(fast.prefiltered_count() >= 4);

@@ -91,7 +91,10 @@ mod tests {
                 .iter()
                 .enumerate()
                 .filter(|(_, &b)| b == b'!')
-                .map(|(i, _)| Hit { pattern: 0, end: i + 1 })
+                .map(|(i, _)| Hit {
+                    pattern: 0,
+                    end: i + 1,
+                })
                 .collect()
         }
     }

@@ -32,7 +32,7 @@ mod tests {
 
     #[test]
     fn gpu_uses_less_power_than_cpu() {
-        assert!(GPU_BOARD_W < CPU_SOCKET_W);
+        const { assert!(GPU_BOARD_W < CPU_SOCKET_W) }
     }
 
     #[test]

@@ -150,7 +150,12 @@ mod tests {
 
     #[test]
     fn classic_ushers() {
-        let ac = AhoCorasick::new(&[b"he".to_vec(), b"she".to_vec(), b"his".to_vec(), b"hers".to_vec()]);
+        let ac = AhoCorasick::new(&[
+            b"he".to_vec(),
+            b"she".to_vec(),
+            b"his".to_vec(),
+            b"hers".to_vec(),
+        ]);
         assert_eq!(hits(&ac, b"ushers"), vec![(0, 4), (1, 4), (3, 6)]);
     }
 

@@ -86,7 +86,14 @@ impl PackedChains {
             bit += chain.len();
         }
         (
-            PackedChains { words, labels, initial, finals, bit_pattern, max_chain_len },
+            PackedChains {
+                words,
+                labels,
+                initial,
+                finals,
+                bit_pattern,
+                max_chain_len,
+            },
             fallback,
         )
     }
@@ -106,19 +113,22 @@ impl PackedChains {
             let labels = &self.labels[byte as usize];
             // states = ((states << 1) | initial) & labels[byte]
             let mut carry = 0u64;
-            for w in 0..self.words {
-                let s = states[w];
-                states[w] = ((s << 1) | carry | self.initial[w]) & labels[w];
+            for (w, state) in states.iter_mut().enumerate().take(self.words) {
+                let s = *state;
+                *state = ((s << 1) | carry | self.initial[w]) & labels[w];
                 carry = s >> 63;
             }
             // Report finals.
-            for w in 0..self.words {
-                let mut t = states[w] & self.finals[w];
+            for (w, &s) in states.iter().enumerate().take(self.words) {
+                let mut t = s & self.finals[w];
                 while t != 0 {
                     let b = t.trailing_zeros() as usize;
                     t &= t - 1;
                     let pattern = self.bit_pattern[w * 64 + b] as usize;
-                    out.push(Hit { pattern, end: base + i + 1 });
+                    out.push(Hit {
+                        pattern,
+                        end: base + i + 1,
+                    });
                 }
             }
         }
@@ -141,7 +151,11 @@ impl ShiftAndEngine {
         let (packed, fallback_idx) = PackedChains::build(patterns);
         let fallback_patterns: Vec<Regex> =
             fallback_idx.iter().map(|&i| patterns[i].clone()).collect();
-        ShiftAndEngine { packed, fallback: PrefilteredNfa::new(&fallback_patterns), fallback_idx }
+        ShiftAndEngine {
+            packed,
+            fallback: PrefilteredNfa::new(&fallback_patterns),
+            fallback_idx,
+        }
     }
 
     /// Number of patterns that fell back to NFA interpretation.
@@ -163,7 +177,10 @@ impl Engine for ShiftAndEngine {
         let mut hits = Vec::new();
         self.packed.scan_into(input, 0, &mut hits);
         for hit in self.fallback.scan(input) {
-            hits.push(Hit { pattern: self.fallback_idx[hit.pattern], end: hit.end });
+            hits.push(Hit {
+                pattern: self.fallback_idx[hit.pattern],
+                end: hit.end,
+            });
         }
         normalize(hits)
     }
@@ -222,7 +239,10 @@ mod tests {
         let patterns = ["aa"];
         let input = b"aaaa";
         let hits = engine(&patterns).scan(input);
-        assert_eq!(hits.iter().map(|h| h.end).collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(
+            hits.iter().map(|h| h.end).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
     }
 
     #[test]

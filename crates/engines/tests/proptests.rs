@@ -2,7 +2,9 @@
 //! interpreter.
 
 use proptest::prelude::*;
-use rap_engines::{BatchEngine, Dfa, Engine, HybridEngine, NfaEngine, PrefilteredNfa, ShiftAndEngine};
+use rap_engines::{
+    BatchEngine, Dfa, Engine, HybridEngine, NfaEngine, PrefilteredNfa, ShiftAndEngine,
+};
 use rap_regex::{CharClass, Regex};
 
 fn arb_pattern() -> impl Strategy<Value = Regex> {

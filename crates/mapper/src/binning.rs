@@ -137,10 +137,7 @@ pub fn bin_lnfas(chains: &[ChainRef], config: &MapperConfig) -> Vec<Bin> {
 /// columns and switch-path bins occupy the local-switch columns, so bins
 /// of the two kinds overlay the same tiles. The packer keeps one tile
 /// cursor per resource and an array ends when either resource runs out.
-pub(crate) fn pack_lnfa(
-    items: &[(usize, &CompiledLnfa)],
-    config: &MapperConfig,
-) -> Vec<ArrayPlan> {
+pub(crate) fn pack_lnfa(items: &[(usize, &CompiledLnfa)], config: &MapperConfig) -> Vec<ArrayPlan> {
     let mut cam_chains = Vec::new();
     let mut switch_chains = Vec::new();
     for (pattern, img) in items {
@@ -171,8 +168,7 @@ pub(crate) fn pack_lnfa(
     // CAM and local switches for CC storage.
     cam_chains.sort_by_key(|c: &ChainRef| std::cmp::Reverse(c.columns()));
     let mut cam_cols: i64 = cam_chains.iter().map(|c| i64::from(c.columns())).sum();
-    let mut switch_cols: i64 =
-        switch_chains.iter().map(|c| i64::from(c.columns())).sum();
+    let mut switch_cols: i64 = switch_chains.iter().map(|c| i64::from(c.columns())).sum();
     while let Some(chain) = cam_chains.last().copied() {
         // Moving a chain turns `columns()` CAM columns into `2 × len`
         // switch columns; do it only while it shrinks the binding resource
@@ -193,7 +189,10 @@ pub(crate) fn pack_lnfa(
         });
     }
     // Two independent bin queues, one per tile resource.
-    let mut queues = [bin_lnfas(&cam_chains, config), bin_lnfas(&switch_chains, config)];
+    let mut queues = [
+        bin_lnfas(&cam_chains, config),
+        bin_lnfas(&switch_chains, config),
+    ];
     queues[0].reverse(); // pop from the back
     queues[1].reverse();
 
@@ -205,7 +204,9 @@ pub(crate) fn pack_lnfa(
     let mut close = |current: &mut Vec<Bin>, cursor: &mut [u32; 2], columns_used: &mut u64| {
         if !current.is_empty() {
             arrays.push(ArrayPlan {
-                kind: ArrayKind::Lnfa { bins: std::mem::take(current) },
+                kind: ArrayKind::Lnfa {
+                    bins: std::mem::take(current),
+                },
                 tiles_used: cursor[0].max(cursor[1]),
                 columns_used: *columns_used,
             });
@@ -217,10 +218,16 @@ pub(crate) fn pack_lnfa(
     while queues.iter().any(|q| !q.is_empty()) {
         // Fill the resource that is currently shorter, balancing the two
         // cursors so both memories of each tile are used.
-        let order = if cursor[0] <= cursor[1] { [0, 1] } else { [1, 0] };
+        let order = if cursor[0] <= cursor[1] {
+            [0, 1]
+        } else {
+            [1, 0]
+        };
         let mut placed = false;
         for r in order {
-            let Some(bin) = queues[r].last() else { continue };
+            let Some(bin) = queues[r].last() else {
+                continue;
+            };
             if cursor[r] + bin.tiles <= tiles_per_array {
                 let mut bin = queues[r].pop().expect("peeked above");
                 bin.first_tile = cursor[r];
@@ -250,11 +257,20 @@ mod tests {
     use rap_compiler::{Compiled, Compiler, CompilerConfig};
 
     fn chain(pattern: usize, len: u32) -> ChainRef {
-        ChainRef { pattern, unit: 0, len, cols_per_state: 1, path: MatchPath::Cam }
+        ChainRef {
+            pattern,
+            unit: 0,
+            len,
+            cols_per_state: 1,
+            path: MatchPath::Cam,
+        }
     }
 
     fn cfg(bin: u32) -> MapperConfig {
-        MapperConfig { bin_size: bin, ..MapperConfig::default() }
+        MapperConfig {
+            bin_size: bin,
+            ..MapperConfig::default()
+        }
     }
 
     #[test]
@@ -342,8 +358,8 @@ mod tests {
             ArrayKind::Lnfa { bins } => {
                 let total: usize = bins.iter().map(|b| b.members.len()).sum();
                 assert_eq!(total, 5); // h(i|j)k contributes two chains
-                // Bins laid out back to back *per memory resource* (CAM
-                // bins and switch bins overlay the same tiles).
+                                      // Bins laid out back to back *per memory resource* (CAM
+                                      // bins and switch bins overlay the same tiles).
                 let mut cursor = [0u32; 2];
                 for b in bins {
                     let r = usize::from(b.members[0].path == MatchPath::LocalSwitch);

@@ -12,11 +12,12 @@
 //! NBVA arrays separately and replicates them for throughput).
 
 pub mod binning;
+mod check;
 pub mod pack;
 pub mod plan;
 
 pub use binning::{bin_lnfas, Bin, ChainRef};
-pub use plan::{ArrayKind, ArrayPlan, Mapping, MapperConfig, Placement};
+pub use plan::{ArrayKind, ArrayPlan, MapperConfig, Mapping, Placement};
 
 use rap_compiler::Compiled;
 
@@ -55,7 +56,14 @@ pub fn map_workload(compiled: &[Compiled], config: &MapperConfig) -> Mapping {
     arrays.extend(pack::pack_nfa(&nfa_items, config));
     arrays.extend(pack::pack_nbva(&nbva_items, config));
     arrays.extend(binning::pack_lnfa(&lnfa_items, config));
-    Mapping { arrays, config: *config }
+    let mapping = Mapping {
+        arrays,
+        config: *config,
+    };
+    if cfg!(debug_assertions) || config.validate {
+        check::selfcheck(compiled, &mapping);
+    }
+    mapping
 }
 
 #[cfg(test)]
@@ -67,7 +75,11 @@ mod tests {
         let compiler = Compiler::new(CompilerConfig::default());
         patterns
             .iter()
-            .map(|p| compiler.compile_str(p).unwrap_or_else(|e| panic!("{p}: {e}")))
+            .map(|p| {
+                compiler
+                    .compile_str(p)
+                    .unwrap_or_else(|e| panic!("{p}: {e}"))
+            })
             .collect()
     }
 
@@ -112,9 +124,20 @@ mod tests {
         // 7-column chains inside 16-column regions waste just over half of
         // each region; a bin size matched to the chain length (128/7 → 16)
         // packs tighter.
-        assert!(mapping.utilization() > 0.4, "utilization {}", mapping.utilization());
-        let tight = MapperConfig { bin_size: 16, ..MapperConfig::default() };
+        assert!(
+            mapping.utilization() > 0.4,
+            "utilization {}",
+            mapping.utilization()
+        );
+        let tight = MapperConfig {
+            bin_size: 16,
+            ..MapperConfig::default()
+        };
         let mapping = map_workload(&compiled, &tight);
-        assert!(mapping.utilization() > 0.8, "utilization {}", mapping.utilization());
+        assert!(
+            mapping.utilization() > 0.8,
+            "utilization {}",
+            mapping.utilization()
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! Greedy first-fit packing of NFA and NBVA images into arrays (§4.3).
 
 use crate::plan::{ArrayKind, ArrayPlan, MapperConfig, Placement};
-use rap_compiler::{CompiledNbva, CompiledNfa};
 use rap_automata::nbva::ReadAction;
+use rap_compiler::{CompiledNbva, CompiledNfa};
 
 /// Per-state block description fed to the packer: column footprint plus the
 /// BV read action (NBVA states only), which drives the no-`r`-with-`rAll`
@@ -146,7 +146,11 @@ impl<'a> Packer<'a> {
             .iter()
             .filter(|&&(p, q)| state_tile[p as usize] != state_tile[q as usize])
             .count() as u32;
-        acc.placements.push(Placement { pattern, state_tile, cross_tile_edges });
+        acc.placements.push(Placement {
+            pattern,
+            state_tile,
+            cross_tile_edges,
+        });
         Some(acc)
     }
 
@@ -199,16 +203,17 @@ fn nbva_edges(nbva: &rap_automata::nbva::Nbva) -> Vec<(u32, u32)> {
 }
 
 /// Packs NFA images into arrays.
-pub(crate) fn pack_nfa(
-    items: &[(usize, &CompiledNfa)],
-    config: &MapperConfig,
-) -> Vec<ArrayPlan> {
+pub(crate) fn pack_nfa(items: &[(usize, &CompiledNfa)], config: &MapperConfig) -> Vec<ArrayPlan> {
     let mut packer = Packer::new(config);
     for (pattern, img) in items {
         let blocks: Vec<Block> = img
             .state_columns
             .iter()
-            .map(|&c| Block { columns: c.max(1), action: None, bvm_slots: 0 })
+            .map(|&c| Block {
+                columns: c.max(1),
+                action: None,
+                bvm_slots: 0,
+            })
             .collect();
         packer.place(*pattern, &blocks, &nfa_edges(&img.nfa));
     }
@@ -225,10 +230,7 @@ pub(crate) fn pack_nfa(
 
 /// Packs NBVA images into arrays. All images must share the same BV depth
 /// (one compiler configuration per workload).
-pub(crate) fn pack_nbva(
-    items: &[(usize, &CompiledNbva)],
-    config: &MapperConfig,
-) -> Vec<ArrayPlan> {
+pub(crate) fn pack_nbva(items: &[(usize, &CompiledNbva)], config: &MapperConfig) -> Vec<ArrayPlan> {
     let depth = items.first().map_or(0, |(_, img)| img.depth);
     let mut packer = Packer::new(config);
     for (pattern, img) in items {
@@ -250,7 +252,11 @@ pub(crate) fn pack_nbva(
                     action: Some(action_class(a.read)),
                     bvm_slots: 0,
                 },
-                (None, _) => Block { columns: c.max(1), action: None, bvm_slots: 0 },
+                (None, _) => Block {
+                    columns: c.max(1),
+                    action: None,
+                    bvm_slots: 0,
+                },
             })
             .collect();
         packer.place(*pattern, &blocks, &nbva_edges(&img.nbva));
@@ -299,7 +305,9 @@ mod tests {
         match &arrays[0].kind {
             ArrayKind::Nfa { placements } => {
                 assert_eq!(placements.len(), 2);
-                assert!(placements.iter().all(|p| p.state_tile.iter().all(|&t| t == 0)));
+                assert!(placements
+                    .iter()
+                    .all(|p| p.state_tile.iter().all(|&t| t == 0)));
             }
             other => panic!("unexpected kind {other:?}"),
         }

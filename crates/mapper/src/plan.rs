@@ -20,7 +20,10 @@ pub struct BvmConfig {
 
 impl Default for BvmConfig {
     fn default() -> Self {
-        BvmConfig { slot_bits: 256, slots_per_tile: 8 }
+        BvmConfig {
+            slot_bits: 256,
+            slots_per_tile: 8,
+        }
     }
 }
 
@@ -35,11 +38,21 @@ pub struct MapperConfig {
     /// `Some` models a BVAP-style machine with fixed bit-vector modules;
     /// `None` is RAP's unified CAM storage.
     pub bvm: Option<BvmConfig>,
+    /// Run the mapper's structural self-check on the produced plan even in
+    /// release builds (debug builds always run it). The full rule-based
+    /// verifier lives in `rap-verify`; this flag only gates the mapper's
+    /// own cheap invariant assertions.
+    pub validate: bool,
 }
 
 impl Default for MapperConfig {
     fn default() -> Self {
-        MapperConfig { arch: ArchConfig::default(), bin_size: 8, bvm: None }
+        MapperConfig {
+            arch: ArchConfig::default(),
+            bin_size: 8,
+            bvm: None,
+            validate: false,
+        }
     }
 }
 

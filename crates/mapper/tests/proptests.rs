@@ -12,9 +12,7 @@ fn arb_pattern() -> impl Strategy<Value = Regex> {
         prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(b'd')],
         1..12,
     )
-    .prop_map(|bytes| {
-        Regex::concat(bytes.into_iter().map(Regex::literal_byte).collect())
-    });
+    .prop_map(|bytes| Regex::concat(bytes.into_iter().map(Regex::literal_byte).collect()));
     prop_oneof![
         // Chains (LNFA mode).
         literal.clone(),

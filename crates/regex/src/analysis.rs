@@ -142,8 +142,14 @@ mod tests {
     fn collects_repetitions() {
         let reps = bounded_repetitions(&p("a{3}(bc){2,5}d{7,}"));
         assert_eq!(reps.len(), 3);
-        assert_eq!((reps[0].min, reps[0].max, reps[0].single_class), (3, Some(3), true));
-        assert_eq!((reps[1].min, reps[1].max, reps[1].single_class), (2, Some(5), false));
+        assert_eq!(
+            (reps[0].min, reps[0].max, reps[0].single_class),
+            (3, Some(3), true)
+        );
+        assert_eq!(
+            (reps[1].min, reps[1].max, reps[1].single_class),
+            (2, Some(5), false)
+        );
         assert_eq!((reps[2].min, reps[2].max), (7, None));
         assert_eq!(reps[1].body_size, 2);
     }

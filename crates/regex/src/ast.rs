@@ -19,9 +19,10 @@ use std::fmt;
 /// `Concat` and `Alt` are n-ary to keep rewriting simple and trees shallow;
 /// the [smart constructors](Regex::concat) flatten nested applications and
 /// apply the obvious unit/absorption laws.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Regex {
     /// ε — matches the empty string.
+    #[default]
     Empty,
     /// σ — matches any single byte in the class.
     Class(CharClass),
@@ -59,7 +60,10 @@ impl Regex {
                 other => flat.push(other),
             }
         }
-        if flat.iter().any(|p| matches!(p, Regex::Class(c) if c.is_empty())) {
+        if flat
+            .iter()
+            .any(|p| matches!(p, Regex::Class(c) if c.is_empty()))
+        {
             return Regex::Class(CharClass::empty());
         }
         match flat.len() {
@@ -137,7 +141,11 @@ impl Regex {
             (0, Some(1)) => Regex::opt(inner),
             (0, None) => Regex::star(inner),
             (1, None) => Regex::plus(inner),
-            _ => Regex::Repeat { inner: Box::new(inner), min, max },
+            _ => Regex::Repeat {
+                inner: Box::new(inner),
+                min,
+                max,
+            },
         }
     }
 
@@ -170,9 +178,7 @@ impl Regex {
         match self {
             Regex::Empty => 0,
             Regex::Class(_) => 1,
-            Regex::Concat(parts) | Regex::Alt(parts) => {
-                parts.iter().map(Regex::leaf_count).sum()
-            }
+            Regex::Concat(parts) | Regex::Alt(parts) => parts.iter().map(Regex::leaf_count).sum(),
             Regex::Star(inner) | Regex::Plus(inner) | Regex::Opt(inner) => inner.leaf_count(),
             Regex::Repeat { inner, .. } => inner.leaf_count(),
         }
@@ -221,19 +227,11 @@ impl Regex {
     pub fn has_unbounded_loop(&self) -> bool {
         match self {
             Regex::Empty | Regex::Class(_) => false,
-            Regex::Concat(parts) | Regex::Alt(parts) => {
-                parts.iter().any(Regex::has_unbounded_loop)
-            }
+            Regex::Concat(parts) | Regex::Alt(parts) => parts.iter().any(Regex::has_unbounded_loop),
             Regex::Star(_) | Regex::Plus(_) => true,
             Regex::Opt(inner) => inner.has_unbounded_loop(),
             Regex::Repeat { inner, max, .. } => max.is_none() || inner.has_unbounded_loop(),
         }
-    }
-}
-
-impl Default for Regex {
-    fn default() -> Self {
-        Regex::Empty
     }
 }
 
@@ -341,7 +339,10 @@ mod tests {
         let a = Regex::literal_byte(b'a');
         assert_eq!(Regex::repeat(a.clone(), 0, Some(0)), Regex::Empty);
         assert_eq!(Regex::repeat(a.clone(), 1, Some(1)), a.clone());
-        assert!(matches!(Regex::repeat(a.clone(), 0, Some(1)), Regex::Opt(_)));
+        assert!(matches!(
+            Regex::repeat(a.clone(), 0, Some(1)),
+            Regex::Opt(_)
+        ));
         assert!(matches!(Regex::repeat(a.clone(), 0, None), Regex::Star(_)));
         assert!(matches!(Regex::repeat(a.clone(), 1, None), Regex::Plus(_)));
         assert!(matches!(Regex::repeat(a, 2, Some(5)), Regex::Repeat { .. }));
@@ -367,9 +368,18 @@ mod tests {
     #[test]
     fn unfolded_size_counts_expansion() {
         // a{7} -> 7 STEs; (ab){3} -> 6 STEs; a{2,} -> 3 STEs (a a a*).
-        assert_eq!(Regex::repeat(Regex::literal("a"), 7, Some(7)).unfolded_size(), 7);
-        assert_eq!(Regex::repeat(Regex::literal("ab"), 3, Some(3)).unfolded_size(), 6);
-        assert_eq!(Regex::repeat(Regex::literal("a"), 2, None).unfolded_size(), 3);
+        assert_eq!(
+            Regex::repeat(Regex::literal("a"), 7, Some(7)).unfolded_size(),
+            7
+        );
+        assert_eq!(
+            Regex::repeat(Regex::literal("ab"), 3, Some(3)).unfolded_size(),
+            6
+        );
+        assert_eq!(
+            Regex::repeat(Regex::literal("a"), 2, None).unfolded_size(),
+            3
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl CharClass {
 
     /// The full predicate Σ (PCRE `.` with DOTALL; matches every byte).
     pub const fn any() -> Self {
-        CharClass { words: [u64::MAX; 4] }
+        CharClass {
+            words: [u64::MAX; 4],
+        }
     }
 
     /// The PCRE `.` without DOTALL: every byte except `\n`.
@@ -155,7 +157,11 @@ impl CharClass {
 
     /// Iterates over the member bytes in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { cc: self, next: 0, done: false }
+        Iter {
+            cc: self,
+            next: 0,
+            done: false,
+        }
     }
 
     /// The raw 4×`u64` bitmap, least-significant symbol first.

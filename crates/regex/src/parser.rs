@@ -37,7 +37,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "regex parse error at offset {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "regex parse error at offset {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -87,12 +91,20 @@ pub fn parse_pattern(pattern: &str) -> Result<Pattern, ParseError> {
     if anchored_end {
         bytes = &bytes[..bytes.len() - 1];
     }
-    let mut p = Parser { input: bytes, pos: 0, base };
+    let mut p = Parser {
+        input: bytes,
+        pos: 0,
+        base,
+    };
     let regex = p.parse_alt()?;
     if p.pos != p.input.len() {
         return Err(p.error("unexpected trailing input"));
     }
-    Ok(Pattern { regex, anchored_start, anchored_end })
+    Ok(Pattern {
+        regex,
+        anchored_start,
+        anchored_end,
+    })
 }
 
 /// True when the final byte is an escaped literal (`\$`), in which case the
@@ -117,7 +129,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn error(&self, message: &str) -> ParseError {
-        ParseError { offset: self.base + self.pos, message: message.to_string() }
+        ParseError {
+            offset: self.base + self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -301,7 +316,9 @@ impl<'a> Parser<'a> {
         let mut cc = CharClass::empty();
         let mut first = true;
         loop {
-            let b = self.bump().ok_or_else(|| self.error("unclosed character class"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.error("unclosed character class"))?;
             if b == b']' && !first {
                 break;
             }
@@ -318,11 +335,12 @@ impl<'a> Parser<'a> {
                 b
             };
             // Range?
-            if self.peek() == Some(b'-')
-                && self.input.get(self.pos + 1).is_some_and(|&n| n != b']')
+            if self.peek() == Some(b'-') && self.input.get(self.pos + 1).is_some_and(|&n| n != b']')
             {
                 self.pos += 1; // consume '-'
-                let hb = self.bump().ok_or_else(|| self.error("unclosed character class"))?;
+                let hb = self
+                    .bump()
+                    .ok_or_else(|| self.error("unclosed character class"))?;
                 let hi = if hb == b'\\' {
                     let sub = self.parse_escape()?;
                     if sub.len() != 1 {
@@ -345,7 +363,9 @@ impl<'a> Parser<'a> {
 
     /// Parses an escape; the backslash has been consumed.
     fn parse_escape(&mut self) -> Result<CharClass, ParseError> {
-        let b = self.bump().ok_or_else(|| self.error("dangling backslash"))?;
+        let b = self
+            .bump()
+            .ok_or_else(|| self.error("dangling backslash"))?;
         Ok(match b {
             b'd' => CharClass::digit(),
             b'D' => CharClass::digit().complement(),
@@ -362,8 +382,12 @@ impl<'a> Parser<'a> {
             b'a' => CharClass::single(0x07),
             b'e' => CharClass::single(0x1b),
             b'x' => {
-                let h1 = self.bump().ok_or_else(|| self.error("truncated \\x escape"))?;
-                let h2 = self.bump().ok_or_else(|| self.error("truncated \\x escape"))?;
+                let h1 = self
+                    .bump()
+                    .ok_or_else(|| self.error("truncated \\x escape"))?;
+                let h2 = self
+                    .bump()
+                    .ok_or_else(|| self.error("truncated \\x escape"))?;
                 let hex = |c: u8| -> Result<u8, ParseError> {
                     (c as char)
                         .to_digit(16)
@@ -397,7 +421,10 @@ mod tests {
     #[test]
     fn dot_and_classes() {
         assert_eq!(p("."), Regex::Class(CharClass::dot()));
-        assert_eq!(p("[abc]"), Regex::Class(CharClass::from_bytes([b'a', b'b', b'c'])));
+        assert_eq!(
+            p("[abc]"),
+            Regex::Class(CharClass::from_bytes([b'a', b'b', b'c']))
+        );
         assert_eq!(p("[a-c]"), Regex::Class(CharClass::range(b'a', b'c')));
         assert_eq!(
             p("[^a]"),
@@ -437,8 +464,14 @@ mod tests {
             p("a{2,5}"),
             Regex::repeat(Regex::literal_byte(b'a'), 2, Some(5))
         );
-        assert_eq!(p("a{3}"), Regex::repeat(Regex::literal_byte(b'a'), 3, Some(3)));
-        assert_eq!(p("a{3,}"), Regex::repeat(Regex::literal_byte(b'a'), 3, None));
+        assert_eq!(
+            p("a{3}"),
+            Regex::repeat(Regex::literal_byte(b'a'), 3, Some(3))
+        );
+        assert_eq!(
+            p("a{3,}"),
+            Regex::repeat(Regex::literal_byte(b'a'), 3, None)
+        );
     }
 
     #[test]
@@ -491,8 +524,8 @@ mod tests {
         ] {
             let r = parse(s).unwrap_or_else(|e| panic!("{s:?}: {e}"));
             // Round-trip: the display form must parse to the same AST.
-            let r2 = parse(&r.to_string())
-                .unwrap_or_else(|e| panic!("roundtrip {s:?} -> {r}: {e}"));
+            let r2 =
+                parse(&r.to_string()).unwrap_or_else(|e| panic!("roundtrip {s:?} -> {r}: {e}"));
             assert_eq!(r, r2, "roundtrip mismatch for {s:?}");
         }
     }

@@ -98,19 +98,18 @@ pub fn split_bounded(regex: &Regex) -> Regex {
     })
 }
 
+/// A `Repeat`-node rewriter: `(body, min, max) -> Some(replacement)`, or
+/// `None` to keep the repetition.
+type RepeatFn<'a> = &'a dyn Fn(&Regex, u32, Option<u32>) -> Option<Regex>;
+
 /// Bottom-up transformation of `Repeat` nodes. The callback receives the
 /// (already rewritten) body and the bounds, and returns the replacement or
 /// `None` to keep the repetition.
-fn map_repeats(
-    regex: &Regex,
-    f: &dyn Fn(&Regex, u32, Option<u32>) -> Option<Regex>,
-) -> Regex {
+fn map_repeats(regex: &Regex, f: RepeatFn<'_>) -> Regex {
     match regex {
         Regex::Empty => Regex::Empty,
         Regex::Class(cc) => Regex::Class(*cc),
-        Regex::Concat(parts) => {
-            Regex::concat(parts.iter().map(|p| map_repeats(p, f)).collect())
-        }
+        Regex::Concat(parts) => Regex::concat(parts.iter().map(|p| map_repeats(p, f)).collect()),
         Regex::Alt(parts) => Regex::alt(parts.iter().map(|p| map_repeats(p, f)).collect()),
         Regex::Star(inner) => Regex::star(map_repeats(inner, f)),
         Regex::Plus(inner) => Regex::plus(map_repeats(inner, f)),
@@ -357,10 +356,7 @@ mod tests {
 
     #[test]
     fn sequences_empty_class_matches_nothing() {
-        let r = Regex::Concat(vec![
-            Regex::literal("a"),
-            Regex::Class(CharClass::empty()),
-        ]);
+        let r = Regex::Concat(vec![Regex::literal("a"), Regex::Class(CharClass::empty())]);
         let seqs = to_sequences(&r, 16).expect("expansion succeeds");
         assert!(seqs.is_empty());
     }

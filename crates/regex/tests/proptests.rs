@@ -21,9 +21,8 @@ fn arb_regex() -> impl Strategy<Value = Regex> {
             inner.clone().prop_map(Regex::star),
             inner.clone().prop_map(Regex::plus),
             inner.clone().prop_map(Regex::opt),
-            (inner, 0u32..4, 1u32..8).prop_map(|(r, lo, extra)| {
-                Regex::repeat(r, lo, Some(lo + extra))
-            }),
+            (inner, 0u32..4, 1u32..8)
+                .prop_map(|(r, lo, extra)| { Regex::repeat(r, lo, Some(lo + extra)) }),
         ]
     })
 }

@@ -60,9 +60,7 @@ pub(crate) fn build_array<'a>(
     cost: &CostModel,
 ) -> Box<dyn ArraySim + 'a> {
     match &plan.kind {
-        ArrayKind::Nfa { placements } => {
-            Box::new(NfaArray::new(compiled, placements, plan, *cost))
-        }
+        ArrayKind::Nfa { placements } => Box::new(NfaArray::new(compiled, placements, plan, *cost)),
         ArrayKind::Nbva { depth, placements } => {
             Box::new(NbvaArray::new(compiled, placements, plan, *depth, *cost))
         }
@@ -90,10 +88,14 @@ pub(crate) fn run_array(
         sim.tick(None, input.len(), meter, &mut matches);
         cycles += 1;
     }
-    ArrayOutcome { cycles, matches, powered_tile_cycles: sim.powered_tile_cycles() }
+    ArrayOutcome {
+        cycles,
+        matches,
+        powered_tile_cycles: sim.powered_tile_cycles(),
+    }
 }
 
-fn expect_nfa<'a>(compiled: &'a [Compiled], pattern: usize) -> &'a CompiledNfa {
+fn expect_nfa(compiled: &[Compiled], pattern: usize) -> &CompiledNfa {
     match &compiled[pattern] {
         Compiled::Nfa(img) => img,
         other => panic!(
@@ -103,7 +105,7 @@ fn expect_nfa<'a>(compiled: &'a [Compiled], pattern: usize) -> &'a CompiledNfa {
     }
 }
 
-fn expect_nbva<'a>(compiled: &'a [Compiled], pattern: usize) -> &'a CompiledNbva {
+fn expect_nbva(compiled: &[Compiled], pattern: usize) -> &CompiledNbva {
     match &compiled[pattern] {
         Compiled::Nbva(img) => img,
         other => panic!(
@@ -113,7 +115,7 @@ fn expect_nbva<'a>(compiled: &'a [Compiled], pattern: usize) -> &'a CompiledNbva
     }
 }
 
-fn expect_lnfa<'a>(compiled: &'a [Compiled], pattern: usize) -> &'a CompiledLnfa {
+fn expect_lnfa(compiled: &[Compiled], pattern: usize) -> &CompiledLnfa {
     match &compiled[pattern] {
         Compiled::Lnfa(img) => img,
         other => panic!(
@@ -140,13 +142,22 @@ fn charge_nfa_cycle(
     cross_signals: u32,
 ) {
     let tile_cols = 128.0;
-    meter.charge(Category::StateMatch, cost.match_pj * tile_active.len() as f64);
+    meter.charge(
+        Category::StateMatch,
+        cost.match_pj * tile_active.len() as f64,
+    );
     for &active in tile_active {
         let activity = (f64::from(active) / tile_cols).min(1.0);
-        meter.charge(Category::LocalSwitch, cost.local_switch.access_energy_pj(activity));
+        meter.charge(
+            Category::LocalSwitch,
+            cost.local_switch.access_energy_pj(activity),
+        );
     }
     let g_activity = (f64::from(cross_signals) / 256.0).min(1.0);
-    meter.charge(Category::GlobalSwitch, cost.global_switch.access_energy_pj(g_activity));
+    meter.charge(
+        Category::GlobalSwitch,
+        cost.global_switch.access_energy_pj(g_activity),
+    );
     meter.charge(Category::Wire, cost.wire_pj * f64::from(cross_signals));
 }
 
@@ -195,8 +206,10 @@ impl<'a> NfaArray<'a> {
         plan: &ArrayPlan,
         cost: CostModel,
     ) -> NfaArray<'a> {
-        let images: Vec<&CompiledNfa> =
-            placements.iter().map(|p| expect_nfa(compiled, p.pattern)).collect();
+        let images: Vec<&CompiledNfa> = placements
+            .iter()
+            .map(|p| expect_nfa(compiled, p.pattern))
+            .collect();
         let crosses = cross_tile_flags(
             placements,
             |i| {
@@ -238,8 +251,11 @@ impl ArraySim for NfaArray<'_> {
         // Activity entering this cycle drives the transition fabric.
         self.tile_active.iter_mut().for_each(|c| *c = 0);
         let mut cross_signals = 0u32;
-        for ((p, run), cross) in
-            self.placements.iter().zip(self.runs.iter()).zip(self.crosses.iter())
+        for ((p, run), cross) in self
+            .placements
+            .iter()
+            .zip(self.runs.iter())
+            .zip(self.crosses.iter())
         {
             for q in run.active_bits().iter_ones() {
                 self.tile_active[p.state_tile[q] as usize] += 1;
@@ -251,7 +267,10 @@ impl ArraySim for NfaArray<'_> {
         self.powered_tile_cycles += self.tiles as u64;
         for (i, run) in self.runs.iter_mut().enumerate() {
             if run.step(byte) {
-                out.push(MatchEvent { pattern: self.placements[i].pattern, end: offset + 1 });
+                out.push(MatchEvent {
+                    pattern: self.placements[i].pattern,
+                    end: offset + 1,
+                });
             }
         }
     }
@@ -294,8 +313,10 @@ impl<'a> NbvaArray<'a> {
         depth: u32,
         cost: CostModel,
     ) -> NbvaArray<'a> {
-        let images: Vec<&CompiledNbva> =
-            placements.iter().map(|p| expect_nbva(compiled, p.pattern)).collect();
+        let images: Vec<&CompiledNbva> = placements
+            .iter()
+            .map(|p| expect_nbva(compiled, p.pattern))
+            .collect();
         let bv_states: Vec<(usize, u32, u32)> = placements
             .iter()
             .enumerate()
@@ -373,8 +394,11 @@ impl ArraySim for NbvaArray<'_> {
         self.powered_tile_cycles += self.tiles as u64;
         self.tile_active.iter_mut().for_each(|c| *c = 0);
         let mut cross_signals = 0u32;
-        for ((p, run), cross) in
-            self.placements.iter().zip(self.runs.iter()).zip(self.crosses.iter())
+        for ((p, run), cross) in self
+            .placements
+            .iter()
+            .zip(self.runs.iter())
+            .zip(self.crosses.iter())
         {
             for q in run.plain_active_bits().iter_ones() {
                 self.tile_active[p.state_tile[q] as usize] += 1;
@@ -395,7 +419,10 @@ impl ArraySim for NbvaArray<'_> {
             let info = run.step_detailed(byte);
             bv_phase |= info.bv_touched;
             if info.matched {
-                out.push(MatchEvent { pattern: self.placements[i].pattern, end: offset + 1 });
+                out.push(MatchEvent {
+                    pattern: self.placements[i].pattern,
+                    end: offset + 1,
+                });
             }
         }
         if bv_phase {
@@ -407,8 +434,7 @@ impl ArraySim for NbvaArray<'_> {
                     self.bv_tile_active[tile as usize] = true;
                 }
             }
-            self.phase_active_tiles =
-                self.bv_tile_active.iter().filter(|&&b| b).count() as u32;
+            self.phase_active_tiles = self.bv_tile_active.iter().filter(|&&b| b).count() as u32;
             self.stall_remaining = self.stall_per_phase;
         }
     }
@@ -550,18 +576,26 @@ impl ArraySim for LnfaArray<'_> {
                 // candidate state.
                 meter.charge(
                     Category::StateMatch,
-                    self.cost.local_switch.access_energy_pj((2.0 * activity).min(1.0)),
+                    self.cost
+                        .local_switch
+                        .access_energy_pj((2.0 * activity).min(1.0)),
                 );
             }
         }
-        meter.charge(Category::Wire, self.cost.ring_hop_pj * f64::from(ring_crossings));
+        meter.charge(
+            Category::Wire,
+            self.cost.ring_hop_pj * f64::from(ring_crossings),
+        );
         let powered_count = self.powered.iter().filter(|&&b| b).count() as u32;
         self.powered_tile_cycles += u64::from(powered_count);
         charge_overheads(meter, &self.cost, powered_count);
 
         for chain in self.chains.iter_mut() {
             if chain.run.step(byte) {
-                out.push(MatchEvent { pattern: chain.pattern, end: offset + 1 });
+                out.push(MatchEvent {
+                    pattern: chain.pattern,
+                    end: offset + 1,
+                });
             }
         }
     }

@@ -124,11 +124,13 @@ pub fn simulate_streaming(
             }
             // Array cycle.
             if lane.sim.stalled() {
-                lane.sim.tick(None, lane.consumed, &mut meter, &mut lane.pending);
+                lane.sim
+                    .tick(None, lane.consumed, &mut meter, &mut lane.pending);
                 lane.stalled_cycles += 1;
             } else if let Some(&(offset, byte)) = lane.input_fifo.front() {
                 lane.input_fifo.pop();
-                lane.sim.tick(Some(byte), offset, &mut meter, &mut lane.pending);
+                lane.sim
+                    .tick(Some(byte), offset, &mut meter, &mut lane.pending);
                 lane.consumed = offset + 1;
             } else if lane.consumed < input.len() {
                 lane.starved_cycles += 1;
@@ -224,7 +226,11 @@ mod tests {
             .collect()
     }
 
-    fn run_both(patterns: &[&str], input: &[u8], machine: Machine) -> (RunResult, RunResult, BankStats) {
+    fn run_both(
+        patterns: &[&str],
+        input: &[u8],
+        machine: Machine,
+    ) -> (RunResult, RunResult, BankStats) {
         let sim = Simulator::new(machine);
         let res = regexes(patterns);
         let compiled = sim.compile(&res).expect("compiles");
@@ -265,7 +271,11 @@ mod tests {
         let input = b"hello world abbbbbbbbbc xxxxxxxxxxxxxxxxxxxxxxx".repeat(20);
         let (_, streaming, stats) = run_both(&patterns, &input, Machine::Rap);
         assert_eq!(stats.stall_cycles.len(), 2);
-        assert!(stats.max_skew <= 2 * 128, "skew {} exceeds the window", stats.max_skew);
+        assert!(
+            stats.max_skew <= 2 * 128,
+            "skew {} exceeds the window",
+            stats.max_skew
+        );
         assert!(streaming.metrics.cycles >= input.len() as u64);
     }
 
@@ -277,7 +287,10 @@ mod tests {
         let input = b"ab".repeat(2_000);
         let (_, _, stats) = run_both(&patterns, &input, Machine::Rap);
         let total_starved: u64 = stats.starved_cycles.iter().sum();
-        assert!(total_starved > 0, "expected starvation from window coupling");
+        assert!(
+            total_starved > 0,
+            "expected starvation from window coupling"
+        );
     }
 
     #[test]
@@ -288,7 +301,10 @@ mod tests {
         let input = b"ab".repeat(500);
         let (_, streaming, stats) = run_both(&patterns, &input, Machine::Rap);
         assert_eq!(streaming.matches.len(), 1000);
-        assert!(stats.output_interrupts > 0, "expected interrupts: {stats:?}");
+        assert!(
+            stats.output_interrupts > 0,
+            "expected interrupts: {stats:?}"
+        );
     }
 
     #[test]

@@ -89,8 +89,7 @@ impl CostModel {
             // plus a half-active 128×128 traversal. Reusing the big switch
             // is what costs RAP ~20% more NBVA energy than BVAP's
             // dedicated MFCB (§5.5).
-            bv_step_pj: 2.0 * CAM_32X128.energy_pj_max
-                + SRAM_128X128.access_energy_pj(0.5),
+            bv_step_pj: 2.0 * CAM_32X128.energy_pj_max + SRAM_128X128.access_energy_pj(0.5),
             bvap_stall_cycles: 4,
             tile_leak_w: CAM_32X128.leakage_w() + SRAM_128X128.leakage_w(),
             array_leak_w: SRAM_256X256.leakage_w() + GLOBAL_CONTROLLER.leakage_w(),
@@ -117,9 +116,7 @@ impl CostModel {
                 // SRAM-based matching plus full-size crossbars: cheaper
                 // per-access matching energy, much larger tile (the 5.2×
                 // area of Table 2).
-                tile_area_um2: SRAM_128X128.area_um2
-                    + SRAM_256X256.area_um2 / 2.0
-                    + 2000.0,
+                tile_area_um2: SRAM_128X128.area_um2 + SRAM_256X256.area_um2 / 2.0 + 2000.0,
                 match_pj: SRAM_128X128.energy_pj_min * 2.0,
                 local_switch: SRAM_256X256,
                 tile_leak_w: SRAM_128X128.leakage_w() + SRAM_256X256.leakage_w() / 2.0,

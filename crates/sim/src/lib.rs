@@ -38,8 +38,8 @@ pub use result::{MatchEvent, RunResult};
 
 use rap_circuit::energy::Category;
 use rap_circuit::{EnergyMeter, Machine, Metrics};
-use rap_compiler::{Compiled, CompileError, Compiler, CompilerConfig, Mode};
-use rap_mapper::{map_workload, Mapping, MapperConfig};
+use rap_compiler::{CompileError, Compiled, Compiler, CompilerConfig, Mode};
+use rap_mapper::{map_workload, MapperConfig, Mapping};
 use rap_regex::Regex;
 use std::fmt;
 
@@ -53,6 +53,12 @@ pub enum SimError {
         /// The underlying error.
         error: CompileError,
     },
+    /// The mapping plan violates a hardware legality invariant; the
+    /// simulator refuses to execute it. The report lists every violation.
+    IllegalMapping {
+        /// The verifier's findings.
+        report: rap_verify::Report,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -60,6 +66,13 @@ impl fmt::Display for SimError {
         match self {
             SimError::Compile { pattern, error } => {
                 write!(f, "pattern #{pattern}: {error}")
+            }
+            SimError::IllegalMapping { report } => {
+                write!(
+                    f,
+                    "mapping is illegal ({} findings):\n{report}",
+                    report.len()
+                )
             }
         }
     }
@@ -90,7 +103,11 @@ impl Simulator {
             mapper.bvm = Some(bvm);
             compiler.bv_bits_cap = Some(bvm.slot_bits * bvm.slots_per_tile);
         }
-        Simulator { machine, compiler, mapper }
+        Simulator {
+            machine,
+            compiler,
+            mapper,
+        }
     }
 
     /// Sets the BV depth (RAP's Fig. 10(a) knob).
@@ -187,6 +204,28 @@ impl Simulator {
         map_workload(compiled, &self.mapper)
     }
 
+    /// Statically verifies a mapping against this simulator's target
+    /// architecture (see [`rap_verify::verify`]).
+    pub fn verify(&self, compiled: &[Compiled], mapping: &Mapping) -> rap_verify::Report {
+        rap_verify::verify(compiled, mapping, &self.mapper.arch)
+    }
+
+    /// Verifies and maps in one step, refusing illegal plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::IllegalMapping`] when the produced plan fails
+    /// the static legality checks.
+    pub fn map_verified(&self, compiled: &[Compiled]) -> Result<Mapping, SimError> {
+        let mapping = self.map(compiled);
+        let report = self.verify(compiled, &mapping);
+        if report.is_legal() {
+            Ok(mapping)
+        } else {
+            Err(SimError::IllegalMapping { report })
+        }
+    }
+
     /// Simulates a mapped workload over `input`.
     pub fn simulate(&self, compiled: &[Compiled], mapping: &Mapping, input: &[u8]) -> RunResult {
         simulate(compiled, mapping, input, self.machine)
@@ -204,14 +243,15 @@ impl Simulator {
         bank::simulate_streaming(compiled, mapping, input, self.machine)
     }
 
-    /// Convenience: compile (native modes) + map + simulate.
+    /// Convenience: compile (native modes) + map + verify + simulate.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Compile`] when a pattern fails to compile.
+    /// Returns [`SimError::Compile`] when a pattern fails to compile and
+    /// [`SimError::IllegalMapping`] when the plan fails verification.
     pub fn run(&self, regexes: &[Regex], input: &[u8]) -> Result<RunResult, SimError> {
         let compiled = self.compile(regexes)?;
-        let mapping = self.map(&compiled);
+        let mapping = self.map_verified(&compiled)?;
         Ok(self.simulate(&compiled, &mapping, input))
     }
 
@@ -219,7 +259,8 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Compile`] on parse or compile failures.
+    /// Returns [`SimError::Compile`] on parse or compile failures and
+    /// [`SimError::IllegalMapping`] when the plan fails verification.
     pub fn run_patterns(&self, patterns: &[String], input: &[u8]) -> Result<RunResult, SimError> {
         let parsed: Vec<rap_regex::Pattern> = patterns
             .iter()
@@ -232,7 +273,7 @@ impl Simulator {
             })
             .collect::<Result<_, _>>()?;
         let compiled = self.compile_parsed(&parsed)?;
-        let mapping = self.map(&compiled);
+        let mapping = self.map_verified(&compiled)?;
         Ok(self.simulate(&compiled, &mapping, input))
     }
 }
@@ -249,6 +290,17 @@ pub fn simulate(
     input: &[u8],
     machine: Machine,
 ) -> RunResult {
+    // Debug builds statically verify every plan before executing it; the
+    // checked `run`/`run_patterns`/`map_verified` entry points do so in
+    // release builds too.
+    #[cfg(debug_assertions)]
+    {
+        let report = rap_verify::verify(compiled, mapping, &mapping.config.arch);
+        debug_assert!(
+            report.is_legal(),
+            "illegal mapping reached simulate():\n{report}"
+        );
+    }
     let cost = CostModel::for_machine(machine);
     let mut meter = EnergyMeter::new();
     let mut matches: Vec<MatchEvent> = Vec::new();
@@ -278,8 +330,7 @@ pub fn simulate(
     let runtime_s = max_cycles as f64 / cost.clock_hz;
     let mut leak_w = cost.bank_overhead_leak_w(mapping.arrays.len() as u32);
     leak_w += cost.array_leak_w * mapping.arrays.len() as f64;
-    let tile_leak_j =
-        cost.tile_leak_w * (powered_tile_cycles as f64 / cost.clock_hz);
+    let tile_leak_j = cost.tile_leak_w * (powered_tile_cycles as f64 / cost.clock_hz);
     meter.charge(Category::Leakage, (leak_w * runtime_s + tile_leak_j) * 1e12);
 
     let metrics = Metrics {
@@ -290,7 +341,13 @@ pub fn simulate(
         area_mm2: cost.area_mm2(mapping),
         matches: matches.len() as u64,
     };
-    RunResult { machine, metrics, energy: meter, matches, stall_cycles }
+    RunResult {
+        machine,
+        metrics,
+        energy: meter,
+        matches,
+        stall_cycles,
+    }
 }
 
 #[cfg(test)]
@@ -320,8 +377,7 @@ mod tests {
     /// consistency check of §5.2.
     #[test]
     fn all_machines_agree_with_software_matcher() {
-        let patterns =
-            ["ab{12}c", "hello", "a[bc].d", "x.*yz", "n(o|p)q", "c{5,9}d"];
+        let patterns = ["ab{12}c", "hello", "a[bc].d", "x.*yz", "n(o|p)q", "c{5,9}d"];
         let input = b"abbbbbbbbbbbbc hello axbcd xqqyz nopq npq ccccccd hello";
         let expect = reference(&patterns, input);
         for machine in Machine::all() {
@@ -379,8 +435,7 @@ mod tests {
     #[test]
     fn lnfa_mode_saves_energy_over_nfa_mode() {
         let patterns = regexes(&["abcdefgh", "ijklmnop", "qrstuvwx", "yz012345"]);
-        let input: Vec<u8> = b"the quick brown fox jumps over the lazy dog "
-            .repeat(20);
+        let input: Vec<u8> = b"the quick brown fox jumps over the lazy dog ".repeat(20);
         let rap = Simulator::new(Machine::Rap);
         let auto = rap.run(&patterns, &input).expect("auto runs");
         let compiled = rap.compile_forced(&patterns, Mode::Nfa).expect("compiles");
@@ -399,8 +454,12 @@ mod tests {
         // A pure-literal workload: BVAP still pays for its add-on modules.
         let patterns = regexes(&["abcdef", "ghijkl"]);
         let input = b"abcdefghijkl".repeat(5);
-        let bvap = Simulator::new(Machine::Bvap).run(&patterns, &input).expect("runs");
-        let cama = Simulator::new(Machine::Cama).run(&patterns, &input).expect("runs");
+        let bvap = Simulator::new(Machine::Bvap)
+            .run(&patterns, &input)
+            .expect("runs");
+        let cama = Simulator::new(Machine::Cama)
+            .run(&patterns, &input)
+            .expect("runs");
         assert!(bvap.metrics.area_mm2 > cama.metrics.area_mm2);
     }
 
@@ -421,6 +480,7 @@ mod tests {
             .expect_err("second pattern is malformed");
         match err {
             SimError::Compile { pattern, .. } => assert_eq!(pattern, 1),
+            other => panic!("unexpected error {other:?}"),
         }
     }
 
@@ -428,7 +488,10 @@ mod tests {
     fn energy_breakdown_has_expected_categories() {
         let sim = Simulator::new(Machine::Rap);
         let result = sim
-            .run(&regexes(&["ab{30}c", "hello", "wxyz"]), &b"hello ab world".repeat(30))
+            .run(
+                &regexes(&["ab{30}c", "hello", "wxyz"]),
+                &b"hello ab world".repeat(30),
+            )
             .expect("runs");
         assert!(result.energy.category_pj(Category::StateMatch) > 0.0);
         assert!(result.energy.category_pj(Category::Leakage) > 0.0);

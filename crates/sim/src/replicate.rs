@@ -14,10 +14,10 @@
 //! multiplies by the replica count.
 
 use crate::result::{MatchEvent, RunResult};
+use rap_circuit::Machine;
 use rap_circuit::Metrics;
 use rap_compiler::Compiled;
 use rap_mapper::Mapping;
-use rap_circuit::Machine;
 
 /// The outcome of a replicated run.
 #[derive(Clone, Debug)]
@@ -121,16 +121,31 @@ pub fn simulate_replicated(
     let base = crate::simulate(compiled, mapping, input, machine);
     let base_thpt = base.metrics.throughput_gchps();
     if base_thpt >= target_gchps || input.is_empty() {
-        return ReplicatedRun { result: base, replicas: 1, overlap: 0 };
+        return ReplicatedRun {
+            result: base,
+            replicas: 1,
+            overlap: 0,
+        };
     }
     // Anchored patterns are position-dependent: a shard boundary would
     // forge a fake stream start/end, so they block sharding too.
-    if compiled.iter().any(|c| c.anchored_start() || c.anchored_end()) {
-        return ReplicatedRun { result: base, replicas: 1, overlap: 0 };
+    if compiled
+        .iter()
+        .any(|c| c.anchored_start() || c.anchored_end())
+    {
+        return ReplicatedRun {
+            result: base,
+            replicas: 1,
+            overlap: 0,
+        };
     }
     let Some(span) = max_match_span(compiled) else {
         // Unbounded-span patterns cannot be sharded; ship the base run.
-        return ReplicatedRun { result: base, replicas: 1, overlap: 0 };
+        return ReplicatedRun {
+            result: base,
+            replicas: 1,
+            overlap: 0,
+        };
     };
     let overlap = span.saturating_sub(1);
     let mut replicas = ((target_gchps / base_thpt).ceil() as u32).clamp(2, max_replicas);
@@ -139,7 +154,11 @@ pub fn simulate_replicated(
     let max_useful = (input.len() / min_shard).max(1) as u32;
     replicas = replicas.min(max_useful).max(1);
     if replicas == 1 {
-        return ReplicatedRun { result: base, replicas: 1, overlap: 0 };
+        return ReplicatedRun {
+            result: base,
+            replicas: 1,
+            overlap: 0,
+        };
     }
 
     let shard_len = input.len().div_ceil(replicas as usize);
@@ -161,7 +180,10 @@ pub fn simulate_replicated(
             let global_end = from + m.end;
             // Matches ending inside the lookback belong to the previous
             // shard.
-            (global_end > start).then_some(MatchEvent { pattern: m.pattern, end: global_end })
+            (global_end > start).then_some(MatchEvent {
+                pattern: m.pattern,
+                end: global_end,
+            })
         }));
     }
     combined_matches.sort_unstable_by_key(|m| (m.end, m.pattern));
@@ -233,9 +255,15 @@ mod tests {
         }
         let base = crate::simulate(&compiled, &mapping, &input, Machine::Rap);
         let rep = simulate_replicated(&compiled, &mapping, &input, Machine::Rap, 2.0, 8);
-        assert!(rep.replicas > 1, "expected replication, base {}",
-            base.metrics.throughput_gchps());
-        assert_eq!(rep.result.matches, base.matches, "matches must survive sharding");
+        assert!(
+            rep.replicas > 1,
+            "expected replication, base {}",
+            base.metrics.throughput_gchps()
+        );
+        assert_eq!(
+            rep.result.matches, base.matches,
+            "matches must survive sharding"
+        );
         assert!(
             rep.result.metrics.throughput_gchps() > base.metrics.throughput_gchps(),
             "replicated {} <= base {}",

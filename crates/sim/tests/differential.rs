@@ -15,9 +15,8 @@ fn arb_pattern() -> impl Strategy<Value = Regex> {
         Just(Regex::literal_byte(b'c')),
         Just(Regex::Class(CharClass::from_bytes([b'a', b'b']))),
         (5u32..40).prop_map(|n| Regex::repeat(Regex::literal_byte(b'c'), n, Some(n))),
-        (1u32..20, 1u32..20).prop_map(|(m, k)| {
-            Regex::repeat(Regex::literal_byte(b'b'), m, Some(m + k))
-        }),
+        (1u32..20, 1u32..20)
+            .prop_map(|(m, k)| { Regex::repeat(Regex::literal_byte(b'b'), m, Some(m + k)) }),
     ];
     leaf.prop_recursive(2, 12, 3, |inner| {
         prop_oneof![

@@ -1,0 +1,34 @@
+//! Corpus gate: every pattern of all seven synthetic suites, compiled with
+//! each suite's DSE-chosen knobs and mapped with the default mapper, must
+//! verify with an empty report — no errors, no warnings, no infos.
+
+use rap_compiler::{Compiler, CompilerConfig};
+use rap_mapper::{map_workload, MapperConfig};
+use rap_verify::verify;
+use rap_workloads::Suite;
+
+#[test]
+fn all_seven_suites_verify_clean() {
+    for suite in Suite::all() {
+        let compiler = Compiler::new(CompilerConfig {
+            bv_depth: suite.chosen_bv_depth(),
+            ..CompilerConfig::default()
+        });
+        let config = MapperConfig {
+            bin_size: suite.chosen_bin_size(),
+            ..MapperConfig::default()
+        };
+        let patterns = rap_workloads::generate_patterns(suite, 100, 42);
+        let compiled: Vec<_> = patterns
+            .iter()
+            .map(|p| {
+                compiler
+                    .compile_str(p)
+                    .unwrap_or_else(|e| panic!("{suite}: {p:?}: {e}"))
+            })
+            .collect();
+        let mapping = map_workload(&compiled, &config);
+        let report = verify(&compiled, &mapping, &config.arch);
+        assert!(report.is_empty(), "{suite} is not clean:\n{report}");
+    }
+}

@@ -35,7 +35,10 @@ pub(crate) fn amino_class(rng: &mut StdRng) -> String {
             set.push(a);
         }
     }
-    format!("[{}]", String::from_utf8(set).expect("amino letters are ascii"))
+    format!(
+        "[{}]",
+        String::from_utf8(set).expect("amino letters are ascii")
+    )
 }
 
 /// A bounded repetition `cc{m[,n]}` with bounds drawn from `lo..=hi`.
@@ -78,8 +81,7 @@ mod tests {
                 bounded_rep(&mut r, 5, 200),
                 union(&mut r),
             ] {
-                rap_regex::parse(&frag)
-                    .unwrap_or_else(|e| panic!("fragment {frag:?} failed: {e}"));
+                rap_regex::parse(&frag).unwrap_or_else(|e| panic!("fragment {frag:?} failed: {e}"));
             }
         }
     }

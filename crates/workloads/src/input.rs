@@ -86,7 +86,11 @@ pub fn generate_input(patterns: &[String], len: usize, match_rate: f64, seed: u6
                 count += 1;
             }
         }
-        if count == 0 { 1.0 } else { (total as f64 / count as f64).max(1.0) }
+        if count == 0 {
+            1.0
+        } else {
+            (total as f64 / count as f64).max(1.0)
+        }
     };
     let p_start = (match_rate / avg_len).min(0.5);
     let mut out = Vec::with_capacity(len + 64);

@@ -58,7 +58,11 @@ impl Suite {
             // Mostly complex validation patterns with loops/unions that
             // only a general NFA handles; few and small repetitions.
             Suite::RegexLib => SuiteProfile {
-                mix: ModeMix { nfa: 0.65, nbva: 0.10, lnfa: 0.25 },
+                mix: ModeMix {
+                    nfa: 0.65,
+                    nbva: 0.10,
+                    lnfa: 0.25,
+                },
                 bound_lo: 8,
                 bound_hi: 24,
                 chain_lo: 6,
@@ -71,7 +75,11 @@ impl Suite {
             // Spam phrases: long literal chains; repetitions are small
             // (`.{1,8}`-style gaps).
             Suite::SpamAssassin => SuiteProfile {
-                mix: ModeMix { nfa: 0.15, nbva: 0.25, lnfa: 0.60 },
+                mix: ModeMix {
+                    nfa: 0.15,
+                    nbva: 0.25,
+                    lnfa: 0.60,
+                },
                 bound_lo: 6,
                 bound_hi: 16,
                 chain_lo: 12,
@@ -82,7 +90,11 @@ impl Suite {
                 bin_size: 16,
             },
             Suite::Snort => SuiteProfile {
-                mix: ModeMix { nfa: 0.35, nbva: 0.45, lnfa: 0.20 },
+                mix: ModeMix {
+                    nfa: 0.35,
+                    nbva: 0.45,
+                    lnfa: 0.20,
+                },
                 bound_lo: 16,
                 bound_hi: 96,
                 chain_lo: 12,
@@ -93,7 +105,11 @@ impl Suite {
                 bin_size: 16,
             },
             Suite::Suricata => SuiteProfile {
-                mix: ModeMix { nfa: 0.35, nbva: 0.45, lnfa: 0.20 },
+                mix: ModeMix {
+                    nfa: 0.35,
+                    nbva: 0.45,
+                    lnfa: 0.20,
+                },
                 bound_lo: 16,
                 bound_hi: 96,
                 chain_lo: 12,
@@ -107,7 +123,11 @@ impl Suite {
             // survive to NBVA ("No regex has been compiled to NBVA in
             // Prosite", §5.3).
             Suite::Prosite => SuiteProfile {
-                mix: ModeMix { nfa: 0.25, nbva: 0.0, lnfa: 0.75 },
+                mix: ModeMix {
+                    nfa: 0.25,
+                    nbva: 0.0,
+                    lnfa: 0.75,
+                },
                 bound_lo: 0,
                 bound_hi: 0,
                 chain_lo: 8,
@@ -120,7 +140,11 @@ impl Suite {
             // `AppPath=[C-Z]:\\…{1,64}`-style rules: NBVA-heavy with
             // medium bounds and complex prefixes.
             Suite::Yara => SuiteProfile {
-                mix: ModeMix { nfa: 0.15, nbva: 0.60, lnfa: 0.25 },
+                mix: ModeMix {
+                    nfa: 0.15,
+                    nbva: 0.60,
+                    lnfa: 0.25,
+                },
                 bound_lo: 32,
                 bound_hi: 160,
                 chain_lo: 16,
@@ -133,7 +157,11 @@ impl Suite {
             // Virus signatures with very large gaps: >80% NBVA, bounds in
             // the hundreds to thousands.
             Suite::ClamAv => SuiteProfile {
-                mix: ModeMix { nfa: 0.10, nbva: 0.85, lnfa: 0.05 },
+                mix: ModeMix {
+                    nfa: 0.10,
+                    nbva: 0.85,
+                    lnfa: 0.05,
+                },
                 bound_lo: 128,
                 bound_hi: 1200,
                 chain_lo: 30,
@@ -206,8 +234,9 @@ pub fn generate_patterns(suite: Suite, n: usize, seed: u64) -> Vec<String> {
     let profile = suite.profile();
     // Mix the suite into the seed so different suites diverge even with
     // the same seed.
-    let mut rng = StdRng::seed_from_u64(seed ^ (suite.name().len() as u64) << 32
-        ^ suite.name().bytes().map(u64::from).sum::<u64>());
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (suite.name().len() as u64) << 32 ^ suite.name().bytes().map(u64::from).sum::<u64>(),
+    );
     (0..n)
         .map(|_| {
             let roll: f64 = rng.random();
@@ -270,8 +299,7 @@ fn lnfa_pattern(rng: &mut StdRng, profile: &SuiteProfile) -> String {
             emitted += 1;
         } else {
             // Single-code classes (the 84% regime of §3.2).
-            const SINGLE: &[&str] =
-                &["[a-z]", "[A-Z]", ".", "[0-9a-f]", "\\d", "[^\\n]", "[abc]"];
+            const SINGLE: &[&str] = &["[a-z]", "[A-Z]", ".", "[0-9a-f]", "\\d", "[^\\n]", "[abc]"];
             out.push_str(SINGLE[rng.random_range(0..SINGLE.len())]);
             emitted += 1;
         }
@@ -291,13 +319,20 @@ fn nfa_pattern(rng: &mut StdRng, profile: &SuiteProfile) -> String {
     let tail = builder::literal(rng, 2, 5);
     match rng.random_range(0..4u8) {
         0 => format!("{head}.*{tail}"),
-        1 => format!("{head}({tail}|{}.*{}){}", builder::literal(rng, 1, 3),
-            builder::literal(rng, 1, 2), builder::literal(rng, 1, 3)),
+        1 => format!(
+            "{head}({tail}|{}.*{}){}",
+            builder::literal(rng, 1, 3),
+            builder::literal(rng, 1, 2),
+            builder::literal(rng, 1, 3)
+        ),
         2 => format!("{head}{}+{tail}", builder::char_class(rng, true)),
         _ => {
-            let k = if profile.amino { 3 } else { rng.random_range(2..4) };
-            let mid: String =
-                (0..k).map(|_| builder::char_class(rng, true)).collect();
+            let k = if profile.amino {
+                3
+            } else {
+                rng.random_range(2..4)
+            };
+            let mid: String = (0..k).map(|_| builder::char_class(rng, true)).collect();
             format!("{head}{mid}*{tail}")
         }
     }
@@ -358,26 +393,42 @@ mod tests {
     #[test]
     fn clamav_is_nbva_dominated() {
         let (_, nbva, _) = mode_counts(Suite::ClamAv, 300);
-        assert!(nbva as f64 / 300.0 > 0.75, "NBVA fraction {}", nbva as f64 / 300.0);
+        assert!(
+            nbva as f64 / 300.0 > 0.75,
+            "NBVA fraction {}",
+            nbva as f64 / 300.0
+        );
     }
 
     #[test]
     fn prosite_has_no_nbva_and_lnfa_majority() {
         let (_, nbva, lnfa) = mode_counts(Suite::Prosite, 300);
         assert_eq!(nbva, 0, "Prosite must not produce NBVA patterns");
-        assert!(lnfa as f64 / 300.0 > 0.55, "LNFA fraction {}", lnfa as f64 / 300.0);
+        assert!(
+            lnfa as f64 / 300.0 > 0.55,
+            "LNFA fraction {}",
+            lnfa as f64 / 300.0
+        );
     }
 
     #[test]
     fn regexlib_is_nfa_majority() {
         let (nfa, _, _) = mode_counts(Suite::RegexLib, 300);
-        assert!(nfa as f64 / 300.0 > 0.5, "NFA fraction {}", nfa as f64 / 300.0);
+        assert!(
+            nfa as f64 / 300.0 > 0.5,
+            "NFA fraction {}",
+            nfa as f64 / 300.0
+        );
     }
 
     #[test]
     fn spamassassin_is_lnfa_majority() {
         let (_, _, lnfa) = mode_counts(Suite::SpamAssassin, 300);
-        assert!(lnfa as f64 / 300.0 > 0.45, "LNFA fraction {}", lnfa as f64 / 300.0);
+        assert!(
+            lnfa as f64 / 300.0 > 0.45,
+            "LNFA fraction {}",
+            lnfa as f64 / 300.0
+        );
     }
 
     #[test]
@@ -398,7 +449,15 @@ mod tests {
         let names: Vec<&str> = Suite::all().iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            vec!["RegexLib", "SpamAssassin", "Snort", "Suricata", "Prosite", "Yara", "ClamAV"]
+            vec![
+                "RegexLib",
+                "SpamAssassin",
+                "Snort",
+                "Suricata",
+                "Prosite",
+                "Yara",
+                "ClamAV"
+            ]
         );
     }
 }

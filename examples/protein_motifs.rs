@@ -11,10 +11,13 @@ use rap::{Machine, Rap, Simulator};
 fn main() -> Result<(), rap::SimError> {
     // A real PROSITE-flavored motif: Zinc finger C2H2-like fragment.
     let motif = "C[ILVF].C".to_string();
-    let rap = Rap::compile(&[motif.clone()])?;
+    let rap = Rap::compile(std::slice::from_ref(&motif))?;
     println!("motif {motif:10} compiles to {:?}", rap.modes()[0]);
     let hits = rap.scan(b"MKCVACHTGEKP").matches;
-    println!("  hits in MKCVACHTGEKP: {:?}\n", hits.iter().map(|m| m.end).collect::<Vec<_>>());
+    println!(
+        "  hits in MKCVACHTGEKP: {:?}\n",
+        hits.iter().map(|m| m.end).collect::<Vec<_>>()
+    );
 
     // A Prosite-like suite: LNFA-majority, executed with Shift-And in the
     // active vector; bins concentrate initial states so idle tiles are
@@ -26,7 +29,10 @@ fn main() -> Result<(), rap::SimError> {
         .map(|p| rap::regex::parse(p).expect("parses"))
         .collect();
 
-    println!("Prosite-like suite ({} motifs), bin-size sweep:", patterns.len());
+    println!(
+        "Prosite-like suite ({} motifs), bin-size sweep:",
+        patterns.len()
+    );
     println!("{:>5} {:>10} {:>10}", "bin", "energy uJ", "area mm2");
     for bin in [1u32, 4, 16, 32] {
         let sim = Simulator::new(Machine::Rap).with_bin_size(bin);

@@ -21,7 +21,11 @@ fn main() -> Result<(), rap::SimError> {
     println!("  unfolded NFA states : {}", re.unfolded_size());
     println!("  NBVA control states : {}", compiled.state_count());
     if let Compiled::Nbva(img) = &compiled {
-        println!("  bit-vector storage  : {} bits in {} vectors", img.bv_bits(), img.bv_states());
+        println!(
+            "  bit-vector storage  : {} bits in {} vectors",
+            img.bv_bits(),
+            img.bv_states()
+        );
     }
 
     // A ClamAV-like suite, swept over the BV depth (the Fig. 10(a) knob).
@@ -32,7 +36,10 @@ fn main() -> Result<(), rap::SimError> {
         .map(|p| rap::regex::parse(p).expect("parses"))
         .collect();
 
-    println!("\nClamAV-like suite ({} signatures), BV depth sweep:", patterns.len());
+    println!(
+        "\nClamAV-like suite ({} signatures), BV depth sweep:",
+        patterns.len()
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>12} {:>8}",
         "depth", "energy uJ", "area mm2", "thpt Gch/s", "stalls"

@@ -39,6 +39,7 @@
 //! | [`compiler`] | the Fig. 9 decision graph and per-mode compilation (§4) |
 //! | [`mapper`] | greedy array packing and multi-LNFA binning (§4.3) |
 //! | [`sim`] | cycle-accurate RAP + CA/CAMA/BVAP baselines (§5) |
+//! | [`verify`] | static legality verifier for plans (rules V001–V012) |
 //! | [`workloads`] | synthetic stand-ins for the seven benchmark suites (§5.1) |
 //! | [`engines`] | software matcher baselines (Hyperscan/HybridSA stand-ins, §5.5) |
 
@@ -50,6 +51,7 @@ pub use rap_engines as engines;
 pub use rap_mapper as mapper;
 pub use rap_regex as regex;
 pub use rap_sim as sim;
+pub use rap_verify as verify;
 pub use rap_workloads as workloads;
 
 pub use rap_circuit::{Machine, Metrics};
@@ -113,7 +115,11 @@ impl Rap {
             .collect::<Result<_, _>>()?;
         let compiled = simulator.compile_parsed(&parsed)?;
         let mapping = simulator.map(&compiled);
-        Ok(Rap { simulator, compiled, mapping })
+        Ok(Rap {
+            simulator,
+            compiled,
+            mapping,
+        })
     }
 
     /// The execution mode each pattern compiled to.
@@ -136,9 +142,17 @@ impl Rap {
         self.mapping.utilization()
     }
 
+    /// Statically verifies the mapping plan against every legality rule
+    /// (see [`verify`]); an empty report means the plan is provably legal.
+    pub fn lint(&self) -> verify::Report {
+        self.simulator.verify(&self.compiled, &self.mapping)
+    }
+
     /// Scans an input stream through the cycle-accurate simulator.
     pub fn scan(&self, input: &[u8]) -> ScanReport {
-        let result = self.simulator.simulate(&self.compiled, &self.mapping, input);
+        let result = self
+            .simulator
+            .simulate(&self.compiled, &self.mapping, input);
         ScanReport {
             matches: result.matches,
             metrics: result.metrics,
@@ -151,7 +165,8 @@ impl Rap {
     /// buffer statistics alongside the report.
     pub fn scan_streaming(&self, input: &[u8]) -> (ScanReport, sim::BankStats) {
         let (result, stats) =
-            self.simulator.simulate_streaming(&self.compiled, &self.mapping, input);
+            self.simulator
+                .simulate_streaming(&self.compiled, &self.mapping, input);
         (
             ScanReport {
                 matches: result.matches,
@@ -178,6 +193,7 @@ mod tests {
         assert_eq!(rap.modes(), vec![Mode::Nbva, Mode::Lnfa, Mode::Nfa]);
         assert!(rap.state_count() > 0);
         assert!(rap.tiles_used() > 0);
+        assert!(rap.lint().is_empty(), "{}", rap.lint());
         let report = rap.scan(b"hello world xqqyz");
         assert_eq!(report.matches.len(), 2);
         assert!(report.metrics.energy_uj > 0.0);

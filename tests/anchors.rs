@@ -41,14 +41,20 @@ fn nbva_level_anchors() {
     assert_eq!(nbva.match_ends(hit), vec![12]);
     let mut shifted = b"x".to_vec();
     shifted.extend_from_slice(hit);
-    assert!(nbva.match_ends(&shifted).is_empty(), "must not match offset 1");
+    assert!(
+        nbva.match_ends(&shifted).is_empty(),
+        "must not match offset 1"
+    );
 }
 
 #[test]
 fn compiler_routes_anchored_patterns_away_from_lnfa() {
     let compiler = rap::compiler::Compiler::new(rap::compiler::CompilerConfig::default());
     // Unanchored: a plain literal takes LNFA mode.
-    assert_eq!(compiler.compile_str("abcd").expect("compiles").mode(), Mode::Lnfa);
+    assert_eq!(
+        compiler.compile_str("abcd").expect("compiles").mode(),
+        Mode::Lnfa
+    );
     // Anchored: same literal now takes NFA mode, carrying the flag.
     let anchored = compiler.compile_str("^abcd").expect("compiles");
     assert_eq!(anchored.mode(), Mode::Nfa);
@@ -84,14 +90,15 @@ fn all_machines_agree_on_anchored_workloads() {
     // mid-stream; the anchored repetition does not occur at offset 0.
     assert_eq!(matches.len(), 3, "{matches:?}");
     assert!(matches.iter().any(|m| m.pattern == 0 && m.end == 5));
-    assert!(matches.iter().any(|m| m.pattern == 1 && m.end == input.len()));
+    assert!(matches
+        .iter()
+        .any(|m| m.pattern == 1 && m.end == input.len()));
     assert!(matches.iter().all(|m| m.pattern != 2));
 }
 
 #[test]
 fn facade_accepts_anchors() {
-    let rap = Rap::compile(&["^start".to_string(), "finish$".to_string()])
-        .expect("compiles");
+    let rap = Rap::compile(&["^start".to_string(), "finish$".to_string()]).expect("compiles");
     let report = rap.scan(b"start middle finish");
     assert_eq!(report.matches.len(), 2);
     // Re-ordered stream: the anchors now miss.
@@ -101,8 +108,7 @@ fn facade_accepts_anchors() {
 
 #[test]
 fn streaming_path_honours_anchors() {
-    let rap = Rap::compile(&["^start".to_string(), "finish$".to_string()])
-        .expect("compiles");
+    let rap = Rap::compile(&["^start".to_string(), "finish$".to_string()]).expect("compiles");
     let input = b"start middle finish";
     let batch = rap.scan(input);
     let (streamed, _) = rap.scan_streaming(input);

@@ -34,19 +34,29 @@ fn nbva_mode_beats_nfa_mode_on_repetition_workloads() {
 
     let sim = Simulator::new(Machine::Rap).with_bv_depth(16);
     let as_nbva = {
-        let c = sim.compile_forced(&nbva_subset, Mode::Nbva).expect("compiles");
+        let c = sim
+            .compile_forced(&nbva_subset, Mode::Nbva)
+            .expect("compiles");
         let m = sim.map(&c);
         sim.simulate(&c, &m, &input)
     };
     let as_nfa = {
-        let c = sim.compile_forced(&nbva_subset, Mode::Nfa).expect("compiles");
+        let c = sim
+            .compile_forced(&nbva_subset, Mode::Nfa)
+            .expect("compiles");
         let m = sim.map(&c);
         sim.simulate(&c, &m, &input)
     };
     let energy_ratio = as_nfa.metrics.energy_uj / as_nbva.metrics.energy_uj;
     let area_ratio = as_nfa.metrics.area_mm2 / as_nbva.metrics.area_mm2;
-    assert!(energy_ratio > 1.5, "NFA/NBVA energy ratio {energy_ratio:.2} (paper: 3.7x)");
-    assert!(area_ratio > 1.5, "NFA/NBVA area ratio {area_ratio:.2} (paper: 4.0x)");
+    assert!(
+        energy_ratio > 1.5,
+        "NFA/NBVA energy ratio {energy_ratio:.2} (paper: 3.7x)"
+    );
+    assert!(
+        area_ratio > 1.5,
+        "NFA/NBVA area ratio {area_ratio:.2} (paper: 4.0x)"
+    );
     // ...at a bounded throughput penalty (the bit-vector stalls).
     assert!(as_nbva.metrics.throughput_gchps() > 1.0);
 }
@@ -63,17 +73,24 @@ fn lnfa_mode_beats_nfa_mode_on_chain_workloads() {
 
     let sim = Simulator::new(Machine::Rap).with_bin_size(32);
     let as_lnfa = {
-        let c = sim.compile_forced(&lnfa_subset, Mode::Lnfa).expect("compiles");
+        let c = sim
+            .compile_forced(&lnfa_subset, Mode::Lnfa)
+            .expect("compiles");
         let m = sim.map(&c);
         sim.simulate(&c, &m, &input)
     };
     let as_nfa = {
-        let c = sim.compile_forced(&lnfa_subset, Mode::Nfa).expect("compiles");
+        let c = sim
+            .compile_forced(&lnfa_subset, Mode::Nfa)
+            .expect("compiles");
         let m = sim.map(&c);
         sim.simulate(&c, &m, &input)
     };
     let energy_ratio = as_nfa.metrics.energy_uj / as_lnfa.metrics.energy_uj;
-    assert!(energy_ratio > 1.8, "NFA/LNFA energy ratio {energy_ratio:.2} (paper: 4.7x)");
+    assert!(
+        energy_ratio > 1.8,
+        "NFA/LNFA energy ratio {energy_ratio:.2} (paper: 4.7x)"
+    );
     // Same throughput: both consume one character per cycle.
     assert_eq!(as_lnfa.metrics.cycles, as_nfa.metrics.cycles);
 }
@@ -163,8 +180,12 @@ fn bvap_wastes_area_without_repetitions() {
     let patterns = generate_patterns(Suite::Prosite, 80, 13);
     let regexes = parsed(&patterns);
     let input = generate_input(&patterns, 10_000, 0.02, 13);
-    let bvap = Simulator::new(Machine::Bvap).run(&regexes, &input).expect("runs");
-    let cama = Simulator::new(Machine::Cama).run(&regexes, &input).expect("runs");
+    let bvap = Simulator::new(Machine::Bvap)
+        .run(&regexes, &input)
+        .expect("runs");
+    let cama = Simulator::new(Machine::Cama)
+        .run(&regexes, &input)
+        .expect("runs");
     assert!(
         bvap.metrics.area_mm2 > cama.metrics.area_mm2 * 1.2,
         "BVAP {:.3} mm2 should exceed CAMA {:.3} mm2 by its BVM overhead",
@@ -193,9 +214,7 @@ fn replication_recovers_nbva_throughput() {
     assert_eq!(rep.result.matches, base.matches);
     if base.metrics.throughput_gchps() < 1.9 {
         assert!(rep.replicas > 1);
-        assert!(
-            rep.result.metrics.throughput_gchps() > base.metrics.throughput_gchps()
-        );
+        assert!(rep.result.metrics.throughput_gchps() > base.metrics.throughput_gchps());
     }
 }
 
@@ -208,10 +227,14 @@ fn rap_pays_reconfigurability_tax_on_pure_nfa() {
     let nfa_subset = split_by_mode(&regexes, Mode::Nfa);
     let input = generate_input(&patterns, 10_000, 0.02, 21);
     let rap = Simulator::new(Machine::Rap);
-    let c = rap.compile_forced(&nfa_subset, Mode::Nfa).expect("compiles");
+    let c = rap
+        .compile_forced(&nfa_subset, Mode::Nfa)
+        .expect("compiles");
     let m = rap.map(&c);
     let rap_run = rap.simulate(&c, &m, &input);
-    let cama = Simulator::new(Machine::Cama).run(&nfa_subset, &input).expect("runs");
+    let cama = Simulator::new(Machine::Cama)
+        .run(&nfa_subset, &input)
+        .expect("runs");
     assert!(
         rap_run.metrics.energy_uj > cama.metrics.energy_uj,
         "RAP NFA {:.2} uJ should exceed CAMA {:.2} uJ (local controller tax)",

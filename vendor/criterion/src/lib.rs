@@ -33,7 +33,11 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, throughput: None }
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+        }
     }
 
     /// Runs one stand-alone benchmark.
@@ -66,7 +70,12 @@ impl BenchmarkGroup {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.label), self.sample_size, self.throughput, f);
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
         self
     }
 
@@ -103,18 +112,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id combining a function name and a parameter.
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { label: format!("{name}/{parameter}") }
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
     }
 
     /// An id that is just the parameter value.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_string() }
+        BenchmarkId {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -158,11 +173,17 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let mut b = Bencher { iters: sample_size, nanos_per_iter: 0.0 };
+    let mut b = Bencher {
+        iters: sample_size,
+        nanos_per_iter: 0.0,
+    };
     f(&mut b);
     let rate = match throughput {
         Some(Throughput::Bytes(n)) if b.nanos_per_iter > 0.0 => {
-            format!("  {:.1} MiB/s", n as f64 / b.nanos_per_iter * 1e9 / (1 << 20) as f64)
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / b.nanos_per_iter * 1e9 / (1 << 20) as f64
+            )
         }
         Some(Throughput::Elements(n)) if b.nanos_per_iter > 0.0 => {
             format!("  {:.1} Melem/s", n as f64 / b.nanos_per_iter * 1e3)

@@ -21,7 +21,9 @@ pub mod test_runner {
     impl TestRng {
         /// A fixed-seed generator: property runs are reproducible.
         pub fn deterministic() -> Self {
-            TestRng { state: 0x5eed_cafe_f00d_d00d }
+            TestRng {
+                state: 0x5eed_cafe_f00d_d00d,
+            }
         }
 
         /// The next 64 random bits.
@@ -68,13 +70,19 @@ pub mod test_runner {
     impl ProptestConfig {
         /// A config running `cases` successful cases.
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases, ..Self::default() }
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 128, max_global_rejects: 65536 }
+            ProptestConfig {
+                cases: 128,
+                max_global_rejects: 65536,
+            }
         }
     }
 }
@@ -111,7 +119,11 @@ pub mod strategy {
             Self: Sized,
             F: Fn(&Self::Value) -> bool,
         {
-            Filter { source: self, whence, f }
+            Filter {
+                source: self,
+                whence,
+                f,
+            }
         }
 
         /// Builds recursive values: `f` receives a strategy for the
@@ -216,7 +228,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter {:?} rejected 10000 consecutive values", self.whence);
+            panic!(
+                "prop_filter {:?} rejected 10000 consecutive values",
+                self.whence
+            );
         }
     }
 
@@ -237,7 +252,10 @@ pub mod strategy {
 
     impl<T> Clone for Union<T> {
         fn clone(&self) -> Self {
-            Union { arms: self.arms.clone(), total: self.total }
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
         }
     }
 
@@ -369,20 +387,29 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { lo: n, hi_inclusive: n }
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
         }
     }
 
@@ -404,7 +431,10 @@ pub mod collection {
 
     /// A strategy producing vectors with lengths drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -413,7 +443,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Namespace alias so `prop::collection::vec` works as upstream.
     pub mod prop {
@@ -548,12 +580,7 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {
         match (&$left, &$right) {
             (__l, __r) => {
-                $crate::prop_assert!(
-                    *__l != *__r,
-                    "assertion failed: `{:?}` == `{:?}`",
-                    __l,
-                    __r
-                );
+                $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` == `{:?}`", __l, __r);
             }
         }
     };

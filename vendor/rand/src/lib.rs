@@ -27,7 +27,9 @@ pub trait SeedableRng: Sized {
 
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
-        StdRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        StdRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
     }
 }
 
