@@ -1,28 +1,12 @@
-//! Runs every table/figure binary in sequence (the paper's full
-//! evaluation). Equivalent to:
-//!
-//! ```text
-//! for exp in fig1 fig10 table2 table3 fig11 fig12 fig13 table4; do
-//!     cargo run --release -p rap-bench --bin $exp
-//! done
-//! ```
+//! Runs the paper's full evaluation in one process against one shared
+//! pipeline, so the content-addressed plan cache and the corpus memo are
+//! reused across every table and figure — each (suite, machine-config)
+//! pattern set is generated and compiled exactly once — and finishes with
+//! the pipeline's stage-timing and cache-counter report.
 
-use std::process::Command;
+use rap_bench::{config_from_env, experiments, Pipeline};
 
 fn main() {
-    let exe_dir = std::env::current_exe()
-        .expect("current exe path")
-        .parent()
-        .expect("exe has a parent dir")
-        .to_path_buf();
-    for exp in [
-        "fig1", "fig10", "table2", "table3", "fig11", "fig12", "fig13", "table4",
-    ] {
-        println!("\n================= {exp} =================\n");
-        let status = Command::new(exe_dir.join(exp))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
-        assert!(status.success(), "{exp} failed with {status}");
-    }
-    println!("\nAll experiments complete; CSVs are under results/.");
+    let pipe = Pipeline::new(config_from_env());
+    experiments::all(&pipe);
 }

@@ -1,29 +1,9 @@
-//! Fig. 1 — the proportion of regexes representable by NFA, NBVA, and
-//! LNFA in each of the seven benchmarks.
+//! Fig. 1 — regex model proportions per benchmark (thin wrapper over
+//! [`rap_bench::experiments::fig1`]).
 
-use rap_bench::tables::{f2, Table};
-use rap_bench::{config_from_env, eval::ModeSplit, suite_regexes};
-use rap_workloads::Suite;
+use rap_bench::{config_from_env, experiments, Pipeline};
 
 fn main() {
-    let cfg = config_from_env();
-    println!("Fig. 1 — regex model proportions per benchmark");
-    println!(
-        "({} synthetic patterns per suite, seed {})\n",
-        cfg.patterns_per_suite, cfg.seed
-    );
-    let mut table = Table::new(["Benchmark", "NFA %", "NBVA %", "LNFA %"]);
-    for suite in Suite::all() {
-        let patterns = suite_regexes(suite, &cfg);
-        let split = ModeSplit::of(&patterns);
-        let n = patterns.len() as f64;
-        table.row([
-            suite.name().to_string(),
-            f2(100.0 * split.nfa.len() as f64 / n),
-            f2(100.0 * split.nbva.len() as f64 / n),
-            f2(100.0 * split.lnfa.len() as f64 / n),
-        ]);
-    }
-    print!("{}", table.render());
-    table.write_csv("fig1");
+    let pipe = Pipeline::new(config_from_env());
+    experiments::fig1(&pipe);
 }

@@ -1,139 +1,14 @@
-//! Fig. 10 — design-space exploration: (a) NBVA BV depth, (b) LNFA bin
-//! size. Values are normalized to depth = 4 (resp. bin = 1), as in the
-//! paper.
+//! Fig. 10 — design-space exploration over BV depth and bin size (thin
+//! wrapper over [`rap_bench::experiments::fig10`]).
 //!
 //! Usage: `fig10 [nbva|lnfa]` (default: both).
 
-use rap_bench::eval::{par_map, ModeSplit};
-use rap_bench::tables::{f2, Table};
-use rap_bench::{config_from_env, suite_input, suite_regexes};
-use rap_circuit::Machine;
-use rap_compiler::Mode;
-use rap_sim::Simulator;
-use rap_workloads::Suite;
+use rap_bench::{config_from_env, experiments, Pipeline};
 
 fn main() {
     let which = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "both".to_string());
-    let cfg = config_from_env();
-    if which == "nbva" || which == "both" {
-        dse_nbva(&cfg);
-    }
-    if which == "lnfa" || which == "both" {
-        dse_lnfa(&cfg);
-    }
-}
-
-fn dse_nbva(cfg: &rap_bench::BenchConfig) {
-    println!("Fig. 10(a) — NBVA DSE over BV depth (normalized to depth 4)\n");
-    let depths = [4u32, 8, 16, 32];
-    let mut table = Table::new(["Dataset", "depth", "energy", "area", "throughput", "chosen"]);
-    let rows = par_map(Suite::all().to_vec(), |suite| {
-        let patterns = suite_regexes(suite, cfg);
-        let nbva = ModeSplit::of(&patterns).nbva;
-        if nbva.is_empty() {
-            return Vec::new();
-        }
-        let input = suite_input(suite, cfg);
-        let runs: Vec<_> = depths
-            .iter()
-            .map(|&d| {
-                let sim = Simulator::new(Machine::Rap).with_bv_depth(d);
-                let compiled = sim
-                    .compile_forced(&nbva, Mode::Nbva)
-                    .expect("NBVA compiles");
-                let mapping = sim.map(&compiled);
-                sim.simulate(&compiled, &mapping, &input)
-            })
-            .collect();
-        let base = &runs[0];
-        depths
-            .iter()
-            .zip(runs.iter())
-            .map(|(&d, r)| {
-                (
-                    suite,
-                    d,
-                    r.metrics.energy_uj / base.metrics.energy_uj,
-                    r.metrics.area_mm2 / base.metrics.area_mm2,
-                    r.metrics.throughput_gchps() / base.metrics.throughput_gchps(),
-                )
-            })
-            .collect::<Vec<_>>()
-    });
-    for suite_rows in rows {
-        for (suite, d, e, a, t) in suite_rows {
-            let chosen = if d == suite.chosen_bv_depth() {
-                "<-"
-            } else {
-                ""
-            };
-            table.row([
-                suite.name().to_string(),
-                d.to_string(),
-                f2(e),
-                f2(a),
-                f2(t),
-                chosen.to_string(),
-            ]);
-        }
-    }
-    print!("{}", table.render());
-    table.write_csv("fig10a_nbva_dse");
-}
-
-fn dse_lnfa(cfg: &rap_bench::BenchConfig) {
-    println!("\nFig. 10(b) — LNFA DSE over bin size (normalized to bin 1)\n");
-    let bins = [1u32, 2, 4, 8, 16, 32];
-    let mut table = Table::new(["Dataset", "bin", "energy", "area", "chosen"]);
-    let rows = par_map(Suite::all().to_vec(), |suite| {
-        let patterns = suite_regexes(suite, cfg);
-        let lnfa = ModeSplit::of(&patterns).lnfa;
-        if lnfa.is_empty() {
-            return Vec::new();
-        }
-        let input = suite_input(suite, cfg);
-        let runs: Vec<_> = bins
-            .iter()
-            .map(|&b| {
-                let sim = Simulator::new(Machine::Rap).with_bin_size(b);
-                let compiled = sim
-                    .compile_forced(&lnfa, Mode::Lnfa)
-                    .expect("LNFA compiles");
-                let mapping = sim.map(&compiled);
-                sim.simulate(&compiled, &mapping, &input)
-            })
-            .collect();
-        let base = &runs[0];
-        bins.iter()
-            .zip(runs.iter())
-            .map(|(&b, r)| {
-                (
-                    suite,
-                    b,
-                    r.metrics.energy_uj / base.metrics.energy_uj,
-                    r.metrics.area_mm2 / base.metrics.area_mm2,
-                )
-            })
-            .collect::<Vec<_>>()
-    });
-    for suite_rows in rows {
-        for (suite, b, e, a) in suite_rows {
-            let chosen = if b == suite.chosen_bin_size() {
-                "<-"
-            } else {
-                ""
-            };
-            table.row([
-                suite.name().to_string(),
-                b.to_string(),
-                f2(e),
-                f2(a),
-                chosen.to_string(),
-            ]);
-        }
-    }
-    print!("{}", table.render());
-    table.write_csv("fig10b_lnfa_dse");
+    let pipe = Pipeline::new(config_from_env());
+    experiments::fig10(&pipe, &which);
 }

@@ -1,57 +1,9 @@
-//! Fig. 11 — the proportion of STEs, energy, and area contributed by the
-//! NFA, NBVA, and LNFA modes when RAP runs every regex of every benchmark
-//! with its optimal mode.
+//! Fig. 11 — per-mode share of STEs / energy / area (thin wrapper over
+//! [`rap_bench::experiments::fig11`]).
 
-use rap_bench::eval::{eval_rap_by_mode, par_map};
-use rap_bench::tables::{f2, Table};
-use rap_bench::{config_from_env, suite_input, suite_regexes};
-use rap_workloads::Suite;
+use rap_bench::{config_from_env, experiments, Pipeline};
 
 fn main() {
-    let cfg = config_from_env();
-    println!("Fig. 11 — per-mode share of STEs / energy / area across all benchmarks\n");
-
-    let systems = par_map(Suite::all().to_vec(), |suite| {
-        let patterns = suite_regexes(suite, &cfg);
-        let input = suite_input(suite, &cfg);
-        eval_rap_by_mode(suite, &patterns, &input)
-    });
-
-    let mut ste = [0.0f64; 3];
-    let mut energy = [0.0f64; 3];
-    let mut area = [0.0f64; 3];
-    for sys in &systems {
-        for (i, part) in [&sys.nfa, &sys.nbva, &sys.lnfa].iter().enumerate() {
-            ste[i] += part.states as f64;
-            energy[i] += part.energy_uj;
-            area[i] += part.area_mm2;
-        }
-    }
-    let mut table = Table::new(["Metric", "NFA %", "NBVA %", "LNFA %", "Total"]);
-    for (name, vals, unit) in [
-        ("STEs", ste, ""),
-        ("Energy", energy, " uJ"),
-        ("Area", area, " mm2"),
-    ] {
-        let total: f64 = vals.iter().sum();
-        table.row([
-            name.to_string(),
-            f2(100.0 * vals[0] / total),
-            f2(100.0 * vals[1] / total),
-            f2(100.0 * vals[2] / total),
-            format!("{}{}", f2(total), unit),
-        ]);
-    }
-    print!("{}", table.render());
-    table.write_csv("fig11");
-
-    // The paper's observation: NFA's energy/area share exceeds its STE
-    // share, showing the effectiveness of the NBVA and LNFA modes.
-    let ste_total: f64 = ste.iter().sum();
-    let e_total: f64 = energy.iter().sum();
-    println!(
-        "\nNFA share: {}% of STEs but {}% of energy (paper: energy share > STE share)",
-        f2(100.0 * ste[0] / ste_total),
-        f2(100.0 * energy[0] / e_total),
-    );
+    let pipe = Pipeline::new(config_from_env());
+    experiments::fig11(&pipe);
 }

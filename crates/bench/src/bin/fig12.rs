@@ -1,90 +1,9 @@
-//! Fig. 12 — overall comparison of RAP vs BVAP, CAMA, and CA on full
-//! benchmarks (area, throughput, energy efficiency, compute density,
-//! power), normalized to RAP.
+//! Fig. 12 — RAP vs BVAP / CAMA / CA on full benchmarks (thin wrapper
+//! over [`rap_bench::experiments::fig12`]).
 
-use rap_bench::eval::{eval_rap_by_mode, par_map};
-use rap_bench::tables::{f2, geomean, ratio, Table};
-use rap_bench::{config_from_env, eval_machine, suite_input, suite_regexes, RunSummary};
-use rap_circuit::Machine;
-use rap_workloads::Suite;
+use rap_bench::{config_from_env, experiments, Pipeline};
 
 fn main() {
-    let cfg = config_from_env();
-    println!("Fig. 12 — RAP vs BVAP / CAMA / CA on full benchmarks");
-    println!(
-        "({} patterns per suite, {} input chars; ratios are machine/RAP)\n",
-        cfg.patterns_per_suite, cfg.input_len
-    );
-
-    let results: Vec<(Suite, [RunSummary; 4])> = par_map(Suite::all().to_vec(), |suite| {
-        let patterns = suite_regexes(suite, &cfg);
-        let input = suite_input(suite, &cfg);
-        let rap = eval_rap_by_mode(suite, &patterns, &input).total();
-        let bvap = eval_machine(Machine::Bvap, suite, &patterns, &input, None);
-        let cama = eval_machine(Machine::Cama, suite, &patterns, &input, None);
-        let ca = eval_machine(Machine::Ca, suite, &patterns, &input, None);
-        (suite, [rap, bvap, cama, ca])
-    });
-
-    let machines = ["RAP", "BVAP", "CAMA", "CA"];
-    type Get = fn(&RunSummary) -> f64;
-    let metrics: [(&str, Get, bool); 5] = [
-        ("Area (mm2)", |s: &RunSummary| s.area_mm2, false),
-        (
-            "Throughput (Gch/s)",
-            |s: &RunSummary| s.throughput_gchps,
-            true,
-        ),
-        (
-            "Energy eff (Gch/s/W)",
-            |s: &RunSummary| s.energy_efficiency(),
-            true,
-        ),
-        (
-            "Compute density (Gch/s/mm2)",
-            |s: &RunSummary| s.compute_density(),
-            true,
-        ),
-        ("Power (W)", |s: &RunSummary| s.power_w, false),
-    ];
-
-    for (name, get, higher_better) in metrics {
-        println!(
-            "\n== {name} ({}) ==",
-            if higher_better {
-                "higher is better"
-            } else {
-                "lower is better"
-            }
-        );
-        let mut table = Table::new(std::iter::once("Dataset").chain(machines.iter().copied()));
-        let mut ratios = vec![Vec::new(); 4];
-        for (suite, cells) in &results {
-            let base = get(&cells[0]);
-            let mut row = vec![suite.name().to_string()];
-            for (i, cell) in cells.iter().enumerate() {
-                row.push(f2(get(cell)));
-                ratios[i].push(get(cell) / base);
-            }
-            table.row(row);
-        }
-        let mut avg = vec!["Geomean (vs RAP)".to_string()];
-        for r in &ratios {
-            avg.push(ratio(geomean(r)));
-        }
-        table.row(avg);
-        print!("{}", table.render());
-
-        // Paper headline: RAP improves energy efficiency 1.2-1.5x and
-        // compute density 1.3-2.5x over CAMA/CA; 1.6x compute density over
-        // BVAP at similar energy efficiency.
-        let csv_name = match name {
-            "Area (mm2)" => "fig12_area",
-            "Throughput (Gch/s)" => "fig12_throughput",
-            "Energy eff (Gch/s/W)" => "fig12_energy_eff",
-            "Compute density (Gch/s/mm2)" => "fig12_compute_density",
-            _ => "fig12_power",
-        };
-        table.write_csv(csv_name);
-    }
+    let pipe = Pipeline::new(config_from_env());
+    experiments::fig12(&pipe);
 }

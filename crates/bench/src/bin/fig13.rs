@@ -1,71 +1,9 @@
-//! Fig. 13 — RAP vs software matchers: a Hyperscan-style multi-pattern
-//! Shift-And engine on this machine's CPU and a HybridSA-style batch
-//! engine standing in for the GPU. Engine throughputs are *measured*;
-//! device powers are the published envelopes of the paper's testbed (see
-//! `rap_engines::power` and DESIGN.md §2).
+//! Fig. 13 — RAP vs software matchers (thin wrapper over
+//! [`rap_bench::experiments::fig13`]).
 
-use rap_bench::eval::{eval_rap_by_mode, par_map};
-use rap_bench::tables::{f2, Table};
-use rap_bench::{config_from_env, suite_input, suite_regexes};
-use rap_engines::power::{CPU_SOCKET_W, GPU_BOARD_W};
-use rap_engines::{measure_throughput_gchps, BatchEngine, HybridEngine};
-use rap_workloads::Suite;
+use rap_bench::{config_from_env, experiments, Pipeline};
 
 fn main() {
-    let cfg = config_from_env();
-    println!("Fig. 13 — RAP vs GPU (HybridSA-style) and CPU (Hyperscan-style)");
-    println!(
-        "({} patterns per suite, {} input chars; engine throughput measured on this host)\n",
-        cfg.patterns_per_suite, cfg.input_len
-    );
-
-    let rows = par_map(Suite::all().to_vec(), |suite| {
-        let patterns = suite_regexes(suite, &cfg);
-        let input = suite_input(suite, &cfg);
-        let rap = eval_rap_by_mode(suite, &patterns, &input).total();
-        let cpu = HybridEngine::new(&patterns, HybridEngine::DEFAULT_MAX_STATES);
-        let cpu_t = measure_throughput_gchps(&cpu, &input, 2);
-        let gpu = BatchEngine::new(&patterns, 4096);
-        let gpu_t = measure_throughput_gchps(&gpu, &input, 2);
-        (suite, rap, cpu_t, gpu_t)
-    });
-
-    let mut table = Table::new([
-        "Dataset",
-        "RAP Gch/s",
-        "RAP W",
-        "GPU Gch/s",
-        "GPU W",
-        "CPU Gch/s",
-        "CPU W",
-    ]);
-    let mut eff_ratios_gpu = Vec::new();
-    let mut eff_ratios_cpu = Vec::new();
-    for (suite, rap, cpu_t, gpu_t) in &rows {
-        table.row([
-            suite.name().to_string(),
-            f2(rap.throughput_gchps),
-            f2(rap.power_w),
-            format!("{gpu_t:.4}"),
-            f2(GPU_BOARD_W),
-            format!("{cpu_t:.4}"),
-            f2(CPU_SOCKET_W),
-        ]);
-        let rap_eff = rap.energy_efficiency();
-        if *gpu_t > 0.0 {
-            eff_ratios_gpu.push(rap_eff / (gpu_t / GPU_BOARD_W));
-        }
-        if *cpu_t > 0.0 {
-            eff_ratios_cpu.push(rap_eff / (cpu_t / CPU_SOCKET_W));
-        }
-    }
-    print!("{}", table.render());
-    table.write_csv("fig13");
-
-    println!(
-        "\nEnergy-efficiency advantage (geomean): {:.0}x vs GPU, {:.0}x vs CPU",
-        rap_bench::tables::geomean(&eff_ratios_gpu),
-        rap_bench::tables::geomean(&eff_ratios_cpu),
-    );
-    println!("(paper: >100x vs GPU, >1000x vs CPU)");
+    let pipe = Pipeline::new(config_from_env());
+    experiments::fig13(&pipe);
 }

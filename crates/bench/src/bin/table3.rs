@@ -1,79 +1,9 @@
-//! Table 3 — LNFA mode of RAP (baseline) vs NFA mode of RAP, CAMA, BVAP,
-//! and CA, on the regexes each benchmark compiles to LNFA.
+//! Table 3 — LNFA-mode comparison (thin wrapper over
+//! [`rap_bench::experiments::table3`]).
 
-use rap_bench::eval::{par_map, ModeSplit};
-use rap_bench::tables::{f2, ratio, Table};
-use rap_bench::{config_from_env, eval_machine, suite_input, suite_regexes};
-use rap_circuit::Machine;
-use rap_compiler::Mode;
-use rap_workloads::Suite;
-
-struct Row {
-    suite: Suite,
-    /// [LNFA, NFA, CAMA, BVAP, CA] summaries.
-    cells: [rap_bench::RunSummary; 5],
-}
+use rap_bench::{config_from_env, experiments, Pipeline};
 
 fn main() {
-    let cfg = config_from_env();
-    println!("Table 3 — LNFA-mode comparison (energy uJ / area mm2 / throughput Gch/s)");
-    println!(
-        "({} patterns per suite, {} input chars)\n",
-        cfg.patterns_per_suite, cfg.input_len
-    );
-
-    let rows: Vec<Option<Row>> = par_map(Suite::all().to_vec(), |suite| {
-        let patterns = suite_regexes(suite, &cfg);
-        let lnfa = ModeSplit::of(&patterns).lnfa;
-        if lnfa.is_empty() {
-            return None;
-        }
-        let input = suite_input(suite, &cfg);
-        let cells = [
-            eval_machine(Machine::Rap, suite, &lnfa, &input, Some(Mode::Lnfa)),
-            eval_machine(Machine::Rap, suite, &lnfa, &input, Some(Mode::Nfa)),
-            eval_machine(Machine::Cama, suite, &lnfa, &input, None),
-            eval_machine(Machine::Bvap, suite, &lnfa, &input, None),
-            eval_machine(Machine::Ca, suite, &lnfa, &input, None),
-        ];
-        Some(Row { suite, cells })
-    });
-    let rows: Vec<Row> = rows.into_iter().flatten().collect();
-
-    let machines = ["LNFA", "NFA", "CAMA", "BVAP", "CA"];
-    for (metric, get) in [
-        (
-            "Energy (uJ)",
-            (|s: &rap_bench::RunSummary| s.energy_uj) as fn(_) -> f64,
-        ),
-        ("Area (mm2)", |s: &rap_bench::RunSummary| s.area_mm2),
-        ("Throughput (Gch/s)", |s: &rap_bench::RunSummary| {
-            s.throughput_gchps
-        }),
-    ] {
-        println!("\n== {metric} ==");
-        let mut table = Table::new(std::iter::once("Dataset").chain(machines.iter().copied()));
-        let mut ratios = vec![Vec::new(); 5];
-        for row in &rows {
-            let base = get(&row.cells[0]);
-            let mut cells = vec![row.suite.name().to_string()];
-            for (i, cell) in row.cells.iter().enumerate() {
-                cells.push(f2(get(cell)));
-                ratios[i].push(get(cell) / base);
-            }
-            table.row(cells);
-        }
-        let mut avg = vec!["Average (vs LNFA)".to_string()];
-        for r in &ratios {
-            avg.push(ratio(rap_bench::tables::geomean(r)));
-        }
-        table.row(avg);
-        print!("{}", table.render());
-        let name = match metric {
-            "Energy (uJ)" => "table3_energy",
-            "Area (mm2)" => "table3_area",
-            _ => "table3_throughput",
-        };
-        table.write_csv(name);
-    }
+    let pipe = Pipeline::new(config_from_env());
+    experiments::table3(&pipe);
 }

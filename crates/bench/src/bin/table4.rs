@@ -1,52 +1,9 @@
-//! Table 4 — RAP vs the hAP FPGA design on ANMLZoo-like benchmarks.
-//! RAP's power/throughput are simulated; hAP's numbers are the published
-//! Table 4 constants.
+//! Table 4 — RAP vs the hAP FPGA design (thin wrapper over
+//! [`rap_bench::experiments::table4`]).
 
-use rap_bench::config_from_env;
-use rap_bench::eval::{eval_rap_by_mode, par_map};
-use rap_bench::tables::{f2, Table};
-use rap_workloads::anmlzoo::AnmlZoo;
-use rap_workloads::generate_input;
+use rap_bench::{config_from_env, experiments, Pipeline};
 
 fn main() {
-    let cfg = config_from_env();
-    println!("Table 4 — RAP vs hAP (FPGA) on ANMLZoo-like benchmarks\n");
-
-    let rows = par_map(AnmlZoo::all().to_vec(), |suite| {
-        let patterns = suite.generate(cfg.patterns_per_suite, cfg.seed);
-        let regexes: Vec<_> = patterns
-            .iter()
-            .map(|p| rap_regex::parse(p).expect("generated patterns parse"))
-            .collect();
-        let input = generate_input(&patterns, cfg.input_len, cfg.match_rate, cfg.seed);
-        // ANMLZoo ships unfolded automata; keep ClamAV's repetitions.
-        let workload_suite = rap_workloads::Suite::ClamAv; // depth/bin knobs
-        let rap = eval_rap_by_mode(workload_suite, &regexes, &input).total();
-        (suite, rap)
-    });
-
-    let mut table = Table::new([
-        "Dataset",
-        "RAP Power (W)",
-        "RAP Thpt (Gch/s)",
-        "hAP Power (W)",
-        "hAP Thpt (Gch/s)",
-        "Thpt ratio",
-    ]);
-    for (suite, rap) in &rows {
-        table.row([
-            suite.name().to_string(),
-            f2(rap.power_w),
-            f2(rap.throughput_gchps),
-            f2(suite.hap_power_w()),
-            f2(suite.hap_throughput_gchps()),
-            format!(
-                "{:.1}x",
-                rap.throughput_gchps / suite.hap_throughput_gchps()
-            ),
-        ]);
-    }
-    print!("{}", table.render());
-    table.write_csv("table4");
-    println!("\n(paper: RAP throughput 11.5-13.8x hAP at 1.7-5.5x the power)");
+    let pipe = Pipeline::new(config_from_env());
+    experiments::table4(&pipe);
 }

@@ -1,96 +1,41 @@
-//! Workload materialization and per-machine evaluation.
+//! Workload materialization and per-machine evaluation, on top of the
+//! staged [`rap_pipeline`] engine.
+//!
+//! This module is the harness-facing veneer: suite corpora come from the
+//! process-wide memo (each corpus is generated, parsed, and synthesized
+//! exactly once per process), per-cell evaluation goes through
+//! [`Pipeline::eval`]'s typed compile → map → verify → simulate chain with
+//! content-addressed plan caching, and failures surface as typed
+//! [`EvalError`]s instead of panics, so one bad suite no longer aborts a
+//! whole table run.
 
 use rap_circuit::Machine;
 use rap_compiler::{Compiler, CompilerConfig, Mode};
+use rap_pipeline::{PatternSet, Pipeline};
 use rap_regex::Regex;
-use rap_sim::{RunResult, Simulator};
+use rap_sim::Simulator;
 use rap_workloads::Suite;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
-/// Harness scale knobs.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct BenchConfig {
-    /// Patterns generated per suite.
-    pub patterns_per_suite: usize,
-    /// Input stream length in bytes.
-    pub input_len: usize,
-    /// Fraction of stream bytes belonging to planted matches.
-    pub match_rate: f64,
-    /// RNG seed for workload synthesis.
-    pub seed: u64,
+pub use rap_pipeline::{BenchConfig, EvalError, RunSummary, SuiteCorpus};
+
+/// The memoized corpus for `(suite, cfg)` — patterns generated once,
+/// parsed once, input synthesized once per process.
+pub fn suite_corpus(suite: Suite, cfg: &BenchConfig) -> Arc<SuiteCorpus> {
+    rap_pipeline::suite_corpus(suite, cfg).0
 }
 
-impl Default for BenchConfig {
-    fn default() -> Self {
-        BenchConfig {
-            patterns_per_suite: 300,
-            input_len: 100_000,
-            match_rate: 0.02,
-            seed: 42,
-        }
-    }
-}
-
-/// Aggregate numbers for one (machine, workload) run — one table cell row.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
-pub struct RunSummary {
-    /// Total energy in microjoules.
-    pub energy_uj: f64,
-    /// Allocated area in mm².
-    pub area_mm2: f64,
-    /// Throughput in Gch/s.
-    pub throughput_gchps: f64,
-    /// Average power in watts.
-    pub power_w: f64,
-    /// Matches reported.
-    pub matches: u64,
-    /// Hardware states (STEs / chain positions) allocated.
-    pub states: u64,
-}
-
-impl RunSummary {
-    /// Energy efficiency in Gch/s/W.
-    pub fn energy_efficiency(&self) -> f64 {
-        if self.power_w == 0.0 {
-            0.0
-        } else {
-            self.throughput_gchps / self.power_w
-        }
-    }
-
-    /// Compute density in Gch/s/mm².
-    pub fn compute_density(&self) -> f64 {
-        if self.area_mm2 == 0.0 {
-            0.0
-        } else {
-            self.throughput_gchps / self.area_mm2
-        }
-    }
-
-    fn from_result(r: &RunResult, states: u64) -> RunSummary {
-        RunSummary {
-            energy_uj: r.metrics.energy_uj,
-            area_mm2: r.metrics.area_mm2,
-            throughput_gchps: r.metrics.throughput_gchps(),
-            power_w: r.metrics.power_w(),
-            matches: r.metrics.matches,
-            states,
-        }
-    }
-}
-
-/// Parses the synthetic patterns of a suite.
+/// Parses the synthetic patterns of a suite (memoized; cloned out of the
+/// shared corpus).
 pub fn suite_regexes(suite: Suite, cfg: &BenchConfig) -> Vec<Regex> {
-    rap_workloads::generate_patterns(suite, cfg.patterns_per_suite, cfg.seed)
-        .iter()
-        .map(|p| rap_regex::parse(p).expect("generated patterns always parse"))
-        .collect()
+    suite_corpus(suite, cfg).regexes()
 }
 
-/// Generates the input stream for a suite.
+/// Generates the input stream for a suite (memoized; cloned out of the
+/// shared corpus — the pattern corpus is *not* regenerated).
 pub fn suite_input(suite: Suite, cfg: &BenchConfig) -> Vec<u8> {
-    let patterns = rap_workloads::generate_patterns(suite, cfg.patterns_per_suite, cfg.seed);
-    rap_workloads::generate_input(&patterns, cfg.input_len, cfg.match_rate, cfg.seed)
+    suite_corpus(suite, cfg).input().to_vec()
 }
 
 /// Builds a simulator with a suite's DSE-chosen knobs.
@@ -102,41 +47,40 @@ pub fn simulator_for(machine: Machine, suite: Suite) -> Simulator {
 
 /// Evaluates one machine on a pattern set, optionally forcing a mode (the
 /// RAP-NFA columns of Tables 2/3 force `Mode::Nfa`).
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when a pattern fails to compile or the mapper
+/// produces an illegal plan; the caller decides whether to skip the cell
+/// or abort.
 pub fn eval_machine(
+    pipe: &Pipeline,
     machine: Machine,
     suite: Suite,
     patterns: &[Regex],
     input: &[u8],
     forced: Option<Mode>,
-) -> RunSummary {
-    let sim = simulator_for(machine, suite);
-    let compiled = match forced {
-        Some(mode) => sim.compile_forced(patterns, mode),
-        None => sim.compile(patterns),
-    }
-    .unwrap_or_else(|e| panic!("{machine} compile failed: {e}"));
-    let states: u64 = compiled.iter().map(|c| c.state_count()).sum();
-    let mapping = sim.map(&compiled);
-    let lint = sim.verify(&compiled, &mapping);
-    assert!(
-        lint.is_legal(),
-        "{machine} produced an illegal mapping:\n{lint}"
-    );
-    let result = sim.simulate(&compiled, &mapping, input);
-    RunSummary::from_result(&result, states)
+) -> Result<RunSummary, EvalError> {
+    let pats = PatternSet::from_regexes(patterns);
+    pipe.eval(machine, suite, &pats, input, forced)
 }
 
 /// Lints one suite's synthetic corpus on one machine: compiles with the
 /// suite's DSE-chosen knobs, maps, and statically verifies the plan,
 /// returning every finding (empty = provably legal, no advisories).
-pub fn lint_suite(machine: Machine, suite: Suite, cfg: &BenchConfig) -> rap_verify::Report {
+///
+/// # Errors
+///
+/// Returns [`EvalError::Compile`] when the corpus fails to compile.
+pub fn lint_suite(
+    machine: Machine,
+    suite: Suite,
+    cfg: &BenchConfig,
+) -> Result<rap_verify::Report, EvalError> {
     let sim = simulator_for(machine, suite);
-    let patterns = suite_regexes(suite, cfg);
-    let compiled = sim
-        .compile(&patterns)
-        .unwrap_or_else(|e| panic!("{suite} corpus compile failed: {e}"));
-    let mapping = sim.map(&compiled);
-    sim.verify(&compiled, &mapping)
+    let corpus = suite_corpus(suite, cfg);
+    let pats = PatternSet::from_regexes(&corpus.regexes());
+    Ok(pats.compile(&sim, None)?.map(&sim).lint())
 }
 
 /// The decided-mode partition of a suite's patterns.
@@ -218,17 +162,26 @@ impl RapSystem {
 }
 
 /// Evaluates RAP with the full decision graph, one run per mode partition.
-pub fn eval_rap_by_mode(suite: Suite, patterns: &[Regex], input: &[u8]) -> RapSystem {
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when any mode partition fails to compile or map.
+pub fn eval_rap_by_mode(
+    pipe: &Pipeline,
+    suite: Suite,
+    patterns: &[Regex],
+    input: &[u8],
+) -> Result<RapSystem, EvalError> {
     let split = ModeSplit::of(patterns);
-    let run = |subset: &[Regex], forced: Mode| -> RunSummary {
+    let run = |subset: &[Regex], forced: Mode| -> Result<RunSummary, EvalError> {
         if subset.is_empty() {
-            return RunSummary::default();
+            return Ok(RunSummary::default());
         }
-        eval_machine(Machine::Rap, suite, subset, input, Some(forced))
+        eval_machine(pipe, Machine::Rap, suite, subset, input, Some(forced))
     };
-    let nfa = run(&split.nfa, Mode::Nfa);
-    let mut nbva = run(&split.nbva, Mode::Nbva);
-    let lnfa = run(&split.lnfa, Mode::Lnfa);
+    let nfa = run(&split.nfa, Mode::Nfa)?;
+    let mut nbva = run(&split.nbva, Mode::Nbva)?;
+    let lnfa = run(&split.lnfa, Mode::Lnfa)?;
 
     // §5.5 replication: bring NBVA throughput up to ≥ 2 Gch/s by assigning
     // additional arrays to share the stalling workload.
@@ -239,31 +192,19 @@ pub fn eval_rap_by_mode(suite: Suite, patterns: &[Regex], input: &[u8]) -> RapSy
         // total switching energy (the work is split, not duplicated).
         nbva.area_mm2 *= 1.0 + 0.03 * (factor - 1.0);
     }
-    RapSystem { nfa, nbva, lnfa }
+    Ok(RapSystem { nfa, nbva, lnfa })
 }
 
-/// Maps `f` over `items` in parallel (one scoped thread per item — the
-/// harness parallelizes across the seven suites, matching the paper's
-/// multi-core experiment methodology).
+/// Maps `f` over `items` in parallel on a bounded worker pool (at least
+/// two workers — the harness parallelizes across the seven suites,
+/// matching the paper's multi-core experiment methodology).
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let mut out: Vec<Option<R>> = Vec::new();
-    out.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        for (slot, item) in out.iter_mut().zip(items) {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(item));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    rap_pipeline::par_map(items, rap_pipeline::default_workers(), f)
 }
 
 #[cfg(test)]
@@ -291,10 +232,12 @@ mod tests {
     #[test]
     fn eval_machine_produces_sane_numbers() {
         let cfg = tiny();
+        let pipe = Pipeline::new(cfg);
         let patterns = suite_regexes(Suite::SpamAssassin, &cfg);
         let input = suite_input(Suite::SpamAssassin, &cfg);
         for machine in Machine::all() {
-            let s = eval_machine(machine, Suite::SpamAssassin, &patterns, &input, None);
+            let s = eval_machine(&pipe, machine, Suite::SpamAssassin, &patterns, &input, None)
+                .unwrap_or_else(|e| panic!("{machine}: {e}"));
             assert!(s.energy_uj > 0.0, "{machine}");
             assert!(s.area_mm2 > 0.0, "{machine}");
             assert!(s.throughput_gchps > 0.0, "{machine}");
@@ -306,7 +249,7 @@ mod tests {
     fn rap_corpus_lints_clean() {
         let cfg = tiny();
         for suite in Suite::all() {
-            let report = lint_suite(Machine::Rap, suite, &cfg);
+            let report = lint_suite(Machine::Rap, suite, &cfg).expect("corpus compiles");
             assert!(report.is_empty(), "{suite}: {report}");
         }
     }
@@ -325,9 +268,10 @@ mod tests {
     #[test]
     fn rap_system_total_combines_modes() {
         let cfg = tiny();
+        let pipe = Pipeline::new(cfg);
         let patterns = suite_regexes(Suite::Snort, &cfg);
         let input = suite_input(Suite::Snort, &cfg);
-        let sys = eval_rap_by_mode(Suite::Snort, &patterns, &input);
+        let sys = eval_rap_by_mode(&pipe, Suite::Snort, &patterns, &input).expect("evaluates");
         let total = sys.total();
         assert!(total.energy_uj > 0.0);
         assert!(total.area_mm2 >= sys.nbva.area_mm2);
@@ -343,12 +287,33 @@ mod tests {
     #[test]
     fn all_machines_report_identical_match_counts() {
         let cfg = tiny();
+        let pipe = Pipeline::new(cfg);
         let patterns = suite_regexes(Suite::Yara, &cfg);
         let input = suite_input(Suite::Yara, &cfg);
         let counts: Vec<u64> = Machine::all()
             .iter()
-            .map(|&m| eval_machine(m, Suite::Yara, &patterns, &input, None).matches)
+            .map(|&m| {
+                eval_machine(&pipe, m, Suite::Yara, &patterns, &input, None)
+                    .expect("evaluates")
+                    .matches
+            })
             .collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn repeated_eval_hits_plan_cache() {
+        let cfg = tiny();
+        let pipe = Pipeline::new(cfg);
+        let patterns = suite_regexes(Suite::ClamAv, &cfg);
+        let input = suite_input(Suite::ClamAv, &cfg);
+        let a = eval_machine(&pipe, Machine::Rap, Suite::ClamAv, &patterns, &input, None)
+            .expect("evaluates");
+        let b = eval_machine(&pipe, Machine::Rap, Suite::ClamAv, &patterns, &input, None)
+            .expect("evaluates");
+        assert_eq!(a, b);
+        let report = pipe.report();
+        assert_eq!(report.plan_cache.misses, 1, "{report}");
+        assert_eq!(report.plan_cache.hits, 1, "{report}");
     }
 }

@@ -1,26 +1,31 @@
 //! Evaluation harness for the RAP reproduction (§5 of the paper).
 //!
-//! Each table and figure of the paper's evaluation has a binary in
-//! `src/bin/` that regenerates it; this library holds the shared plumbing:
-//! workload materialization, per-machine evaluation, the NBVA
-//! throughput-replication rule of §5.5, and plain-text/CSV table
-//! rendering.
+//! Each table and figure of the paper's evaluation is a function in
+//! [`experiments`], driven by one shared [`Pipeline`] (see `rap-pipeline`)
+//! whose content-addressed plan cache compiles each (suite,
+//! machine-config) pattern set exactly once per process and whose grid
+//! driver fans independent (machine × suite) cells out over worker
+//! threads. The `src/bin/*` binaries are thin wrappers.
 //!
 //! Run, e.g.:
 //!
 //! ```text
 //! cargo run --release -p rap-bench --bin table2
-//! cargo run --release -p rap-bench --bin fig12
+//! cargo run --release -p rap-bench --bin all_experiments
 //! ```
 //!
-//! Results are also written as CSV under `results/`.
+//! Results are also written as CSV under `results/`; `all_experiments`
+//! finishes with the pipeline's stage-timing and cache-counter report.
 
 pub mod eval;
+pub mod experiments;
 pub mod tables;
 
 pub use eval::{
-    eval_machine, eval_rap_by_mode, suite_input, suite_regexes, BenchConfig, ModeSplit, RunSummary,
+    eval_machine, eval_rap_by_mode, suite_input, suite_regexes, BenchConfig, EvalError, ModeSplit,
+    RunSummary,
 };
+pub use rap_pipeline::{Pipeline, PipelineReport};
 
 /// Standard scale knobs for the harness, overridable via environment
 /// variables so CI can run quick versions:

@@ -6,6 +6,7 @@ use crate::args::Args;
 use crate::{read_patterns, CliError};
 use rap_circuit::Machine;
 use rap_engines::{measure_throughput_gchps, Engine, ShiftAndEngine};
+use rap_pipeline::{build_plan, PatternSet};
 use rap_sim::Simulator;
 use std::io::Write;
 
@@ -28,7 +29,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let input = std::fs::read(input_path)
         .map_err(|e| CliError::Runtime(format!("cannot read {input_path}: {e}")))?;
     let parsed = parse_all(&patterns)?;
-    let regexes: Vec<rap_regex::Regex> = parsed.iter().map(|p| p.regex.clone()).collect();
+    let pats = PatternSet::from_parsed(patterns.clone(), parsed);
+    let regexes = pats.regexes();
     let depth = args.flag_num("depth", 8)?;
     let bin = args.flag_num("bin", 8)?;
 
@@ -48,11 +50,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let sim = Simulator::new(machine)
             .with_bv_depth(depth)
             .with_bin_size(bin);
-        let compiled = sim
-            .compile_parsed(&parsed)
-            .map_err(|e| CliError::Runtime(e.to_string()))?;
-        let mapping = sim.map(&compiled);
-        let r = sim.simulate(&compiled, &mapping, &input);
+        let plan = build_plan(&sim, &pats, None).map_err(|e| CliError::Runtime(e.to_string()))?;
+        let r = plan.simulate(&input);
         outln!(
             out,
             "{:>10} {:>10.3} {:>10.4} {:>12.3} {:>12.3} {:>9.3} {:>8}",

@@ -5,6 +5,7 @@ use crate::args::Args;
 use crate::{read_patterns, CliError};
 use rap_circuit::Machine;
 use rap_compiler::Mode;
+use rap_pipeline::PatternSet;
 use rap_sim::Simulator;
 use std::io::Write;
 
@@ -34,8 +35,9 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .with_bv_depth(args.flag_num("depth", 8)?)
         .with_bin_size(args.flag_num("bin", 8)?);
     sim.compiler.unfold_threshold = args.flag_num("threshold", 4)?;
-    let compiled = sim
-        .compile_parsed(&parsed)
+    let pats = PatternSet::from_parsed(patterns.clone(), parsed);
+    let compiled = pats
+        .compile(&sim, None)
         .map_err(|e| CliError::Runtime(e.to_string()))?;
 
     outln!(
@@ -47,7 +49,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "columns"
     );
     let mut counts = [0usize; 3];
-    for (i, (c, p)) in compiled.iter().zip(patterns.iter()).enumerate() {
+    for (i, (c, p)) in compiled.images().iter().zip(patterns.iter()).enumerate() {
         outln!(
             out,
             "{:>4}  {:>5}  {:>7}  {:>7}  {}",
@@ -63,7 +65,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             Mode::Lnfa => 2,
         }] += 1;
     }
-    let mapping = sim.map(&compiled);
+    let plan = compiled.map(&sim);
+    let mapping = plan.mapping();
     let (nfa_arrays, nbva_arrays, lnfa_arrays) = mapping.arrays_by_mode();
     outln!(out, "");
     outln!(

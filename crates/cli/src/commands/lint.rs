@@ -3,6 +3,7 @@
 use super::{outln, parse_all};
 use crate::args::Args;
 use crate::{read_patterns, CliError};
+use rap_pipeline::PatternSet;
 use rap_sim::Simulator;
 use rap_verify::{Report, Severity};
 use std::io::Write;
@@ -41,11 +42,12 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         .with_bv_depth(args.flag_num("depth", 8)?)
         .with_bin_size(args.flag_num("bin", 8)?);
     sim.compiler.unfold_threshold = args.flag_num("threshold", 4)?;
-    let compiled = sim
-        .compile_parsed(&parsed)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
-    let mapping = sim.map(&compiled);
-    let report = sim.verify(&compiled, &mapping);
+    let pats = PatternSet::from_parsed(patterns.clone(), parsed);
+    let plan = pats
+        .compile(&sim, None)
+        .map_err(|e| CliError::Runtime(e.to_string()))?
+        .map(&sim);
+    let report = plan.lint();
 
     if args.switch("json") {
         outln!(out, "{}", report_json(&report));
@@ -56,7 +58,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             out,
             "{} pattern(s), {} array(s), {} finding(s)",
             patterns.len(),
-            mapping.arrays.len(),
+            plan.mapping().arrays.len(),
             report.len()
         );
     }

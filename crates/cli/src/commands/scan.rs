@@ -3,6 +3,7 @@
 use super::{outln, parse_all};
 use crate::args::Args;
 use crate::{read_patterns, CliError};
+use rap_pipeline::{build_plan, PatternSet};
 use rap_sim::Simulator;
 use std::io::Write;
 
@@ -34,11 +35,10 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let sim = Simulator::new(args.machine()?)
         .with_bv_depth(args.flag_num("depth", 8)?)
         .with_bin_size(args.flag_num("bin", 8)?);
-    let compiled = sim
-        .compile_parsed(&parsed)
-        .map_err(|e| CliError::Runtime(e.to_string()))?;
-    let mapping = sim.map(&compiled);
-    let result = sim.simulate(&compiled, &mapping, &input);
+    // Typed chain: only a verified (hardware-legal) plan can be simulated.
+    let pats = PatternSet::from_parsed(patterns.clone(), parsed);
+    let plan = build_plan(&sim, &pats, None).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let result = plan.simulate(&input);
 
     let limit: usize = args.flag_num("limit", 20)?;
     outln!(out, "machine: {}", result.machine);

@@ -1,0 +1,339 @@
+//! Typed stage artifacts.
+//!
+//! The end-to-end flow is a chain of owning types, one per stage:
+//!
+//! ```text
+//! PatternSet --compile--> CompiledSet --map--> MappedPlan --verify--> VerifiedPlan --simulate--> RunResult
+//! ```
+//!
+//! Each transition consumes the previous artifact (or borrows it
+//! immutably), so illegal stage orderings are unrepresentable at the type
+//! level: [`VerifiedPlan::simulate`] is the *only* road to a
+//! [`rap_sim::RunResult`], and a [`VerifiedPlan`] can only be obtained
+//! through [`MappedPlan::verify`], which refuses hardware-illegal plans.
+
+use crate::cache::{hash_configs, CacheKey, StableHasher};
+use crate::error::EvalError;
+use rap_circuit::Machine;
+use rap_compiler::{Compiled, Mode};
+use rap_mapper::Mapping;
+use rap_regex::{Pattern, Regex};
+use rap_sim::{BankStats, RunResult, SimError, Simulator};
+
+/// Stage 1 artifact: a parse-validated pattern set with its source text.
+///
+/// Keeping the sources alongside the parsed forms gives every later stage
+/// a stable content identity to hash (regex ASTs have no guaranteed
+/// canonical byte form; their source text does).
+#[derive(Clone, Debug)]
+pub struct PatternSet {
+    sources: Vec<String>,
+    parsed: Vec<Pattern>,
+}
+
+impl PatternSet {
+    /// Parses pattern strings, honouring `^`/`$` anchors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Parse`] for the first malformed pattern.
+    pub fn parse(sources: &[String]) -> Result<PatternSet, EvalError> {
+        let parsed = sources
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                rap_regex::parse_pattern(s).map_err(|error| EvalError::Parse { pattern: i, error })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(PatternSet {
+            sources: sources.to_vec(),
+            parsed,
+        })
+    }
+
+    /// Wraps already-parsed patterns (e.g. the CLI's front-end output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` and `parsed` differ in length.
+    pub fn from_parsed(sources: Vec<String>, parsed: Vec<Pattern>) -> PatternSet {
+        assert_eq!(sources.len(), parsed.len(), "source/parsed length mismatch");
+        PatternSet { sources, parsed }
+    }
+
+    /// Wraps bare regexes as unanchored patterns, recovering source text
+    /// from their canonical rendering.
+    pub fn from_regexes(regexes: &[Regex]) -> PatternSet {
+        PatternSet {
+            sources: regexes.iter().map(|r| r.to_string()).collect(),
+            parsed: regexes
+                .iter()
+                .map(|r| Pattern {
+                    regex: r.clone(),
+                    anchored_start: false,
+                    anchored_end: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.parsed.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parsed.is_empty()
+    }
+
+    /// The original pattern strings.
+    pub fn sources(&self) -> &[String] {
+        &self.sources
+    }
+
+    /// The parsed patterns.
+    pub fn parsed(&self) -> &[Pattern] {
+        &self.parsed
+    }
+
+    /// The bare regexes (anchors stripped), cloned.
+    pub fn regexes(&self) -> Vec<Regex> {
+        self.parsed.iter().map(|p| p.regex.clone()).collect()
+    }
+
+    /// Absorbs the set's content identity (sources + anchor flags).
+    pub fn hash_into(&self, h: &mut StableHasher) {
+        h.write_u64(self.sources.len() as u64);
+        for (src, p) in self.sources.iter().zip(&self.parsed) {
+            h.write_str(src);
+            h.write(&[u8::from(p.anchored_start), u8::from(p.anchored_end)]);
+        }
+    }
+
+    /// The content address a compile of this set would have for the given
+    /// simulator and forced mode.
+    pub fn cache_key(&self, sim: &Simulator, forced: Option<Mode>) -> CacheKey {
+        let mut h = StableHasher::new();
+        self.hash_into(&mut h);
+        h.write_str(sim.machine.name());
+        match forced {
+            None => h.write(&[0]),
+            Some(mode) => {
+                h.write(&[1]);
+                h.write_str(&mode.to_string());
+            }
+        }
+        hash_configs(&mut h, &sim.compiler, &sim.mapper);
+        h.finish()
+    }
+
+    /// Stage transition: compiles the set for `sim`'s machine.
+    ///
+    /// `forced` compiles every pattern in one mode (the RAP-NFA columns of
+    /// Tables 2/3); `None` uses the machine's native mode decision and
+    /// honours anchors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::Compile`] for the first failing pattern.
+    pub fn compile(&self, sim: &Simulator, forced: Option<Mode>) -> Result<CompiledSet, EvalError> {
+        let images = match forced {
+            Some(mode) => sim.compile_forced(&self.regexes(), mode),
+            None => sim.compile_parsed(&self.parsed),
+        }
+        .map_err(|e| EvalError::from_sim(sim.machine, e))?;
+        Ok(CompiledSet {
+            machine: sim.machine,
+            forced,
+            key: self.cache_key(sim, forced),
+            images,
+        })
+    }
+}
+
+/// Stage 2 artifact: hardware images for one machine.
+#[derive(Clone, Debug)]
+pub struct CompiledSet {
+    machine: Machine,
+    forced: Option<Mode>,
+    key: CacheKey,
+    images: Vec<Compiled>,
+}
+
+impl CompiledSet {
+    /// The machine the images target.
+    pub fn machine(&self) -> Machine {
+        self.machine
+    }
+
+    /// The forced mode, if compilation bypassed the decision graph.
+    pub fn forced(&self) -> Option<Mode> {
+        self.forced
+    }
+
+    /// The content address of this compile product.
+    pub fn key(&self) -> CacheKey {
+        self.key
+    }
+
+    /// The per-pattern hardware images.
+    pub fn images(&self) -> &[Compiled] {
+        &self.images
+    }
+
+    /// Total hardware states (STEs / chain positions) across images.
+    pub fn state_count(&self) -> u64 {
+        self.images.iter().map(Compiled::state_count).sum()
+    }
+
+    /// Total CAM columns across images.
+    pub fn column_count(&self) -> u64 {
+        self.images.iter().map(Compiled::column_count).sum()
+    }
+
+    /// Stage transition: places the images onto arrays.
+    pub fn map(self, sim: &Simulator) -> MappedPlan {
+        let mapping = sim.map(&self.images);
+        MappedPlan {
+            compiled: self,
+            mapping,
+        }
+    }
+}
+
+/// Stage 3 artifact: images plus their array placement — *not yet checked
+/// for hardware legality*, so it cannot be simulated.
+#[derive(Clone, Debug)]
+pub struct MappedPlan {
+    compiled: CompiledSet,
+    mapping: Mapping,
+}
+
+impl MappedPlan {
+    /// Assembles a plan from an externally produced placement (a loaded,
+    /// hand-edited, or otherwise untrusted mapping) so it can be linted
+    /// like any mapper output. No legality is assumed: the result still
+    /// has to pass [`MappedPlan::verify`] before it can be simulated.
+    pub fn from_parts(compiled: CompiledSet, mapping: Mapping) -> MappedPlan {
+        MappedPlan { compiled, mapping }
+    }
+
+    /// The compile product this plan places.
+    pub fn compiled(&self) -> &CompiledSet {
+        &self.compiled
+    }
+
+    /// The array placement.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Runs every static legality rule, returning the full report
+    /// (including non-fatal advisories) without consuming the plan.
+    pub fn lint(&self) -> rap_verify::Report {
+        rap_verify::verify(
+            &self.compiled.images,
+            &self.mapping,
+            &self.mapping.config.arch,
+        )
+    }
+
+    /// Stage transition: verifies legality, yielding the only artifact the
+    /// simulator accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::IllegalMapping`] when any rule reports an
+    /// error; warnings and infos are retained as
+    /// [`VerifiedPlan::advisories`].
+    pub fn verify(self) -> Result<VerifiedPlan, EvalError> {
+        let report = self.lint();
+        if report.is_legal() {
+            Ok(VerifiedPlan {
+                compiled: self.compiled,
+                mapping: self.mapping,
+                advisories: report,
+            })
+        } else {
+            Err(EvalError::IllegalMapping {
+                machine: self.compiled.machine,
+                report,
+            })
+        }
+    }
+}
+
+/// Stage 4 artifact: a plan that passed every legality rule.
+///
+/// There is no public constructor — the only way to obtain one is
+/// [`MappedPlan::verify`] — so holding a `VerifiedPlan` *is* the proof
+/// that the plan is hardware-legal.
+#[derive(Clone, Debug)]
+pub struct VerifiedPlan {
+    compiled: CompiledSet,
+    mapping: Mapping,
+    advisories: rap_verify::Report,
+}
+
+impl VerifiedPlan {
+    /// The compile product this plan places.
+    pub fn compiled(&self) -> &CompiledSet {
+        &self.compiled
+    }
+
+    /// The array placement.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Non-fatal findings (warnings/infos) from verification.
+    pub fn advisories(&self) -> &rap_verify::Report {
+        &self.advisories
+    }
+
+    /// Stage transition: runs the cycle-accurate simulator over `input`.
+    pub fn simulate(&self, input: &[u8]) -> RunResult {
+        rap_sim::simulate(
+            &self.compiled.images,
+            &self.mapping,
+            input,
+            self.compiled.machine,
+        )
+    }
+
+    /// Like [`VerifiedPlan::simulate`], but through the §3.3 bank buffer
+    /// hierarchy, returning buffer statistics alongside the result.
+    pub fn simulate_streaming(&self, input: &[u8]) -> (RunResult, BankStats) {
+        rap_sim::simulate_streaming(
+            &self.compiled.images,
+            &self.mapping,
+            input,
+            self.compiled.machine,
+        )
+    }
+}
+
+/// Runs the full typed chain for one simulator: compile → map → verify.
+///
+/// # Errors
+///
+/// Propagates the first stage failure as [`EvalError`].
+pub fn build_plan(
+    sim: &Simulator,
+    patterns: &PatternSet,
+    forced: Option<Mode>,
+) -> Result<VerifiedPlan, EvalError> {
+    patterns.compile(sim, forced)?.map(sim).verify()
+}
+
+/// Lifts a [`SimError`]-returning front-end into the typed chain (used by
+/// the facade, which keeps [`SimError`] as its public error type).
+///
+/// # Errors
+///
+/// Returns the underlying [`SimError`], with illegal plans surfaced as
+/// [`SimError::IllegalMapping`].
+pub fn build_plan_sim(sim: &Simulator, patterns: &PatternSet) -> Result<VerifiedPlan, SimError> {
+    build_plan(sim, patterns, None).map_err(SimError::from)
+}

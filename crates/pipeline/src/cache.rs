@@ -1,0 +1,274 @@
+//! Content-addressed artifact cache.
+//!
+//! Compile products are keyed by a *stable* hash of everything that
+//! determines them: the pattern sources, the target machine, the forced
+//! mode (if any), and every field of the compiler and mapper
+//! configurations. The hash is FNV-1a/128 computed over an explicit field
+//! serialization — independent of `std::hash::Hash` (whose output is not
+//! guaranteed stable across releases) and of struct layout.
+//!
+//! The cache itself is a two-level map: an outer lock resolves the key to
+//! a per-key build cell, and the cell's own lock serializes construction,
+//! so two workers racing on the *same* key build the artifact exactly once
+//! while workers on *different* keys build concurrently.
+
+use rap_compiler::CompilerConfig;
+use rap_mapper::MapperConfig;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A 128-bit content address identifying one compile product.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub u128);
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Streaming FNV-1a hasher over 128 bits, stable across platforms and
+/// releases.
+#[derive(Clone, Debug)]
+pub struct StableHasher {
+    state: u128,
+}
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl StableHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `u32` in little-endian byte order.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` via its IEEE-754 bit pattern.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a length-prefixed string (prefixing prevents concatenation
+    /// ambiguity between adjacent fields).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    /// Absorbs an optional `u32` with a presence tag.
+    pub fn write_opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            None => self.write(&[0]),
+            Some(v) => {
+                self.write(&[1]);
+                self.write_u32(v);
+            }
+        }
+    }
+
+    /// Finalizes into a cache key.
+    pub fn finish(&self) -> CacheKey {
+        CacheKey(self.state)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+/// Absorbs every compile- and map-determining configuration field.
+pub(crate) fn hash_configs(h: &mut StableHasher, compiler: &CompilerConfig, mapper: &MapperConfig) {
+    h.write_u32(compiler.unfold_threshold);
+    h.write_u32(compiler.bv_depth);
+    h.write_f64(compiler.lnfa_expand_factor);
+    h.write_opt_u32(compiler.bv_bits_cap);
+    for arch in [&compiler.arch, &mapper.arch] {
+        h.write_u32(arch.cam_rows);
+        h.write_u32(arch.tile_columns);
+        h.write_u32(arch.tiles_per_array);
+        h.write_u32(arch.arrays_per_bank);
+        h.write_u32(arch.global_ports_per_tile);
+        h.write_u32(arch.max_bin_size);
+        h.write_u32(arch.ring_width_bits);
+        h.write_u32(arch.bank_input_entries);
+        h.write_u32(arch.array_input_entries);
+        h.write_u32(arch.bank_output_entries);
+        h.write_u32(arch.array_output_entries);
+        h.write_f64(arch.tile_wire_mm);
+        h.write_f64(arch.ring_hop_mm);
+    }
+    h.write_u32(mapper.bin_size);
+    match mapper.bvm {
+        None => h.write(&[0]),
+        Some(bvm) => {
+            h.write(&[1]);
+            h.write_u32(bvm.slot_bits);
+            h.write_u32(bvm.slots_per_tile);
+        }
+    }
+    h.write(&[u8::from(mapper.validate)]);
+}
+
+/// Running hit/miss totals for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the artifact.
+    pub misses: u64,
+}
+
+/// A content-addressed map from [`CacheKey`] to a shared artifact.
+///
+/// Generic over the artifact type so the same machinery caches verified
+/// plans today and could cache, e.g., serialized images later.
+#[derive(Debug, Default)]
+pub struct ArtifactCache<T> {
+    cells: Mutex<HashMap<CacheKey, Arc<Cell<T>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug)]
+struct Cell<T> {
+    slot: Mutex<Option<Arc<T>>>,
+}
+
+impl<T> ArtifactCache<T> {
+    /// An empty cache.
+    pub fn new() -> ArtifactCache<T> {
+        ArtifactCache {
+            cells: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the artifact for `key`, building it with `build` on a miss.
+    ///
+    /// Concurrent callers with the same key build once (the losers wait and
+    /// receive the winner's artifact, counted as hits); failed builds are
+    /// not cached, so a later retry runs `build` again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error returned by `build`.
+    pub fn get_or_build<E>(
+        &self,
+        key: CacheKey,
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
+        let cell = {
+            let mut cells = self.cells.lock().expect("cache lock poisoned");
+            Arc::clone(cells.entry(key).or_insert_with(|| {
+                Arc::new(Cell {
+                    slot: Mutex::new(None),
+                })
+            }))
+        };
+        let mut slot = cell.slot.lock().expect("cache cell lock poisoned");
+        if let Some(artifact) = slot.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(artifact));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let artifact = Arc::new(build()?);
+        *slot = Some(Arc::clone(&artifact));
+        Ok(artifact)
+    }
+
+    /// Current hit/miss totals.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct keys holding a built artifact.
+    pub fn len(&self) -> usize {
+        self.cells
+            .lock()
+            .expect("cache lock poisoned")
+            .values()
+            .filter(|c| c.slot.lock().expect("cell lock poisoned").is_some())
+            .count()
+    }
+
+    /// Whether no artifact has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors_are_stable() {
+        // Bit-for-bit stability is the whole point: pin two vectors.
+        let mut h = StableHasher::new();
+        h.write(b"");
+        assert_eq!(h.finish().0, FNV_OFFSET);
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish().0, 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn cache_builds_once_per_key() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new();
+        let key = CacheKey(7);
+        let a = cache.get_or_build(key, || Ok::<_, ()>(41)).expect("builds");
+        let b = cache
+            .get_or_build(key, || -> Result<u32, ()> { panic!("must not rebuild") })
+            .expect("cached");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failed_builds_are_retried() {
+        let cache: ArtifactCache<u32> = ArtifactCache::new();
+        let key = CacheKey(9);
+        assert!(cache.get_or_build(key, || Err::<u32, _>("boom")).is_err());
+        let v = cache.get_or_build(key, || Ok::<_, ()>(5)).expect("builds");
+        assert_eq!(*v, 5);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    }
+}

@@ -1,0 +1,279 @@
+//! The pipeline orchestrator and its parallel grid driver.
+//!
+//! [`Pipeline`] ties the stages together: it materializes suite corpora
+//! through the process-wide memo, compiles/maps/verifies through the
+//! content-addressed plan cache, simulates, and fans independent
+//! (machine × suite) cells out over scoped worker threads — all while
+//! charging wall-clock and work counters to a [`PipelineReport`].
+
+use crate::artifact::{PatternSet, VerifiedPlan};
+use crate::cache::ArtifactCache;
+use crate::error::EvalError;
+use crate::report::{Metrics, PipelineReport, Stage};
+use crate::summary::RunSummary;
+use crate::workload::{self, BenchConfig, SuiteCorpus};
+use rap_circuit::Machine;
+use rap_compiler::Mode;
+use rap_sim::Simulator;
+use rap_workloads::Suite;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default grid worker count: every available core, but never fewer than
+/// two, so the (machine × suite) grid always actually overlaps work.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map_or(2, usize::from)
+        .max(2)
+}
+
+/// Maps `f` over `items` on a bounded pool of scoped worker threads.
+///
+/// Workers claim items through a shared atomic cursor (the same
+/// work-stealing shape as `rap_engines::batch`), so an expensive item
+/// never serializes the rest of the grid behind it. Results come back in
+/// input order. With one worker (or one item) the map runs inline.
+pub fn par_map<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = workers.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work lock poisoned")
+                    .take()
+                    .expect("each item claimed once");
+                let out = f(item);
+                *slots[i].lock().expect("slot lock poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every slot filled")
+        })
+        .collect()
+}
+
+/// The staged evaluation engine.
+///
+/// One `Pipeline` per process is the intended shape: its plan cache is
+/// what lets seven suites × four machines × several experiments compile
+/// each distinct configuration exactly once.
+#[derive(Debug)]
+pub struct Pipeline {
+    spec: BenchConfig,
+    workers: usize,
+    plans: ArtifactCache<VerifiedPlan>,
+    metrics: Metrics,
+}
+
+impl Pipeline {
+    /// Creates a pipeline for one workload scale, with
+    /// [`default_workers`] grid workers.
+    pub fn new(spec: BenchConfig) -> Pipeline {
+        Pipeline {
+            spec,
+            workers: default_workers(),
+            plans: ArtifactCache::new(),
+            metrics: Metrics::default(),
+        }
+    }
+
+    /// Overrides the grid worker count (floored at 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Pipeline {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The workload scale knobs.
+    pub fn spec(&self) -> &BenchConfig {
+        &self.spec
+    }
+
+    /// The grid worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Materializes (or recalls) a suite's corpus.
+    pub fn corpus(&self, suite: Suite) -> Arc<SuiteCorpus> {
+        self.metrics
+            .timed(Stage::Generate, || {
+                workload::suite_corpus(suite, &self.spec)
+            })
+            .0
+    }
+
+    /// Builds a simulator with a suite's DSE-chosen knobs for `machine`.
+    pub fn simulator_for(&self, machine: Machine, suite: Suite) -> Simulator {
+        Simulator::new(machine)
+            .with_bv_depth(suite.chosen_bv_depth())
+            .with_bin_size(suite.chosen_bin_size())
+    }
+
+    /// Returns the verified plan for `(patterns, machine, configs)`,
+    /// compiling/mapping/verifying on a cache miss and recalling the
+    /// shared artifact on a hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first stage failure; failures are not cached.
+    pub fn plan(
+        &self,
+        sim: &Simulator,
+        patterns: &PatternSet,
+        forced: Option<Mode>,
+    ) -> Result<Arc<VerifiedPlan>, EvalError> {
+        let key = patterns.cache_key(sim, forced);
+        self.plans.get_or_build(key, || {
+            let compiled = self
+                .metrics
+                .timed(Stage::Compile, || patterns.compile(sim, forced))?;
+            self.metrics
+                .add_compiled(patterns.len() as u64, compiled.state_count());
+            let mapped = self.metrics.timed(Stage::Map, || compiled.map(sim));
+            self.metrics.timed(Stage::Verify, || mapped.verify())
+        })
+    }
+
+    /// Evaluates one (machine × suite) cell: plan (cached) + simulate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/verify failures as [`EvalError`]; the simulate
+    /// stage itself is total.
+    pub fn eval(
+        &self,
+        machine: Machine,
+        suite: Suite,
+        patterns: &PatternSet,
+        input: &[u8],
+        forced: Option<Mode>,
+    ) -> Result<RunSummary, EvalError> {
+        self.eval_with(&self.simulator_for(machine, suite), patterns, input, forced)
+    }
+
+    /// Like [`Pipeline::eval`] but with explicit simulator knobs (the DSE
+    /// sweeps of Fig. 10 vary BV depth / bin size away from the
+    /// suite-chosen values). The knobs are part of the cache key, so each
+    /// swept configuration is its own artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/verify failures as [`EvalError`].
+    pub fn eval_with(
+        &self,
+        sim: &Simulator,
+        patterns: &PatternSet,
+        input: &[u8],
+        forced: Option<Mode>,
+    ) -> Result<RunSummary, EvalError> {
+        let plan = self.plan(sim, patterns, forced)?;
+        let result = self.metrics.timed(Stage::Simulate, || plan.simulate(input));
+        self.metrics.add_cell();
+        Ok(RunSummary::of(&result, plan.compiled().state_count()))
+    }
+
+    /// Fans independent grid cells out over this pipeline's worker pool,
+    /// recording worker count and fan-out wall-clock in the report.
+    pub fn grid<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let workers = self.workers.clamp(1, items.len().max(1));
+        let start = Instant::now();
+        let out = par_map(items, workers, f);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.record_grid(workers as u64, ns);
+        out
+    }
+
+    /// Snapshots the instrumentation accumulated so far.
+    pub fn report(&self) -> PipelineReport {
+        self.metrics
+            .snapshot(self.plans.stats(), workload::corpus_stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..97).collect::<Vec<i64>>(), 5, |x| x * 2);
+        assert_eq!(out, (0..97).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_single_worker_and_empty() {
+        assert_eq!(par_map(vec![3, 4], 1, |x| x + 1), vec![4, 5]);
+        assert_eq!(par_map(Vec::<u8>::new(), 8, |x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn plan_cache_hits_on_second_request() {
+        let pipe = Pipeline::new(BenchConfig {
+            patterns_per_suite: 4,
+            input_len: 256,
+            match_rate: 0.02,
+            seed: 3,
+        });
+        let corpus = pipe.corpus(Suite::Snort);
+        let sim = pipe.simulator_for(Machine::Rap, Suite::Snort);
+        let a = pipe.plan(&sim, corpus.patterns(), None).expect("plans");
+        let b = pipe.plan(&sim, corpus.patterns(), None).expect("plans");
+        assert!(Arc::ptr_eq(&a, &b));
+        let report = pipe.report();
+        assert_eq!(report.plan_cache.misses, 1);
+        assert_eq!(report.plan_cache.hits, 1);
+        assert!(report.stage_secs(Stage::Compile) > 0.0);
+    }
+
+    #[test]
+    fn eval_produces_sane_summary() {
+        let pipe = Pipeline::new(BenchConfig {
+            patterns_per_suite: 6,
+            input_len: 1_000,
+            match_rate: 0.02,
+            seed: 11,
+        });
+        let corpus = pipe.corpus(Suite::Yara);
+        let s = pipe
+            .eval(
+                Machine::Rap,
+                Suite::Yara,
+                corpus.patterns(),
+                corpus.input(),
+                None,
+            )
+            .expect("evals");
+        assert!(s.energy_uj > 0.0);
+        assert!(s.states > 0);
+        assert_eq!(pipe.report().cells_evaluated, 1);
+    }
+}

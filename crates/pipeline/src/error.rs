@@ -1,0 +1,92 @@
+//! Typed pipeline errors.
+//!
+//! Every stage transition returns [`EvalError`] instead of panicking, so a
+//! single bad suite (an unparsable pattern, an over-capacity automaton, an
+//! illegal plan) surfaces as a reportable row failure rather than aborting
+//! a whole table run.
+
+use rap_circuit::Machine;
+use rap_compiler::CompileError;
+use rap_regex::ParseError;
+use rap_sim::SimError;
+use std::fmt;
+
+/// Error produced by a pipeline stage.
+#[derive(Clone, Debug)]
+pub enum EvalError {
+    /// A pattern string failed to parse.
+    Parse {
+        /// Index of the offending pattern within its set.
+        pattern: usize,
+        /// The parser's diagnosis.
+        error: ParseError,
+    },
+    /// A parsed pattern failed to compile for the target machine.
+    Compile {
+        /// The machine being compiled for.
+        machine: Machine,
+        /// Index of the offending pattern within its set.
+        pattern: usize,
+        /// The compiler's diagnosis.
+        error: CompileError,
+    },
+    /// The mapper produced a plan that fails static legality verification;
+    /// the report lists every violated rule.
+    IllegalMapping {
+        /// The machine being mapped for.
+        machine: Machine,
+        /// The verifier's findings.
+        report: rap_verify::Report,
+    },
+}
+
+impl EvalError {
+    /// Lifts a [`SimError`] into an [`EvalError`], attaching the machine.
+    pub fn from_sim(machine: Machine, error: SimError) -> EvalError {
+        match error {
+            SimError::Compile { pattern, error } => EvalError::Compile {
+                machine,
+                pattern,
+                error,
+            },
+            SimError::IllegalMapping { report } => EvalError::IllegalMapping { machine, report },
+        }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Parse { pattern, error } => {
+                write!(f, "pattern #{pattern}: {error}")
+            }
+            EvalError::Compile {
+                machine,
+                pattern,
+                error,
+            } => write!(f, "{machine}: pattern #{pattern}: {error}"),
+            EvalError::IllegalMapping { machine, report } => {
+                write!(
+                    f,
+                    "{machine}: mapping is illegal ({} findings):\n{report}",
+                    report.len()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> SimError {
+        match e {
+            EvalError::Parse { pattern, error } => SimError::Compile {
+                pattern,
+                error: CompileError::Parse(error),
+            },
+            EvalError::Compile { pattern, error, .. } => SimError::Compile { pattern, error },
+            EvalError::IllegalMapping { report, .. } => SimError::IllegalMapping { report },
+        }
+    }
+}

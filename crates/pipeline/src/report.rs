@@ -1,0 +1,217 @@
+//! Per-stage instrumentation.
+//!
+//! Every [`crate::Pipeline`] accumulates wall-clock per stage, cache
+//! hit/miss counters, and work-volume counters into atomics; a
+//! [`PipelineReport`] is a cheap snapshot that renders as a small table —
+//! the artifact CI prints so pipeline regressions and cache breakage are
+//! visible in plain log output.
+
+use crate::cache::CacheStats;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The pipeline's stages, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Workload materialization (generate + parse + input synthesis).
+    Generate,
+    /// Regex-to-hardware compilation.
+    Compile,
+    /// Array placement.
+    Map,
+    /// Static legality verification.
+    Verify,
+    /// Cycle-accurate simulation.
+    Simulate,
+}
+
+/// All stages in execution order.
+pub const STAGES: [Stage; 5] = [
+    Stage::Generate,
+    Stage::Compile,
+    Stage::Map,
+    Stage::Verify,
+    Stage::Simulate,
+];
+
+impl Stage {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Generate => "generate",
+            Stage::Compile => "compile",
+            Stage::Map => "map",
+            Stage::Verify => "verify",
+            Stage::Simulate => "simulate",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Generate => 0,
+            Stage::Compile => 1,
+            Stage::Map => 2,
+            Stage::Verify => 3,
+            Stage::Simulate => 4,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Lock-free accumulation cell shared by pipeline workers.
+#[derive(Debug, Default)]
+pub(crate) struct Metrics {
+    stage_ns: [AtomicU64; 5],
+    patterns: AtomicU64,
+    states: AtomicU64,
+    cells: AtomicU64,
+    workers: AtomicU64,
+    grid_ns: AtomicU64,
+}
+
+impl Metrics {
+    /// Times `f`, charging the elapsed wall-clock to `stage`.
+    pub fn timed<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stage_ns[stage.index()].fetch_add(ns, Ordering::Relaxed);
+        out
+    }
+
+    pub fn add_compiled(&self, patterns: u64, states: u64) {
+        self.patterns.fetch_add(patterns, Ordering::Relaxed);
+        self.states.fetch_add(states, Ordering::Relaxed);
+    }
+
+    pub fn add_cell(&self) {
+        self.cells.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_grid(&self, workers: u64, ns: u64) {
+        self.workers.fetch_max(workers, Ordering::Relaxed);
+        self.grid_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, plan_cache: CacheStats, corpus_cache: CacheStats) -> PipelineReport {
+        let mut stage_ns = [0u64; 5];
+        for (out, cell) in stage_ns.iter_mut().zip(&self.stage_ns) {
+            *out = cell.load(Ordering::Relaxed);
+        }
+        PipelineReport {
+            stage_ns,
+            plan_cache,
+            corpus_cache,
+            patterns_compiled: self.patterns.load(Ordering::Relaxed),
+            states_compiled: self.states.load(Ordering::Relaxed),
+            cells_evaluated: self.cells.load(Ordering::Relaxed),
+            max_workers: self.workers.load(Ordering::Relaxed),
+            grid_ns: self.grid_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one pipeline's instrumentation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineReport {
+    /// Cumulative wall-clock nanoseconds per stage, summed across workers
+    /// (parallel stage time can exceed elapsed real time).
+    pub stage_ns: [u64; 5],
+    /// Verified-plan cache hits/misses (misses = distinct compiles run).
+    pub plan_cache: CacheStats,
+    /// Process-wide workload memo hits/misses.
+    pub corpus_cache: CacheStats,
+    /// Patterns compiled (cache misses only — cache hits compile nothing).
+    pub patterns_compiled: u64,
+    /// Hardware states produced by those compiles.
+    pub states_compiled: u64,
+    /// (machine × suite) cells simulated.
+    pub cells_evaluated: u64,
+    /// Largest worker count used by a grid fan-out.
+    pub max_workers: u64,
+    /// Cumulative wall-clock nanoseconds inside grid fan-outs.
+    pub grid_ns: u64,
+}
+
+impl PipelineReport {
+    /// Wall-clock charged to `stage`, in seconds.
+    pub fn stage_secs(&self, stage: Stage) -> f64 {
+        self.stage_ns[stage.index()] as f64 / 1e9
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "pipeline report")?;
+        writeln!(f, "  stage      cumulative wall-clock")?;
+        for stage in STAGES {
+            writeln!(
+                f,
+                "  {:<9} {:>12.3} s",
+                stage.name(),
+                self.stage_secs(stage)
+            )?;
+        }
+        writeln!(
+            f,
+            "  plan cache   : {} hits, {} misses ({} distinct compiles)",
+            self.plan_cache.hits, self.plan_cache.misses, self.plan_cache.misses
+        )?;
+        writeln!(
+            f,
+            "  corpus memo  : {} hits, {} misses",
+            self.corpus_cache.hits, self.corpus_cache.misses
+        )?;
+        writeln!(
+            f,
+            "  compiled     : {} patterns -> {} states",
+            self.patterns_compiled, self.states_compiled
+        )?;
+        writeln!(
+            f,
+            "  simulated    : {} cells (grid workers <= {}, {:.3} s in fan-outs)",
+            self.cells_evaluated,
+            self.max_workers,
+            self.grid_ns as f64 / 1e9
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_accumulates() {
+        let m = Metrics::default();
+        m.timed(Stage::Compile, || {
+            std::thread::sleep(std::time::Duration::from_millis(2))
+        });
+        m.add_compiled(3, 17);
+        m.add_cell();
+        m.record_grid(4, 1_000);
+        let r = m.snapshot(CacheStats::default(), CacheStats::default());
+        assert!(r.stage_secs(Stage::Compile) > 0.0);
+        assert_eq!(r.stage_secs(Stage::Map), 0.0);
+        assert_eq!(r.patterns_compiled, 3);
+        assert_eq!(r.states_compiled, 17);
+        assert_eq!(r.cells_evaluated, 1);
+        assert_eq!(r.max_workers, 4);
+    }
+
+    #[test]
+    fn report_renders_every_stage() {
+        let r = PipelineReport::default();
+        let s = r.to_string();
+        for stage in STAGES {
+            assert!(s.contains(stage.name()), "{s}");
+        }
+        assert!(s.contains("plan cache"), "{s}");
+    }
+}

@@ -40,6 +40,7 @@
 //! | [`mapper`] | greedy array packing and multi-LNFA binning (§4.3) |
 //! | [`sim`] | cycle-accurate RAP + CA/CAMA/BVAP baselines (§5) |
 //! | [`verify`] | static legality verifier for plans (rules V001–V012) |
+//! | [`pipeline`] | typed parse → compile → map → verify → simulate stages, plan cache, grid driver |
 //! | [`workloads`] | synthetic stand-ins for the seven benchmark suites (§5.1) |
 //! | [`engines`] | software matcher baselines (Hyperscan/HybridSA stand-ins, §5.5) |
 
@@ -49,6 +50,7 @@ pub use rap_circuit as circuit;
 pub use rap_compiler as compiler;
 pub use rap_engines as engines;
 pub use rap_mapper as mapper;
+pub use rap_pipeline as pipeline;
 pub use rap_regex as regex;
 pub use rap_sim as sim;
 pub use rap_verify as verify;
@@ -56,21 +58,20 @@ pub use rap_workloads as workloads;
 
 pub use rap_circuit::{Machine, Metrics};
 pub use rap_compiler::Mode;
+pub use rap_pipeline::{PatternSet, VerifiedPlan};
 pub use rap_sim::{MatchEvent, RunResult, SimError, Simulator};
 
 use rap_compiler::Compiled;
-use rap_mapper::Mapping;
 
 /// A compiled-and-mapped RAP instance, ready to scan input streams.
 ///
-/// `Rap` owns the hardware image (one entry per pattern) and its placement
-/// on arrays; [`Rap::scan`] runs the cycle-accurate simulator and returns
-/// both the matches and the modeled hardware metrics.
+/// `Rap` holds a [`VerifiedPlan`] — the pipeline's stage-4 artifact, whose
+/// existence proves the placement passed every static legality rule;
+/// [`Rap::scan`] runs the cycle-accurate simulator and returns both the
+/// matches and the modeled hardware metrics.
 #[derive(Clone, Debug)]
 pub struct Rap {
-    simulator: Simulator,
-    compiled: Vec<Compiled>,
-    mapping: Mapping,
+    plan: VerifiedPlan,
 }
 
 /// The outcome of one [`Rap::scan`].
@@ -97,62 +98,62 @@ impl Rap {
     }
 
     /// Compiles with a custom [`Simulator`] (machine choice, BV depth, bin
-    /// size, unfold threshold, …).
+    /// size, unfold threshold, …), running the typed pipeline chain:
+    /// parse → compile → map → verify. The returned instance holds a
+    /// [`VerifiedPlan`], so every scan runs a provably legal placement.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::Compile`] when a pattern fails to compile.
+    /// Returns [`SimError::Compile`] when a pattern fails to parse or
+    /// compile, and [`SimError::IllegalMapping`] when the placement
+    /// violates a hardware legality rule.
     pub fn with_simulator(simulator: Simulator, patterns: &[String]) -> Result<Rap, SimError> {
-        let parsed: Vec<rap_regex::Pattern> = patterns
-            .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                rap_regex::parse_pattern(p).map_err(|e| SimError::Compile {
-                    pattern: i,
-                    error: rap_compiler::CompileError::Parse(e),
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        let compiled = simulator.compile_parsed(&parsed)?;
-        let mapping = simulator.map(&compiled);
-        Ok(Rap {
-            simulator,
-            compiled,
-            mapping,
-        })
+        let pats = PatternSet::parse(patterns).map_err(SimError::from)?;
+        let plan = pipeline::build_plan_sim(&simulator, &pats)?;
+        Ok(Rap { plan })
+    }
+
+    /// The verified plan (compile product + placement + advisories).
+    pub fn plan(&self) -> &VerifiedPlan {
+        &self.plan
     }
 
     /// The execution mode each pattern compiled to.
     pub fn modes(&self) -> Vec<Mode> {
-        self.compiled.iter().map(Compiled::mode).collect()
+        self.plan
+            .compiled()
+            .images()
+            .iter()
+            .map(Compiled::mode)
+            .collect()
     }
 
     /// Total hardware states (STEs / chain positions) allocated.
     pub fn state_count(&self) -> u64 {
-        self.compiled.iter().map(Compiled::state_count).sum()
+        self.plan.compiled().state_count()
     }
 
     /// Tiles allocated across arrays.
     pub fn tiles_used(&self) -> u32 {
-        self.mapping.tiles_used()
+        self.plan.mapping().tiles_used()
     }
 
     /// Column utilization of the allocated tiles.
     pub fn utilization(&self) -> f64 {
-        self.mapping.utilization()
+        self.plan.mapping().utilization()
     }
 
-    /// Statically verifies the mapping plan against every legality rule
-    /// (see [`verify`]); an empty report means the plan is provably legal.
+    /// Non-fatal verifier findings (warnings/infos) for the plan; an empty
+    /// report means the plan is provably legal with no advisories. Plans
+    /// with legality *errors* never construct — [`Rap::with_simulator`]
+    /// rejects them with [`SimError::IllegalMapping`].
     pub fn lint(&self) -> verify::Report {
-        self.simulator.verify(&self.compiled, &self.mapping)
+        self.plan.advisories().clone()
     }
 
     /// Scans an input stream through the cycle-accurate simulator.
     pub fn scan(&self, input: &[u8]) -> ScanReport {
-        let result = self
-            .simulator
-            .simulate(&self.compiled, &self.mapping, input);
+        let result = self.plan.simulate(input);
         ScanReport {
             matches: result.matches,
             metrics: result.metrics,
@@ -164,9 +165,7 @@ impl Rap {
     /// per-array FIFOs, output buffers with host interrupts), returning
     /// buffer statistics alongside the report.
     pub fn scan_streaming(&self, input: &[u8]) -> (ScanReport, sim::BankStats) {
-        let (result, stats) =
-            self.simulator
-                .simulate_streaming(&self.compiled, &self.mapping, input);
+        let (result, stats) = self.plan.simulate_streaming(input);
         (
             ScanReport {
                 matches: result.matches,
