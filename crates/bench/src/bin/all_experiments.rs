@@ -4,9 +4,9 @@
 //! pattern set is generated and compiled exactly once — and finishes with
 //! the pipeline's stage-timing and cache-counter report.
 
-use rap_bench::{config_from_env, experiments, Pipeline};
+use rap_bench::{experiments, pipeline_from_env};
 
 fn main() {
-    let pipe = Pipeline::new(config_from_env());
+    let pipe = pipeline_from_env();
     experiments::all(&pipe);
 }

@@ -3,12 +3,12 @@
 //!
 //! Usage: `fig10 [nbva|lnfa]` (default: both).
 
-use rap_bench::{config_from_env, experiments, Pipeline};
+use rap_bench::{experiments, pipeline_from_env};
 
 fn main() {
     let which = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "both".to_string());
-    let pipe = Pipeline::new(config_from_env());
+    let pipe = pipeline_from_env();
     experiments::fig10(&pipe, &which);
 }

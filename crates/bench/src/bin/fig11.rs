@@ -1,9 +1,9 @@
 //! Fig. 11 — per-mode share of STEs / energy / area (thin wrapper over
 //! [`rap_bench::experiments::fig11`]).
 
-use rap_bench::{config_from_env, experiments, Pipeline};
+use rap_bench::{experiments, pipeline_from_env};
 
 fn main() {
-    let pipe = Pipeline::new(config_from_env());
+    let pipe = pipeline_from_env();
     experiments::fig11(&pipe);
 }

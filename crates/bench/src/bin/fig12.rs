@@ -1,9 +1,9 @@
 //! Fig. 12 — RAP vs BVAP / CAMA / CA on full benchmarks (thin wrapper
 //! over [`rap_bench::experiments::fig12`]).
 
-use rap_bench::{config_from_env, experiments, Pipeline};
+use rap_bench::{experiments, pipeline_from_env};
 
 fn main() {
-    let pipe = Pipeline::new(config_from_env());
+    let pipe = pipeline_from_env();
     experiments::fig12(&pipe);
 }

@@ -1,9 +1,9 @@
 //! Fig. 13 — RAP vs software matchers (thin wrapper over
 //! [`rap_bench::experiments::fig13`]).
 
-use rap_bench::{config_from_env, experiments, Pipeline};
+use rap_bench::{experiments, pipeline_from_env};
 
 fn main() {
-    let pipe = Pipeline::new(config_from_env());
+    let pipe = pipeline_from_env();
     experiments::fig13(&pipe);
 }

@@ -1,9 +1,9 @@
 //! Table 2 — NBVA-mode comparison (thin wrapper over
 //! [`rap_bench::experiments::table2`]).
 
-use rap_bench::{config_from_env, experiments, Pipeline};
+use rap_bench::{experiments, pipeline_from_env};
 
 fn main() {
-    let pipe = Pipeline::new(config_from_env());
+    let pipe = pipeline_from_env();
     experiments::table2(&pipe);
 }

@@ -1,9 +1,9 @@
 //! Table 3 — LNFA-mode comparison (thin wrapper over
 //! [`rap_bench::experiments::table3`]).
 
-use rap_bench::{config_from_env, experiments, Pipeline};
+use rap_bench::{experiments, pipeline_from_env};
 
 fn main() {
-    let pipe = Pipeline::new(config_from_env());
+    let pipe = pipeline_from_env();
     experiments::table3(&pipe);
 }

@@ -1,9 +1,9 @@
 //! Table 4 — RAP vs the hAP FPGA design (thin wrapper over
 //! [`rap_bench::experiments::table4`]).
 
-use rap_bench::{config_from_env, experiments, Pipeline};
+use rap_bench::{experiments, pipeline_from_env};
 
 fn main() {
-    let pipe = Pipeline::new(config_from_env());
+    let pipe = pipeline_from_env();
     experiments::table4(&pipe);
 }

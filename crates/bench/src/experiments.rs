@@ -157,6 +157,7 @@ pub fn fig1(pipe: &Pipeline) {
     }
     print!("{}", table.render());
     table.write_csv("fig1");
+    crate::export_trace(pipe, "fig1");
 }
 
 /// Fig. 10 — design-space exploration: (a) NBVA BV depth, (b) LNFA bin
@@ -168,6 +169,7 @@ pub fn fig10(pipe: &Pipeline, which: &str) {
     if which == "lnfa" || which == "both" {
         dse_lnfa(pipe);
     }
+    crate::export_trace(pipe, "fig10");
 }
 
 /// One DSE sweep: evaluates every (suite, knob) cell on the grid and
@@ -281,6 +283,7 @@ pub fn table2(pipe: &Pipeline) {
         "NBVA",
         "table2",
     );
+    crate::export_trace(pipe, "table2");
 }
 
 /// Table 3 — LNFA mode of RAP (baseline) vs NFA mode of RAP, CAMA, BVAP,
@@ -307,6 +310,7 @@ pub fn table3(pipe: &Pipeline) {
         "LNFA",
         "table3",
     );
+    crate::export_trace(pipe, "table3");
 }
 
 /// Fig. 11 — the proportion of STEs, energy, and area contributed by the
@@ -362,6 +366,7 @@ pub fn fig11(pipe: &Pipeline) {
         f2(100.0 * ste[0] / ste_total),
         f2(100.0 * energy[0] / e_total),
     );
+    crate::export_trace(pipe, "fig11");
 }
 
 /// Fig. 12 — overall comparison of RAP vs BVAP, CAMA, and CA on full
@@ -463,6 +468,7 @@ pub fn fig12(pipe: &Pipeline) {
         // BVAP at similar energy efficiency.
         table.write_csv(csv_name);
     }
+    crate::export_trace(pipe, "fig12");
 }
 
 /// Fig. 13 — RAP vs software matchers: a Hyperscan-style multi-pattern
@@ -535,6 +541,7 @@ pub fn fig13(pipe: &Pipeline) {
         geomean(&eff_ratios_cpu),
     );
     println!("(paper: >100x vs GPU, >1000x vs CPU)");
+    crate::export_trace(pipe, "fig13");
 }
 
 /// Table 4 — RAP vs the hAP FPGA design on ANMLZoo-like benchmarks.
@@ -589,6 +596,7 @@ pub fn table4(pipe: &Pipeline) {
     }
     print!("{}", table.render());
     table.write_csv("table4");
+    crate::export_trace(pipe, "table4");
     println!("\n(paper: RAP throughput 11.5-13.8x hAP at 1.7-5.5x the power)");
 }
 

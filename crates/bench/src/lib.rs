@@ -16,6 +16,11 @@
 //!
 //! Results are also written as CSV under `results/`; `all_experiments`
 //! finishes with the pipeline's stage-timing and cache-counter report.
+//!
+//! Setting `RAP_TRACE=1` additionally attaches the telemetry subsystem:
+//! each experiment then writes `results/<name>_trace.jsonl` (cycle-sampled
+//! simulator probe events) and `results/<name>_metrics.prom` (a
+//! Prometheus-style metrics snapshot) next to its CSVs.
 
 pub mod eval;
 pub mod experiments;
@@ -26,6 +31,9 @@ pub use eval::{
     RunSummary,
 };
 pub use rap_pipeline::{Pipeline, PipelineReport};
+pub use rap_telemetry::Telemetry;
+
+use std::sync::Arc;
 
 /// Standard scale knobs for the harness, overridable via environment
 /// variables so CI can run quick versions:
@@ -47,4 +55,46 @@ pub fn config_from_env() -> eval::BenchConfig {
         match_rate: 0.02,
         seed: get("RAP_BENCH_SEED", 42) as u64,
     }
+}
+
+/// The environment-gated telemetry context (`RAP_TRACE=1`, with
+/// `RAP_TRACE_SAMPLE` / `RAP_TRACE_RING` tuning), or `None` when tracing
+/// is off.
+pub fn telemetry_from_env() -> Option<Arc<Telemetry>> {
+    Telemetry::from_env()
+}
+
+/// A pipeline at the [`config_from_env`] scale with telemetry attached
+/// when `RAP_TRACE` enables it — the constructor every `src/bin/*`
+/// harness binary uses.
+pub fn pipeline_from_env() -> Pipeline {
+    let pipe = Pipeline::new(config_from_env());
+    match telemetry_from_env() {
+        Some(telemetry) => pipe.with_telemetry(telemetry),
+        None => pipe,
+    }
+}
+
+/// Writes the experiment's trace artifacts under `results/`:
+/// `<name>_trace.jsonl` with the probe events journalled since the last
+/// export (the journal drains, so back-to-back experiments get disjoint
+/// traces) and `<name>_metrics.prom` with the cumulative metrics
+/// snapshot. A no-op when the pipeline has no telemetry attached.
+///
+/// # Panics
+///
+/// Panics on I/O errors (the harness treats them as fatal).
+pub fn export_trace(pipe: &Pipeline, name: &str) {
+    let Some(telemetry) = pipe.telemetry() else {
+        return;
+    };
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results/");
+    let trace = dir.join(format!("{name}_trace.jsonl"));
+    std::fs::write(&trace, telemetry.drain_jsonl())
+        .unwrap_or_else(|e| panic!("write {trace:?}: {e}"));
+    println!("[written {}]", trace.display());
+    let prom = dir.join(format!("{name}_metrics.prom"));
+    std::fs::write(&prom, telemetry.prometheus()).unwrap_or_else(|e| panic!("write {prom:?}: {e}"));
+    println!("[written {}]", prom.display());
 }

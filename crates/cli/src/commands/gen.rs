@@ -1,9 +1,8 @@
 //! `rap gen` / `rap gen-input` — synthesize benchmark workloads.
 
-use super::outln;
+use super::{outln, parse_suite};
 use crate::args::Args;
 use crate::{read_patterns, CliError};
-use rap_workloads::Suite;
 use std::io::Write;
 
 const HELP_GEN: &str = "\
@@ -25,18 +24,6 @@ FLAGS:
     --rate R    fraction of bytes belonging to planted matches (default 0.02)
     --seed S    RNG seed (default 42)
     --out FILE  write bytes to FILE instead of stdout";
-
-fn parse_suite(name: &str) -> Result<Suite, CliError> {
-    Suite::all()
-        .into_iter()
-        .find(|s| s.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            CliError::Usage(format!(
-                "unknown suite {name:?} (expected one of: {})",
-                Suite::all().map(|s| s.name().to_lowercase()).join(" ")
-            ))
-        })
-}
 
 /// Runs `rap gen`.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {

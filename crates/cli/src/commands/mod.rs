@@ -7,9 +7,24 @@ pub mod gen;
 pub mod layout;
 pub mod lint;
 pub mod scan;
+pub mod trace;
 
 use crate::CliError;
 use rap_regex::Pattern;
+use rap_workloads::Suite;
+
+/// Parses a suite name case-insensitively.
+pub(crate) fn parse_suite(name: &str) -> Result<Suite, CliError> {
+    Suite::all()
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown suite {name:?} (expected one of: {})",
+                Suite::all().map(|s| s.name().to_lowercase()).join(" ")
+            ))
+        })
+}
 
 /// Parses pattern strings (anchors allowed), mapping failures to numbered
 /// runtime errors.

@@ -9,6 +9,7 @@
 //! rap gen-input <patterns.txt> <length> [--rate R] [--seed S] [--out FILE]
 //! rap compare <patterns.txt> <input-file>
 //! rap lint    <patterns.txt> [--machine rap|cama|bvap|ca] [--json]
+//! rap trace   <suite> [--machine M] [--sample N] [--top N] [--out FILE]
 //! ```
 //!
 //! Pattern files contain one PCRE-style pattern per line; blank lines and
@@ -67,6 +68,7 @@ COMMANDS:
     dot        Print a pattern's Glushkov automaton in Graphviz DOT
     layout     Show per-array tile occupancy after mapping
     lint       Statically verify the mapping plan for a pattern file
+    trace      Profile one suite with cycle-level telemetry attached
     help       Show this message
 
 Run `rap <COMMAND> --help` for command-specific flags.";
@@ -91,6 +93,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "dot" => commands::dot::run(rest, out),
         "layout" => commands::layout::run(rest, out),
         "lint" => commands::lint::run(rest, out),
+        "trace" => commands::trace::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| CliError::Runtime(e.to_string()))
         }

@@ -15,6 +15,7 @@ use crate::workload::{self, BenchConfig, SuiteCorpus};
 use rap_circuit::Machine;
 use rap_compiler::Mode;
 use rap_sim::Simulator;
+use rap_telemetry::Telemetry;
 use rap_workloads::Suite;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -86,6 +87,7 @@ pub struct Pipeline {
     workers: usize,
     plans: ArtifactCache<VerifiedPlan>,
     metrics: Metrics,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Pipeline {
@@ -97,6 +99,7 @@ impl Pipeline {
             workers: default_workers(),
             plans: ArtifactCache::new(),
             metrics: Metrics::default(),
+            telemetry: None,
         }
     }
 
@@ -105,6 +108,23 @@ impl Pipeline {
     pub fn with_workers(mut self, workers: usize) -> Pipeline {
         self.workers = workers.max(1);
         self
+    }
+
+    /// Attaches an observability context: per-stage spans and cache
+    /// gauges land in its registry (instead of a pipeline-private one),
+    /// and every evaluated cell emits a cycle-sampled trace labeled
+    /// `{machine}/{suite}` into its journal. Telemetry only observes —
+    /// results and plan cache keys are unchanged.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Pipeline {
+        self.metrics = Metrics::on(telemetry.registry());
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached observability context, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The workload scale knobs.
@@ -172,7 +192,14 @@ impl Pipeline {
         input: &[u8],
         forced: Option<Mode>,
     ) -> Result<RunSummary, EvalError> {
-        self.eval_with(&self.simulator_for(machine, suite), patterns, input, forced)
+        let label = format!("{machine}/{}", suite.name());
+        self.eval_labeled(
+            &self.simulator_for(machine, suite),
+            patterns,
+            input,
+            forced,
+            &label,
+        )
     }
 
     /// Like [`Pipeline::eval`] but with explicit simulator knobs (the DSE
@@ -190,8 +217,32 @@ impl Pipeline {
         input: &[u8],
         forced: Option<Mode>,
     ) -> Result<RunSummary, EvalError> {
+        let label = sim.machine.to_string();
+        self.eval_labeled(sim, patterns, input, forced, &label)
+    }
+
+    /// Core cell evaluation with an explicit trace label (the label only
+    /// matters when telemetry is attached; it names the run's trace in
+    /// the JSONL journal, e.g. `"rap/snort"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile/verify failures as [`EvalError`].
+    pub fn eval_labeled(
+        &self,
+        sim: &Simulator,
+        patterns: &PatternSet,
+        input: &[u8],
+        forced: Option<Mode>,
+        label: &str,
+    ) -> Result<RunSummary, EvalError> {
         let plan = self.plan(sim, patterns, forced)?;
-        let result = self.metrics.timed(Stage::Simulate, || plan.simulate(input));
+        let result = self
+            .metrics
+            .timed(Stage::Simulate, || match &self.telemetry {
+                Some(tel) => plan.simulate_traced(input, tel, label),
+                None => plan.simulate(input),
+            });
         self.metrics.add_cell();
         Ok(RunSummary::of(&result, plan.compiled().state_count()))
     }
@@ -252,6 +303,52 @@ mod tests {
         assert_eq!(report.plan_cache.misses, 1);
         assert_eq!(report.plan_cache.hits, 1);
         assert!(report.stage_secs(Stage::Compile) > 0.0);
+    }
+
+    #[test]
+    fn telemetry_observes_without_changing_results() {
+        let spec = BenchConfig {
+            patterns_per_suite: 4,
+            input_len: 512,
+            match_rate: 0.02,
+            seed: 9,
+        };
+        let tel = Arc::new(Telemetry::default());
+        let traced_pipe = Pipeline::new(spec).with_telemetry(Arc::clone(&tel));
+        let corpus = traced_pipe.corpus(Suite::Snort);
+        let traced = traced_pipe
+            .eval(
+                Machine::Rap,
+                Suite::Snort,
+                corpus.patterns(),
+                corpus.input(),
+                None,
+            )
+            .expect("evals");
+
+        let plain_pipe = Pipeline::new(spec);
+        let corpus = plain_pipe.corpus(Suite::Snort);
+        let plain = plain_pipe
+            .eval(
+                Machine::Rap,
+                Suite::Snort,
+                corpus.patterns(),
+                corpus.input(),
+                None,
+            )
+            .expect("evals");
+        assert_eq!(traced, plain, "telemetry must only observe");
+
+        let traces = tel.drain_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].label, "RAP/Snort");
+        assert!(traces[0]
+            .events
+            .iter()
+            .any(|e| matches!(e, rap_telemetry::ProbeEvent::RunEnd { .. })));
+        let prom = tel.prometheus();
+        assert!(prom.contains("rap_pipeline_stage_ns"), "{prom}");
+        assert!(prom.contains("rap_sim_runs_total"), "{prom}");
     }
 
     #[test]

@@ -1,18 +1,24 @@
 //! Per-stage instrumentation.
 //!
 //! Every [`crate::Pipeline`] accumulates wall-clock per stage, cache
-//! hit/miss counters, and work-volume counters into atomics; a
-//! [`PipelineReport`] is a cheap snapshot that renders as a small table —
-//! the artifact CI prints so pipeline regressions and cache breakage are
-//! visible in plain log output.
+//! hit/miss counters, and work-volume counters; a [`PipelineReport`] is a
+//! cheap snapshot that renders as a small table — the artifact CI prints
+//! so pipeline regressions and cache breakage are visible in plain log
+//! output.
+//!
+//! Since the telemetry subsystem landed, the cells live in a
+//! [`rap_telemetry::Registry`] (per-stage span histograms named
+//! `rap_pipeline_stage_ns{stage=…}`, work counters, cache gauges) rather
+//! than hand-rolled atomics. A standalone pipeline owns a private
+//! registry; `Pipeline::with_telemetry` rebinds onto the shared one, so
+//! the same numbers also appear in the Prometheus snapshot.
 
 use crate::cache::CacheStats;
+use rap_telemetry::{Counter, Gauge, Histogram, Registry};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
 
 /// The pipeline's stages, in execution order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Stage {
     /// Workload materialization (generate + parse + input synthesis).
     Generate,
@@ -36,6 +42,13 @@ pub const STAGES: [Stage; 5] = [
 ];
 
 impl Stage {
+    /// Iterates all stages in execution order — the canonical way for
+    /// downstream consumers (telemetry labels, report tables) to
+    /// enumerate them without hand-rolling [`STAGES`].
+    pub fn iter() -> impl Iterator<Item = Stage> {
+        STAGES.into_iter()
+    }
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -64,55 +77,89 @@ impl fmt::Display for Stage {
     }
 }
 
-/// Lock-free accumulation cell shared by pipeline workers.
-#[derive(Debug, Default)]
+/// Lock-free accumulation cells shared by pipeline workers: handles into
+/// a telemetry registry, registered once at pipeline construction.
+#[derive(Debug)]
 pub(crate) struct Metrics {
-    stage_ns: [AtomicU64; 5],
-    patterns: AtomicU64,
-    states: AtomicU64,
-    cells: AtomicU64,
-    workers: AtomicU64,
-    grid_ns: AtomicU64,
+    stage_ns: [Histogram; 5],
+    patterns: Counter,
+    states: Counter,
+    cells: Counter,
+    workers: Gauge,
+    grid_ns: Counter,
+    plan_cache_hits: Gauge,
+    plan_cache_misses: Gauge,
+    corpus_cache_hits: Gauge,
+    corpus_cache_misses: Gauge,
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics::on(&Registry::new())
+    }
 }
 
 impl Metrics {
-    /// Times `f`, charging the elapsed wall-clock to `stage`.
+    /// Registers the pipeline's cells on `registry`. Registering twice on
+    /// the same registry shares the cells (registry identity semantics).
+    pub fn on(registry: &Registry) -> Metrics {
+        Metrics {
+            stage_ns: STAGES.map(|stage| {
+                registry.histogram("rap_pipeline_stage_ns", &[("stage", stage.name())])
+            }),
+            patterns: registry.counter("rap_pipeline_patterns_compiled_total", &[]),
+            states: registry.counter("rap_pipeline_states_compiled_total", &[]),
+            cells: registry.counter("rap_pipeline_cells_evaluated_total", &[]),
+            workers: registry.gauge("rap_pipeline_grid_workers_max", &[]),
+            grid_ns: registry.counter("rap_pipeline_grid_ns_total", &[]),
+            plan_cache_hits: registry.gauge("rap_pipeline_plan_cache_hits", &[]),
+            plan_cache_misses: registry.gauge("rap_pipeline_plan_cache_misses", &[]),
+            corpus_cache_hits: registry.gauge("rap_pipeline_corpus_cache_hits", &[]),
+            corpus_cache_misses: registry.gauge("rap_pipeline_corpus_cache_misses", &[]),
+        }
+    }
+
+    /// Times `f`, charging the elapsed wall-clock to `stage`'s span
+    /// histogram (one observation per call, so the histogram also carries
+    /// the per-invocation latency distribution).
     pub fn timed<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.stage_ns[stage.index()].fetch_add(ns, Ordering::Relaxed);
-        out
+        rap_telemetry::time(&self.stage_ns[stage.index()], f)
     }
 
     pub fn add_compiled(&self, patterns: u64, states: u64) {
-        self.patterns.fetch_add(patterns, Ordering::Relaxed);
-        self.states.fetch_add(states, Ordering::Relaxed);
+        self.patterns.add(patterns);
+        self.states.add(states);
     }
 
     pub fn add_cell(&self) {
-        self.cells.fetch_add(1, Ordering::Relaxed);
+        self.cells.inc();
     }
 
     pub fn record_grid(&self, workers: u64, ns: u64) {
-        self.workers.fetch_max(workers, Ordering::Relaxed);
-        self.grid_ns.fetch_add(ns, Ordering::Relaxed);
+        self.workers.set_max(workers);
+        self.grid_ns.add(ns);
     }
 
     pub fn snapshot(&self, plan_cache: CacheStats, corpus_cache: CacheStats) -> PipelineReport {
+        // Mirror the cache stats onto the registry so the Prometheus
+        // snapshot carries them too.
+        self.plan_cache_hits.set(plan_cache.hits);
+        self.plan_cache_misses.set(plan_cache.misses);
+        self.corpus_cache_hits.set(corpus_cache.hits);
+        self.corpus_cache_misses.set(corpus_cache.misses);
         let mut stage_ns = [0u64; 5];
-        for (out, cell) in stage_ns.iter_mut().zip(&self.stage_ns) {
-            *out = cell.load(Ordering::Relaxed);
+        for (out, hist) in stage_ns.iter_mut().zip(&self.stage_ns) {
+            *out = hist.sum();
         }
         PipelineReport {
             stage_ns,
             plan_cache,
             corpus_cache,
-            patterns_compiled: self.patterns.load(Ordering::Relaxed),
-            states_compiled: self.states.load(Ordering::Relaxed),
-            cells_evaluated: self.cells.load(Ordering::Relaxed),
-            max_workers: self.workers.load(Ordering::Relaxed),
-            grid_ns: self.grid_ns.load(Ordering::Relaxed),
+            patterns_compiled: self.patterns.get(),
+            states_compiled: self.states.get(),
+            cells_evaluated: self.cells.get(),
+            max_workers: self.workers.get(),
+            grid_ns: self.grid_ns.get(),
         }
     }
 }
@@ -203,6 +250,27 @@ mod tests {
         assert_eq!(r.states_compiled, 17);
         assert_eq!(r.cells_evaluated, 1);
         assert_eq!(r.max_workers, 4);
+    }
+
+    #[test]
+    fn stage_iter_matches_stages_in_order() {
+        assert_eq!(Stage::iter().collect::<Vec<_>>(), STAGES.to_vec());
+        // The new ordering derives follow execution order.
+        assert!(Stage::Generate < Stage::Compile);
+        assert!(Stage::Verify < Stage::Simulate);
+        let set: std::collections::HashSet<Stage> = Stage::iter().collect();
+        assert_eq!(set.len(), STAGES.len());
+    }
+
+    #[test]
+    fn metrics_shared_through_registry() {
+        let registry = Registry::new();
+        let a = Metrics::on(&registry);
+        let b = Metrics::on(&registry);
+        a.add_cell();
+        b.add_cell();
+        let r = a.snapshot(CacheStats::default(), CacheStats::default());
+        assert_eq!(r.cells_evaluated, 2, "cells registered twice must share");
     }
 
     #[test]

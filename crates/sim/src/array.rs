@@ -21,6 +21,7 @@ use rap_circuit::energy::Category;
 use rap_circuit::{EnergyMeter, Machine};
 use rap_compiler::{Compiled, CompiledLnfa, CompiledNbva, CompiledNfa, MatchPath};
 use rap_mapper::{ArrayKind, ArrayPlan, Bin, Placement};
+use rap_telemetry::{ProbeEvent, SimProbe};
 
 /// What one array produced: its private cycle count (stalls included), its
 /// match reports, and the tile-cycles that were actually powered (gated
@@ -30,6 +31,16 @@ pub(crate) struct ArrayOutcome {
     pub cycles: u64,
     pub matches: Vec<MatchEvent>,
     pub powered_tile_cycles: u64,
+}
+
+/// A point-in-time activity sample of one array, as seen by a telemetry
+/// probe (see [`ArraySim::observe`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ArrayObservation {
+    /// Automaton states currently active across the array's machines.
+    pub active_states: u64,
+    /// Tiles that will draw power on the next cycle (gated tiles excluded).
+    pub powered_tiles: u64,
 }
 
 /// A cycle-steppable array.
@@ -51,6 +62,10 @@ pub(crate) trait ArraySim {
 
     /// Tile-cycles powered so far.
     fn powered_tile_cycles(&self) -> u64;
+
+    /// Samples the array's current activity for a telemetry probe. Pure
+    /// observation: never charges energy or mutates state.
+    fn observe(&self) -> ArrayObservation;
 }
 
 /// Builds the steppable machine for an array plan.
@@ -69,24 +84,57 @@ pub(crate) fn build_array<'a>(
 }
 
 /// Drives one array over a whole input slice (stalls expanded in place).
+///
+/// When a telemetry probe is attached (as `(probe, array index)`), the
+/// loop emits an [`ProbeEvent::Array`] sample every
+/// [`SimProbe::sample_every`] cycles and one [`ProbeEvent::ArrayEnd`]
+/// summary at the end. Probing only observes — energy, cycles, and
+/// matches are identical with and without it.
 pub(crate) fn run_array(
     sim: &mut dyn ArraySim,
     input: &[u8],
     meter: &mut EnergyMeter,
+    mut probe: Option<(&mut SimProbe, u32)>,
 ) -> ArrayOutcome {
     let mut cycles = 0u64;
     let mut matches = Vec::new();
+    let mut step = |sim: &mut dyn ArraySim,
+                    byte: Option<u8>,
+                    offset: usize,
+                    cycles: &mut u64,
+                    matches: &mut Vec<MatchEvent>| {
+        if let Some((probe, array)) = probe.as_mut() {
+            if (*cycles).is_multiple_of(u64::from(probe.sample_every())) {
+                let obs = sim.observe();
+                probe.push(ProbeEvent::Array {
+                    cycle: *cycles,
+                    array: *array,
+                    active_states: obs.active_states,
+                    powered_tiles: obs.powered_tiles,
+                    stalled: sim.stalled(),
+                });
+            }
+        }
+        sim.tick(byte, offset, meter, matches);
+        *cycles += 1;
+    };
     for (offset, &byte) in input.iter().enumerate() {
         while sim.stalled() {
-            sim.tick(None, offset, meter, &mut matches);
-            cycles += 1;
+            step(sim, None, offset, &mut cycles, &mut matches);
         }
-        sim.tick(Some(byte), offset, meter, &mut matches);
-        cycles += 1;
+        step(sim, Some(byte), offset, &mut cycles, &mut matches);
     }
     while sim.stalled() {
-        sim.tick(None, input.len(), meter, &mut matches);
-        cycles += 1;
+        step(sim, None, input.len(), &mut cycles, &mut matches);
+    }
+    if let Some((probe, array)) = probe {
+        probe.push(ProbeEvent::ArrayEnd {
+            array,
+            cycles,
+            stall_cycles: cycles.saturating_sub(input.len() as u64),
+            powered_tile_cycles: sim.powered_tile_cycles(),
+            matches: matches.len() as u64,
+        });
     }
     ArrayOutcome {
         cycles,
@@ -278,6 +326,13 @@ impl ArraySim for NfaArray<'_> {
     fn powered_tile_cycles(&self) -> u64 {
         self.powered_tile_cycles
     }
+
+    fn observe(&self) -> ArrayObservation {
+        ArrayObservation {
+            active_states: self.runs.iter().map(|r| u64::from(r.active_count())).sum(),
+            powered_tiles: self.tiles as u64,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -442,6 +497,19 @@ impl ArraySim for NbvaArray<'_> {
     fn powered_tile_cycles(&self) -> u64 {
         self.powered_tile_cycles
     }
+
+    fn observe(&self) -> ArrayObservation {
+        ArrayObservation {
+            active_states: self.runs.iter().map(|r| u64::from(r.active_count())).sum(),
+            // During a bit-vector-processing phase only the tiles with
+            // live vectors run; otherwise the whole array is powered.
+            powered_tiles: if self.stall_remaining > 0 {
+                u64::from(self.phase_active_tiles)
+            } else {
+                self.tiles as u64
+            },
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -602,5 +670,143 @@ impl ArraySim for LnfaArray<'_> {
 
     fn powered_tile_cycles(&self) -> u64 {
         self.powered_tile_cycles
+    }
+
+    fn observe(&self) -> ArrayObservation {
+        // Mirror the tick's power-gating rule without touching the
+        // scratch vectors: a tile is powered if it holds an initial state
+        // or a state an active predecessor can shift into.
+        let mut powered = self.tile_initial.clone();
+        let mut active_states = 0u64;
+        for chain in &self.chains {
+            for s in chain.run.states().iter_ones() {
+                active_states += 1;
+                if s + 1 < chain.len {
+                    powered[chain.state_tile[s + 1] as usize] = true;
+                }
+            }
+        }
+        ArrayObservation {
+            active_states,
+            powered_tiles: powered.iter().filter(|&&b| b).count() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_compiler::{Compiler, CompilerConfig, Mode};
+    use rap_telemetry::{Telemetry, TelemetryConfig};
+
+    /// Compiles `xy{6}z` to NBVA and places it by hand on a 2-tile array:
+    /// `x` on tile 0, the `y{6}` bit-vector state and `z` on tile 1.
+    fn two_tile_nbva(depth: u32) -> (Vec<Compiled>, ArrayPlan) {
+        let compiler = Compiler::new(CompilerConfig {
+            bv_depth: depth,
+            ..CompilerConfig::default()
+        });
+        let regex = rap_regex::parse("xy{6}z").expect("parses");
+        let compiled = compiler
+            .compile_with_mode(&regex, Mode::Nbva)
+            .expect("compiles");
+        let img = match &compiled {
+            Compiled::Nbva(img) => img,
+            other => panic!("expected NBVA, got {}", other.mode()),
+        };
+        assert_eq!(img.nbva.states().len(), 3, "x, y{{6}} (BV), z");
+        assert!(img.bv_allocs[1].is_some(), "y{{6}} is the BV state");
+        let columns_used = img.total_columns();
+        let placements = vec![Placement {
+            pattern: 0,
+            state_tile: vec![0, 1, 1],
+            cross_tile_edges: 1,
+        }];
+        let plan = ArrayPlan {
+            kind: ArrayKind::Nbva { depth, placements },
+            tiles_used: 2,
+            columns_used,
+        };
+        (vec![compiled], plan)
+    }
+
+    fn run(
+        compiled: &[Compiled],
+        plan: &ArrayPlan,
+        input: &[u8],
+        probe: Option<(&mut SimProbe, u32)>,
+    ) -> ArrayOutcome {
+        let cost = CostModel::for_machine(Machine::Rap);
+        let mut meter = EnergyMeter::new();
+        let mut sim = build_array(compiled, plan, &cost);
+        run_array(sim.as_mut(), input, &mut meter, probe)
+    }
+
+    #[test]
+    fn nbva_outcome_matches_hand_computation_without_match() {
+        let (compiled, plan) = two_tile_nbva(3);
+        // `x` arms at offset 0; the `y` at offset 1 enters the bit vector,
+        // triggering one 3-cycle BV phase with a single live-vector tile;
+        // the `q`s clear the vector and nothing else fires. Hand count:
+        //   cycles  = 6 input + 3 stall            = 9
+        //   powered = 6 * 2 tiles + 3 * 1 tile     = 15 tile-cycles
+        let outcome = run(&compiled, &plan, b"xyqqqq", None);
+        assert_eq!(outcome.cycles, 9);
+        assert_eq!(outcome.cycles - 6, 3, "stall cycles");
+        assert_eq!(outcome.powered_tile_cycles, 15);
+        assert!(outcome.matches.is_empty());
+    }
+
+    #[test]
+    fn nbva_outcome_matches_hand_computation_with_match() {
+        let (compiled, plan) = two_tile_nbva(3);
+        // Each of the six `y` bytes touches the bit vector, so six 3-cycle
+        // BV phases fire before `z` completes the match at end offset 8:
+        //   cycles  = 8 input + 6 * 3 stall        = 26
+        //   powered = 8 * 2 tiles + 18 * 1 tile    = 34 tile-cycles
+        let outcome = run(&compiled, &plan, b"xyyyyyyz", None);
+        assert_eq!(outcome.cycles, 26);
+        assert_eq!(outcome.cycles - 8, 18, "stall cycles");
+        assert_eq!(outcome.powered_tile_cycles, 34);
+        assert_eq!(outcome.matches, vec![MatchEvent { pattern: 0, end: 8 }]);
+    }
+
+    #[test]
+    fn probe_samples_every_cycle_and_flags_stalls() {
+        let (compiled, plan) = two_tile_nbva(3);
+        let tel = Telemetry::new(TelemetryConfig {
+            sample_every: 1,
+            ring_capacity: 1024,
+        });
+        let mut probe = tel.probe("unit");
+        let outcome = run(&compiled, &plan, b"xyqqqq", Some((&mut probe, 7)));
+        probe.finish();
+        assert_eq!(outcome.cycles, 9);
+        let traces = tel.drain_traces();
+        assert_eq!(traces.len(), 1);
+        let events = &traces[0].events;
+        // One sample per cycle plus the end-of-array summary.
+        assert_eq!(events.len(), 10);
+        let stalled: Vec<&ProbeEvent> = events
+            .iter()
+            .filter(|e| matches!(e, ProbeEvent::Array { stalled: true, .. }))
+            .collect();
+        assert_eq!(stalled.len(), 3);
+        for e in &stalled {
+            if let ProbeEvent::Array { powered_tiles, .. } = e {
+                // Only the live-vector tile stays powered during the phase.
+                assert_eq!(*powered_tiles, 1);
+            }
+        }
+        assert!(matches!(
+            events.last(),
+            Some(ProbeEvent::ArrayEnd {
+                array: 7,
+                cycles: 9,
+                stall_cycles: 3,
+                powered_tile_cycles: 15,
+                matches: 0,
+            })
+        ));
     }
 }

@@ -29,6 +29,7 @@ use rap_circuit::energy::Category;
 use rap_circuit::{EnergyMeter, Machine, Metrics};
 use rap_compiler::Compiled;
 use rap_mapper::Mapping;
+use rap_telemetry::{ProbeEvent, Telemetry};
 
 /// Buffer-hierarchy statistics from one streaming run.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -59,11 +60,16 @@ struct ArrayLane<'a> {
     consumed: usize,
     stalled_cycles: u64,
     starved_cycles: u64,
+    /// Match reports this lane has generated (pre-dedup, pre-anchoring).
+    produced: u64,
     /// Matches produced this cycle, en route to the output FIFO.
     pending: Vec<MatchEvent>,
 }
 
 /// Streams `input` through the bank buffer hierarchy.
+///
+/// The mapping must have passed the verify gate, exactly as for the batch
+/// [`crate::simulate`] entry point; debug builds assert this at the door.
 ///
 /// Matches are byte-identical to [`crate::simulate`]; cycle counts include
 /// the buffering effects (they are ≥ the batch path's for the same
@@ -74,6 +80,32 @@ pub fn simulate_streaming(
     input: &[u8],
     machine: Machine,
 ) -> (RunResult, BankStats) {
+    simulate_streaming_inner(compiled, mapping, input, machine, None)
+}
+
+/// Like [`simulate_streaming`], with cycle-sampled probe events (per-lane
+/// array samples plus bank window/FIFO occupancy) and run totals recorded
+/// into `telemetry` under `label`. Tracing only observes: the returned
+/// result and stats are identical to the untraced path's.
+pub fn simulate_streaming_traced(
+    compiled: &[Compiled],
+    mapping: &Mapping,
+    input: &[u8],
+    machine: Machine,
+    telemetry: &Telemetry,
+    label: &str,
+) -> (RunResult, BankStats) {
+    simulate_streaming_inner(compiled, mapping, input, machine, Some((telemetry, label)))
+}
+
+fn simulate_streaming_inner(
+    compiled: &[Compiled],
+    mapping: &Mapping,
+    input: &[u8],
+    machine: Machine,
+    telemetry: Option<(&Telemetry, &str)>,
+) -> (RunResult, BankStats) {
+    crate::debug_assert_verified(compiled, mapping);
     let arch = ArchConfig::default();
     let cost = CostModel::for_machine(machine);
     let mut meter = EnergyMeter::new();
@@ -88,6 +120,7 @@ pub fn simulate_streaming(
             consumed: 0,
             stalled_cycles: 0,
             starved_cycles: 0,
+            produced: 0,
             pending: Vec::new(),
         })
         .collect();
@@ -98,6 +131,7 @@ pub fn simulate_streaming(
     let mut interrupts: u64 = 0;
     let mut backpressure: u64 = 0;
     let mut max_skew = 0usize;
+    let mut probe = telemetry.map(|(tel, label)| tel.probe(label));
 
     let done = |lanes: &[ArrayLane<'_>]| {
         lanes
@@ -114,6 +148,33 @@ pub fn simulate_streaming(
         max_skew = max_skew.max(max_consumed - min_consumed);
         let fetch_limit = (min_consumed + window).min(input.len());
 
+        if let Some(probe) = probe.as_mut() {
+            if (cycles - 1).is_multiple_of(u64::from(probe.sample_every())) {
+                probe.push(ProbeEvent::Bank {
+                    cycle: cycles - 1,
+                    min_consumed: min_consumed as u64,
+                    max_consumed: max_consumed as u64,
+                    input_fifo_bytes: lanes.iter().map(|l| l.input_fifo.len() as u64).sum(),
+                    output_fifo_records: lanes
+                        .iter()
+                        .map(|l| l.output_fifo.len() as u64)
+                        .sum::<u64>()
+                        + bank_output.len() as u64,
+                    interrupts,
+                });
+                for (index, lane) in lanes.iter().enumerate() {
+                    let obs = lane.sim.observe();
+                    probe.push(ProbeEvent::Array {
+                        cycle: cycles - 1,
+                        array: index as u32,
+                        active_states: obs.active_states,
+                        powered_tiles: obs.powered_tiles,
+                        stalled: lane.sim.stalled(),
+                    });
+                }
+            }
+        }
+
         for lane in lanes.iter_mut() {
             // Polling arbiter: one byte per lane per cycle into its FIFO.
             if !lane.input_fifo.is_full() && lane.fetch_pos < fetch_limit {
@@ -123,6 +184,7 @@ pub fn simulate_streaming(
                 lane.fetch_pos += 1;
             }
             // Array cycle.
+            let pending_before = lane.pending.len();
             if lane.sim.stalled() {
                 lane.sim
                     .tick(None, lane.consumed, &mut meter, &mut lane.pending);
@@ -135,6 +197,7 @@ pub fn simulate_streaming(
             } else if lane.consumed < input.len() {
                 lane.starved_cycles += 1;
             }
+            lane.produced += (lane.pending.len() - pending_before) as u64;
             // Reports: pending → array output FIFO (2-deep).
             while let Some(&event) = lane.pending.first() {
                 match lane.output_fifo.push(event) {
@@ -210,6 +273,30 @@ pub fn simulate_streaming(
         matches: collected,
         stall_cycles: stats.stall_cycles.iter().sum(),
     };
+    if let Some(mut probe) = probe {
+        for (index, lane) in lanes.iter().enumerate() {
+            probe.push(ProbeEvent::ArrayEnd {
+                array: index as u32,
+                // A lane is busy for each consumed byte plus each stall
+                // cycle; starved cycles are idle waiting, not work.
+                cycles: lane.consumed as u64 + lane.stalled_cycles,
+                stall_cycles: lane.stalled_cycles,
+                powered_tile_cycles: lane.sim.powered_tile_cycles(),
+                matches: lane.produced,
+            });
+        }
+        probe.push(ProbeEvent::RunEnd {
+            input_bytes: input.len() as u64,
+            cycles,
+            stall_cycles: result.stall_cycles,
+            powered_tile_cycles: powered,
+            matches: result.metrics.matches,
+        });
+        probe.finish();
+    }
+    if let Some((tel, _)) = telemetry {
+        crate::record_run_metrics(tel, &result, powered);
+    }
     (result, stats)
 }
 

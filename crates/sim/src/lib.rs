@@ -41,7 +41,9 @@ use rap_circuit::{EnergyMeter, Machine, Metrics};
 use rap_compiler::{CompileError, Compiled, Compiler, CompilerConfig, Mode};
 use rap_mapper::{map_workload, MapperConfig, Mapping};
 use rap_regex::Regex;
+use rap_telemetry::{ProbeEvent, Telemetry};
 use std::fmt;
+use std::sync::Arc;
 
 /// Error produced by the end-to-end [`Simulator`] entry points.
 #[derive(Clone, Debug, PartialEq)]
@@ -90,6 +92,10 @@ pub struct Simulator {
     pub compiler: CompilerConfig,
     /// Mapper knobs (bin size, BVM geometry, …).
     pub mapper: MapperConfig,
+    /// Attached observability context, if any. `None` (the default) keeps
+    /// simulation on the probe-free fast path; attaching one only
+    /// *observes* runs — cycles, energy, and matches are unchanged.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Simulator {
@@ -107,7 +113,17 @@ impl Simulator {
             machine,
             compiler,
             mapper,
+            telemetry: None,
         }
+    }
+
+    /// Attaches an observability context: subsequent simulations emit
+    /// cycle-sampled probe events into its journal and accumulate run
+    /// totals in its metrics registry.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Simulator {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Sets the BV depth (RAP's Fig. 10(a) knob).
@@ -226,21 +242,38 @@ impl Simulator {
         }
     }
 
-    /// Simulates a mapped workload over `input`.
+    /// Simulates a mapped workload over `input`. The mapping must have
+    /// passed the verify gate (see [`simulate`]). When telemetry is
+    /// attached the run is traced under the machine's name as label.
     pub fn simulate(&self, compiled: &[Compiled], mapping: &Mapping, input: &[u8]) -> RunResult {
-        simulate(compiled, mapping, input, self.machine)
+        match &self.telemetry {
+            Some(tel) => {
+                let label = self.machine.to_string();
+                simulate_traced(compiled, mapping, input, self.machine, tel, &label)
+            }
+            None => simulate(compiled, mapping, input, self.machine),
+        }
     }
 
     /// Streams `input` through the §3.3 bank buffer hierarchy (ping-pong
     /// input buffer, per-array FIFOs, output buffers with host
     /// interrupts), returning buffer statistics alongside the run result.
+    /// The mapping must have passed the verify gate, exactly as for
+    /// [`Simulator::simulate`]. When telemetry is attached the run is
+    /// traced under the machine's name as label.
     pub fn simulate_streaming(
         &self,
         compiled: &[Compiled],
         mapping: &Mapping,
         input: &[u8],
     ) -> (RunResult, BankStats) {
-        bank::simulate_streaming(compiled, mapping, input, self.machine)
+        match &self.telemetry {
+            Some(tel) => {
+                let label = self.machine.to_string();
+                bank::simulate_streaming_traced(compiled, mapping, input, self.machine, tel, &label)
+            }
+            None => bank::simulate_streaming(compiled, mapping, input, self.machine),
+        }
     }
 
     /// Convenience: compile (native modes) + map + verify + simulate.
@@ -278,7 +311,28 @@ impl Simulator {
     }
 }
 
+/// Debug-build consistency check shared by the batch ([`simulate`]) and
+/// streaming ([`bank::simulate_streaming`]) entry points: both execute
+/// only mappings that passed the static verify gate, and debug builds
+/// re-verify at the door. The checked `run`/`run_patterns`/`map_verified`
+/// entry points enforce the gate in release builds too.
+pub(crate) fn debug_assert_verified(compiled: &[Compiled], mapping: &Mapping) {
+    #[cfg(debug_assertions)]
+    {
+        let report = rap_verify::verify(compiled, mapping, &mapping.config.arch);
+        debug_assert!(
+            report.is_legal(),
+            "illegal mapping reached the simulator:\n{report}"
+        );
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = (compiled, mapping);
+}
+
 /// Simulates a mapped workload over an input stream on one machine.
+///
+/// The mapping must have passed the verify gate ([`Simulator::map_verified`]
+/// or [`rap_verify::verify`]); debug builds assert this at the door.
 ///
 /// Arrays run in parallel on the same stream; an array in NBVA mode stalls
 /// independently during bit-vector-processing phases, and the two-level
@@ -290,27 +344,66 @@ pub fn simulate(
     input: &[u8],
     machine: Machine,
 ) -> RunResult {
-    // Debug builds statically verify every plan before executing it; the
-    // checked `run`/`run_patterns`/`map_verified` entry points do so in
-    // release builds too.
-    #[cfg(debug_assertions)]
-    {
-        let report = rap_verify::verify(compiled, mapping, &mapping.config.arch);
-        debug_assert!(
-            report.is_legal(),
-            "illegal mapping reached simulate():\n{report}"
-        );
-    }
+    simulate_inner(compiled, mapping, input, machine, None)
+}
+
+/// Like [`simulate`], with cycle-sampled probe events and run totals
+/// recorded into `telemetry` under `label`. Tracing only observes: the
+/// returned result is identical to the untraced path's.
+pub fn simulate_traced(
+    compiled: &[Compiled],
+    mapping: &Mapping,
+    input: &[u8],
+    machine: Machine,
+    telemetry: &Telemetry,
+    label: &str,
+) -> RunResult {
+    simulate_inner(compiled, mapping, input, machine, Some((telemetry, label)))
+}
+
+/// Records one finished run's totals into the telemetry registry, labeled
+/// by machine. Shared by the batch and streaming paths.
+pub(crate) fn record_run_metrics(telemetry: &Telemetry, result: &RunResult, powered: u64) {
+    let machine = result.machine.to_string();
+    let labels: [(&str, &str); 1] = [("machine", &machine)];
+    let reg = telemetry.registry();
+    reg.counter("rap_sim_runs_total", &labels).inc();
+    reg.counter("rap_sim_input_bytes_total", &labels)
+        .add(result.metrics.input_chars);
+    reg.counter("rap_sim_cycles_total", &labels)
+        .add(result.metrics.cycles);
+    reg.counter("rap_sim_stall_cycles_total", &labels)
+        .add(result.stall_cycles);
+    reg.counter("rap_sim_powered_tile_cycles_total", &labels)
+        .add(powered);
+    reg.counter("rap_sim_matches_total", &labels)
+        .add(result.metrics.matches);
+}
+
+fn simulate_inner(
+    compiled: &[Compiled],
+    mapping: &Mapping,
+    input: &[u8],
+    machine: Machine,
+    telemetry: Option<(&Telemetry, &str)>,
+) -> RunResult {
+    debug_assert_verified(compiled, mapping);
     let cost = CostModel::for_machine(machine);
     let mut meter = EnergyMeter::new();
     let mut matches: Vec<MatchEvent> = Vec::new();
     let mut max_cycles: u64 = input.len() as u64;
     let mut stall_cycles: u64 = 0;
     let mut powered_tile_cycles: u64 = 0;
+    let mut probe = telemetry.map(|(tel, label)| tel.probe(label));
 
-    for plan in &mapping.arrays {
+    for (index, plan) in mapping.arrays.iter().enumerate() {
         let mut sim = array::build_array(compiled, plan, &cost);
-        let outcome = array::run_array(sim.as_mut(), input, &mut meter);
+        let outcome = array::run_array(
+            sim.as_mut(),
+            input,
+            &mut meter,
+            probe.as_mut().map(|p| (p, index as u32)),
+        );
         stall_cycles += outcome.cycles.saturating_sub(input.len() as u64);
         max_cycles = max_cycles.max(outcome.cycles);
         powered_tile_cycles += outcome.powered_tile_cycles;
@@ -341,13 +434,27 @@ pub fn simulate(
         area_mm2: cost.area_mm2(mapping),
         matches: matches.len() as u64,
     };
-    RunResult {
+    let result = RunResult {
         machine,
         metrics,
         energy: meter,
         matches,
         stall_cycles,
+    };
+    if let Some(mut probe) = probe {
+        probe.push(ProbeEvent::RunEnd {
+            input_bytes: input.len() as u64,
+            cycles: max_cycles,
+            stall_cycles,
+            powered_tile_cycles,
+            matches: result.metrics.matches,
+        });
+        probe.finish();
     }
+    if let Some((tel, _)) = telemetry {
+        record_run_metrics(tel, &result, powered_tile_cycles);
+    }
+    result
 }
 
 #[cfg(test)]

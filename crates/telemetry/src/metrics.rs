@@ -1,0 +1,370 @@
+//! The process-wide metrics registry: named counters, gauges, and
+//! log-bucketed histograms behind atomics.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! of the registered cell; the hot path is a single relaxed atomic
+//! operation with no lock. The registry's lock is taken only on
+//! registration and on snapshot, so instrumented code registers its
+//! handles once up front and updates them lock-free afterwards.
+//!
+//! Metric identity is `(name, sorted labels)`. Registering the same
+//! identity twice returns the *same* cell, which is what lets independent
+//! components (pipeline stages, simulator runs) accumulate into shared
+//! totals.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log2 buckets a [`Histogram`] keeps. Bucket 0 holds zeros,
+/// bucket `i` (1 ≤ i < 31) holds values in `[2^(i-1), 2^i)`, and the last
+/// bucket holds everything else (+Inf in the Prometheus rendering).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins (or max-retaining) instantaneous value.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-water-mark use).
+    pub fn set_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state of one histogram.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log2-bucketed histogram of `u64` observations (durations in
+/// nanoseconds, occupancies, cycle counts, …).
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// The bucket index a value falls into.
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        // floor(log2(v)) + 1, clamped into the fixed bucket array.
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sum of every recorded observation.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Per-bucket `(inclusive upper bound, count)` pairs; the last bucket's
+    /// bound is `u64::MAX` (rendered as `+Inf` by the Prometheus exporter).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .map(|i| {
+                let bound = match i {
+                    0 => 0,
+                    i if i < HISTOGRAM_BUCKETS - 1 => (1u64 << i) - 1,
+                    _ => u64::MAX,
+                };
+                (bound, self.0.buckets[i].load(Ordering::Relaxed))
+            })
+            .collect()
+    }
+}
+
+/// What kind of metric a registered cell is.
+#[derive(Clone, Debug)]
+pub(crate) enum MetricCell {
+    /// Monotonic counter.
+    Counter(Counter),
+    /// Instantaneous gauge.
+    Gauge(Gauge),
+    /// Log-bucketed histogram.
+    Histogram(Histogram),
+}
+
+impl MetricCell {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricCell::Counter(_) => "counter",
+            MetricCell::Gauge(_) => "gauge",
+            MetricCell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Metric identity: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct MetricKey {
+    pub(crate) name: String,
+    pub(crate) labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// One metric's identity and current value, as read by a snapshot.
+#[derive(Clone, Debug)]
+pub struct MetricSample {
+    /// Metric name.
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: MetricValue,
+}
+
+/// A snapshotted metric value.
+#[derive(Clone, Debug)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram: per-bucket `(upper bound, count)`, total sum, and count.
+    Histogram {
+        /// `(inclusive upper bound, cumulative-free count)` per bucket.
+        buckets: Vec<(u64, u64)>,
+        /// Sum of observations.
+        sum: u64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// A shareable registry of named metrics. Cloning shares the same
+/// underlying cells.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    cells: Arc<Mutex<BTreeMap<MetricKey, MetricCell>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn cell(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> MetricCell,
+    ) -> MetricCell {
+        let key = MetricKey::new(name, labels);
+        let mut cells = self.cells.lock().expect("registry lock poisoned");
+        cells.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Registers (or recalls) a counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same `(name, labels)` was registered as a different
+    /// metric kind — that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.cell(name, labels, || {
+            MetricCell::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            MetricCell::Counter(c) => c,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or recalls) a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind mismatch, as for [`Registry::counter`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.cell(name, labels, || {
+            MetricCell::Gauge(Gauge(Arc::new(AtomicU64::new(0))))
+        }) {
+            MetricCell::Gauge(g) => g,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or recalls) a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a metric-kind mismatch, as for [`Registry::counter`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.cell(name, labels, || {
+            MetricCell::Histogram(Histogram(Arc::new(HistogramCore::new())))
+        }) {
+            MetricCell::Histogram(h) => h,
+            other => panic!("metric {name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Reads every registered metric, sorted by `(name, labels)` so the
+    /// output order is deterministic.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let cells = self.cells.lock().expect("registry lock poisoned");
+        cells
+            .iter()
+            .map(|(key, cell)| MetricSample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match cell {
+                    MetricCell::Counter(c) => MetricValue::Counter(c.get()),
+                    MetricCell::Gauge(g) => MetricValue::Gauge(g.get()),
+                    MetricCell::Histogram(h) => MetricValue::Histogram {
+                        buckets: h.buckets(),
+                        sum: h.sum(),
+                        count: h.count(),
+                    },
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let reg = Registry::new();
+        let a = reg.counter("events", &[("kind", "x")]);
+        let b = reg.counter("events", &[("kind", "x")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        // Different labels are a different cell.
+        assert_eq!(reg.counter("events", &[("kind", "y")]).get(), 0);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let g = Registry::new().gauge("workers", &[]);
+        g.set(4);
+        g.set_max(2);
+        assert_eq!(g.get(), 4);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let h = Registry::new().histogram("ns", &[]);
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 6);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[2], (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("m", &[]);
+        let _ = reg.gauge("m", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("b_metric", &[]).inc();
+        reg.gauge("a_metric", &[]).set(7);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].name, "a_metric");
+        assert_eq!(snap[1].name, "b_metric");
+        assert!(matches!(snap[0].value, MetricValue::Gauge(7)));
+        assert!(matches!(snap[1].value, MetricValue::Counter(1)));
+    }
+}

@@ -1,0 +1,241 @@
+//! Cycle-sampled simulator probes and the bounded event journal.
+//!
+//! A [`SimProbe`] is handed to one simulator run. The hot loop pushes
+//! [`ProbeEvent`]s into a per-run bounded ring buffer (dropping the
+//! oldest events and counting the drops when full); when the run
+//! finishes — explicitly via [`SimProbe::finish`] or implicitly on drop —
+//! the whole batch is flushed as one [`RunTrace`] into the shared
+//! journal. Per-run batching keeps traces contiguous even when the
+//! pipeline's parallel evaluation grid interleaves many runs.
+//!
+//! Every event is keyed by simulator *cycle*, not wall-clock time, so a
+//! fixed-seed run produces the identical journal every time — the
+//! property the JSONL exporter's replayability contract rests on.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One cycle-keyed observation from the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProbeEvent {
+    /// Periodic sample of one array's activity.
+    Array {
+        /// Simulator cycle the sample was taken at.
+        cycle: u64,
+        /// Index of the array within the mapping.
+        array: u32,
+        /// Automaton states active at this cycle.
+        active_states: u64,
+        /// Tiles drawing power at this cycle.
+        powered_tiles: u64,
+        /// Whether the array was in an NBVA bit-vector stall phase.
+        stalled: bool,
+    },
+    /// Periodic sample of the §3.3 bank buffer hierarchy.
+    Bank {
+        /// Simulator cycle the sample was taken at.
+        cycle: u64,
+        /// Slowest lane's consumed-offset (window low edge).
+        min_consumed: u64,
+        /// Fastest lane's consumed-offset (window high edge).
+        max_consumed: u64,
+        /// Total bytes queued across per-array input FIFOs.
+        input_fifo_bytes: u64,
+        /// Total match records queued across output buffers.
+        output_fifo_records: u64,
+        /// Host interrupts raised so far.
+        interrupts: u64,
+    },
+    /// Summary emitted when one array finishes its input.
+    ArrayEnd {
+        /// Index of the array within the mapping.
+        array: u32,
+        /// Total cycles the array ran (input length + stalls).
+        cycles: u64,
+        /// NBVA bit-vector-processing stall cycles.
+        stall_cycles: u64,
+        /// Accumulated powered tile-cycles.
+        powered_tile_cycles: u64,
+        /// Matches the array reported.
+        matches: u64,
+    },
+    /// Summary emitted when the whole run finishes.
+    RunEnd {
+        /// Bytes of input consumed.
+        input_bytes: u64,
+        /// Whole-run cycle count (slowest array / bank drain).
+        cycles: u64,
+        /// Total stall cycles across arrays.
+        stall_cycles: u64,
+        /// Total powered tile-cycles across arrays.
+        powered_tile_cycles: u64,
+        /// Total matches reported.
+        matches: u64,
+    },
+}
+
+impl ProbeEvent {
+    /// The event's kind tag, as used in the JSONL `"event"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ProbeEvent::Array { .. } => "array",
+            ProbeEvent::Bank { .. } => "bank",
+            ProbeEvent::ArrayEnd { .. } => "array_end",
+            ProbeEvent::RunEnd { .. } => "run_end",
+        }
+    }
+}
+
+/// The completed trace of one simulator run.
+#[derive(Clone, Debug)]
+pub struct RunTrace {
+    /// Caller-supplied run label, e.g. `"rap/snort"`.
+    pub label: String,
+    /// Events in emission order (cycle-monotonic per array).
+    pub events: Vec<ProbeEvent>,
+    /// Events discarded because the ring buffer was full.
+    pub dropped: u64,
+}
+
+/// The shared journal completed run traces are flushed into.
+pub(crate) type Journal = Arc<Mutex<Vec<RunTrace>>>;
+
+/// A bounded event buffer for one simulator run. See the module docs for
+/// the batching/flush contract.
+#[derive(Debug)]
+pub struct SimProbe {
+    label: String,
+    events: VecDeque<ProbeEvent>,
+    capacity: usize,
+    dropped: u64,
+    sample_every: u32,
+    sink: Journal,
+    flushed: bool,
+}
+
+impl SimProbe {
+    pub(crate) fn new(label: &str, capacity: usize, sample_every: u32, sink: Journal) -> SimProbe {
+        SimProbe {
+            label: label.to_string(),
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            sample_every: sample_every.max(1),
+            sink,
+            flushed: false,
+        }
+    }
+
+    /// The cycle-sampling period: hot loops should emit an `Array`/`Bank`
+    /// sample when `cycle % sample_every() == 0`.
+    pub fn sample_every(&self) -> u32 {
+        self.sample_every
+    }
+
+    /// Appends an event, evicting the oldest if the ring is full.
+    pub fn push(&mut self, event: ProbeEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events buffered so far (before flush).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flushes the buffered batch into the journal as one [`RunTrace`].
+    /// Dropping an unfinished probe flushes too; `finish` just makes the
+    /// run boundary explicit.
+    pub fn finish(mut self) {
+        self.flush();
+    }
+
+    fn flush(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.flushed = true;
+        let trace = RunTrace {
+            label: std::mem::take(&mut self.label),
+            events: std::mem::take(&mut self.events).into(),
+            dropped: self.dropped,
+        };
+        if let Ok(mut journal) = self.sink.lock() {
+            journal.push(trace);
+        }
+    }
+}
+
+impl Drop for SimProbe {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal() -> Journal {
+        Arc::new(Mutex::new(Vec::new()))
+    }
+
+    fn sample(cycle: u64) -> ProbeEvent {
+        ProbeEvent::Array {
+            cycle,
+            array: 0,
+            active_states: 1,
+            powered_tiles: 1,
+            stalled: false,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let sink = journal();
+        let mut probe = SimProbe::new("t", 2, 1, sink.clone());
+        probe.push(sample(0));
+        probe.push(sample(1));
+        probe.push(sample(2));
+        assert_eq!(probe.len(), 2);
+        assert_eq!(probe.dropped(), 1);
+        probe.finish();
+        let traces = sink.lock().unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].dropped, 1);
+        // Oldest event was evicted; cycles 1 and 2 remain.
+        assert_eq!(traces[0].events, vec![sample(1), sample(2)]);
+    }
+
+    #[test]
+    fn drop_flushes_unfinished_probe() {
+        let sink = journal();
+        {
+            let mut probe = SimProbe::new("t", 8, 1, sink.clone());
+            probe.push(sample(0));
+        }
+        assert_eq!(sink.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn finish_flushes_exactly_once() {
+        let sink = journal();
+        let probe = SimProbe::new("t", 8, 4, sink.clone());
+        assert_eq!(probe.sample_every(), 4);
+        probe.finish();
+        assert_eq!(sink.lock().unwrap().len(), 1);
+    }
+}

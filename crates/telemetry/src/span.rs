@@ -1,0 +1,89 @@
+//! Span-based structured timing for pipeline stages.
+//!
+//! A [`SpanTimer`] measures one wall-clock interval and records it (in
+//! nanoseconds) into a [`Histogram`] when finished. Timings are
+//! nondeterministic by nature, so they flow only into the metrics
+//! registry / Prometheus snapshot — never into the replayable JSONL
+//! event journal.
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// An in-flight timed span. Created by [`SpanTimer::start`]; records into
+/// its histogram on [`SpanTimer::finish`] or on drop (whichever first).
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Histogram,
+    started: Instant,
+    done: bool,
+}
+
+impl SpanTimer {
+    /// Starts timing a span that will record into `hist`.
+    pub fn start(hist: Histogram) -> SpanTimer {
+        SpanTimer {
+            hist,
+            started: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// Stops the span and records the elapsed nanoseconds, returning them.
+    pub fn finish(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.done = true;
+        let ns = self.started.elapsed().as_nanos() as u64;
+        self.hist.record(ns);
+        ns
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+/// Times `f`, recording its wall-clock duration into `hist`.
+pub fn time<T>(hist: &Histogram, f: impl FnOnce() -> T) -> T {
+    let span = SpanTimer::start(hist.clone());
+    let out = f();
+    span.finish();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn span_records_once() {
+        let h = Registry::new().histogram("ns", &[]);
+        let span = SpanTimer::start(h.clone());
+        span.finish();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Registry::new().histogram("ns", &[]);
+        drop(SpanTimer::start(h.clone()));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn time_returns_value() {
+        let h = Registry::new().histogram("ns", &[]);
+        let v = time(&h, || 41 + 1);
+        assert_eq!(v, 42);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -40,6 +40,7 @@
 //! | [`mapper`] | greedy array packing and multi-LNFA binning (§4.3) |
 //! | [`sim`] | cycle-accurate RAP + CA/CAMA/BVAP baselines (§5) |
 //! | [`verify`] | static legality verifier for plans (rules V001–V012) |
+//! | [`telemetry`] | metrics registry, span timing, cycle-sampled simulator probes, JSONL/Prometheus export |
 //! | [`pipeline`] | typed parse → compile → map → verify → simulate stages, plan cache, grid driver |
 //! | [`workloads`] | synthetic stand-ins for the seven benchmark suites (§5.1) |
 //! | [`engines`] | software matcher baselines (Hyperscan/HybridSA stand-ins, §5.5) |
@@ -53,6 +54,7 @@ pub use rap_mapper as mapper;
 pub use rap_pipeline as pipeline;
 pub use rap_regex as regex;
 pub use rap_sim as sim;
+pub use rap_telemetry as telemetry;
 pub use rap_verify as verify;
 pub use rap_workloads as workloads;
 
