@@ -1,0 +1,202 @@
+//! The fixed-point dataflow solver: forward reachability from the initial
+//! states, backward liveness from the accepting states.
+//!
+//! Both problems are monotone boolean dataflow over the automaton graph,
+//! solved with a worklist in O(states + edges):
+//!
+//! * `reachable(q)` — q can activate on some input: q's class is
+//!   satisfiable and q is initial or some reachable predecessor can emit
+//!   into it.
+//! * `live(q)` — an activation of q can contribute to some future match:
+//!   q can accept, or q can emit and some satisfiable successor is live.
+//!
+//! A state that is reachable but not live is *dead* hardware: it can turn
+//! on but no match ever depends on it, so pruning it (and every transition
+//! into it) preserves the language.
+
+use crate::graph::GraphView;
+
+/// The per-state solution of both dataflow problems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Facts {
+    /// Forward: the state can activate on some input string.
+    pub reachable: Vec<bool>,
+    /// Backward: an activation can contribute to a future match.
+    pub live: Vec<bool>,
+}
+
+impl Facts {
+    /// States that are both reachable and live — the ones execution can
+    /// actually use.
+    pub fn useful(&self) -> Vec<bool> {
+        self.reachable
+            .iter()
+            .zip(&self.live)
+            .map(|(&r, &l)| r && l)
+            .collect()
+    }
+}
+
+/// Solves both dataflow problems for one automaton view.
+pub(crate) fn solve(g: &GraphView) -> Facts {
+    let n = g.len();
+    // Forward reachability: BFS from the satisfiable initial states,
+    // following edges only out of emitting states.
+    let mut reachable = vec![false; n];
+    let mut work: Vec<u32> = Vec::new();
+    for &q in &g.initial {
+        let q_us = q as usize;
+        if g.can_activate[q_us] && !reachable[q_us] {
+            reachable[q_us] = true;
+            work.push(q);
+        }
+    }
+    while let Some(p) = work.pop() {
+        let p_us = p as usize;
+        if !g.can_emit[p_us] {
+            continue;
+        }
+        for &q in &g.succ[p_us] {
+            let q_us = q as usize;
+            if g.can_activate[q_us] && !reachable[q_us] {
+                reachable[q_us] = true;
+                work.push(q);
+            }
+        }
+    }
+
+    // Backward liveness: BFS from the accepting states over reversed
+    // edges, entering only emitting predecessors.
+    let mut pred: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (p, succ) in g.succ.iter().enumerate() {
+        for &q in succ {
+            pred[q as usize].push(p as u32);
+        }
+    }
+    let mut live = vec![false; n];
+    let mut work: Vec<u32> = Vec::new();
+    for (q, is_live) in live.iter_mut().enumerate() {
+        if g.can_accept[q] {
+            *is_live = true;
+            work.push(q as u32);
+        }
+    }
+    while let Some(q) = work.pop() {
+        for &p in &pred[q as usize] {
+            let p_us = p as usize;
+            if g.can_emit[p_us] && !live[p_us] {
+                live[p_us] = true;
+                work.push(p);
+            }
+        }
+    }
+    Facts { reachable, live }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_automata::nfa::Nfa;
+    use rap_regex::parse;
+
+    fn facts(pattern: &str) -> Facts {
+        let nfa = Nfa::from_regex(&parse(pattern).expect("parses"));
+        solve(&GraphView::of_nfa(&nfa))
+    }
+
+    #[test]
+    fn clean_glushkov_automata_are_fully_useful() {
+        for pattern in ["abc", "a(b|c)d", "ab*c", "a(.a){3}b", "x{6}y"] {
+            let f = facts(pattern);
+            assert!(f.reachable.iter().all(|&r| r), "{pattern} reachable");
+            assert!(f.live.iter().all(|&l| l), "{pattern} live");
+        }
+    }
+
+    #[test]
+    fn hand_built_unreachable_state_detected() {
+        use rap_automata::nfa::NfaState;
+        use rap_regex::CharClass;
+        // q0 -> q1(final); q2 unreachable (no one points at it).
+        let states = vec![
+            NfaState {
+                cc: CharClass::single(b'a'),
+                succ: vec![1],
+                is_final: false,
+            },
+            NfaState {
+                cc: CharClass::single(b'b'),
+                succ: vec![],
+                is_final: true,
+            },
+            NfaState {
+                cc: CharClass::single(b'c'),
+                succ: vec![1],
+                is_final: false,
+            },
+        ];
+        let nfa = Nfa::from_parts(states, vec![0], false);
+        let f = solve(&GraphView::of_nfa(&nfa));
+        assert_eq!(f.reachable, vec![true, true, false]);
+        assert_eq!(f.live, vec![true, true, true]); // q2 could reach q1, just never activates
+        assert_eq!(f.useful(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn hand_built_dead_state_detected() {
+        use rap_automata::nfa::NfaState;
+        use rap_regex::CharClass;
+        // q0 -> {q1(final), q2}; q2 -> q2 loops forever without accepting.
+        let states = vec![
+            NfaState {
+                cc: CharClass::single(b'a'),
+                succ: vec![1, 2],
+                is_final: false,
+            },
+            NfaState {
+                cc: CharClass::single(b'b'),
+                succ: vec![],
+                is_final: true,
+            },
+            NfaState {
+                cc: CharClass::single(b'c'),
+                succ: vec![2],
+                is_final: false,
+            },
+        ];
+        let nfa = Nfa::from_parts(states, vec![0], false);
+        let f = solve(&GraphView::of_nfa(&nfa));
+        assert_eq!(f.reachable, vec![true, true, true]);
+        assert_eq!(f.live, vec![true, true, false]);
+    }
+
+    #[test]
+    fn empty_class_blocks_both_directions() {
+        use rap_automata::nfa::NfaState;
+        use rap_regex::CharClass;
+        // q0 -> q1(empty class) -> q2(final): q1 can never activate, so q2
+        // is unreachable and q0 is dead.
+        let states = vec![
+            NfaState {
+                cc: CharClass::single(b'a'),
+                succ: vec![1],
+                is_final: false,
+            },
+            NfaState {
+                cc: CharClass::empty(),
+                succ: vec![2],
+                is_final: false,
+            },
+            NfaState {
+                cc: CharClass::single(b'c'),
+                succ: vec![],
+                is_final: true,
+            },
+        ];
+        let nfa = Nfa::from_parts(states, vec![0], false);
+        let f = solve(&GraphView::of_nfa(&nfa));
+        assert_eq!(f.reachable, vec![true, false, false]);
+        assert_eq!(f.live, vec![false, false, true]);
+        assert_eq!(f.useful(), vec![false, false, false]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Uniform graph views over the three compiled IRs.
+//!
+//! The dataflow solver ([`crate::dataflow`]) is IR-agnostic: it sees an
+//! automaton as states with successor edges, an initial set, and three
+//! per-state capability predicates derived from the IR's step semantics:
+//!
+//! * `can_activate(q)` — some input byte turns the state on (its character
+//!   class is non-empty),
+//! * `can_emit(q)` — an active state can ever hand activation to its
+//!   successors (for a bit-vector state this additionally requires a
+//!   satisfiable read action: `r(m)` with `1 ≤ m ≤ width`),
+//! * `can_accept(q)` — an active state can ever report a match
+//!   (`is_final` gated the same way).
+
+use rap_automata::nbva::{Nbva, ReadAction, StateKind};
+use rap_automata::nfa::Nfa;
+use rap_regex::CharClass;
+
+/// An IR-agnostic automaton view for the dataflow solver.
+#[derive(Clone, Debug)]
+pub(crate) struct GraphView {
+    /// Successor lists, indexed by state.
+    pub succ: Vec<Vec<u32>>,
+    /// The always-armed initial states.
+    pub initial: Vec<u32>,
+    /// Some byte activates the state (non-empty character class).
+    pub can_activate: Vec<bool>,
+    /// An active state can eventually pass activation downstream.
+    pub can_emit: Vec<bool>,
+    /// An active state can eventually report a match.
+    pub can_accept: Vec<bool>,
+}
+
+impl GraphView {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// View of a Glushkov NFA: emission and acceptance are gated only by
+    /// class satisfiability.
+    pub fn of_nfa(nfa: &Nfa) -> GraphView {
+        let can_activate: Vec<bool> = nfa.states().iter().map(|s| !s.cc.is_empty()).collect();
+        GraphView {
+            succ: nfa.states().iter().map(|s| s.succ.clone()).collect(),
+            initial: nfa.initial().to_vec(),
+            can_emit: can_activate.clone(),
+            can_accept: nfa
+                .states()
+                .iter()
+                .zip(&can_activate)
+                .map(|(s, &act)| s.is_final && act)
+                .collect(),
+            can_activate,
+        }
+    }
+
+    /// View of an NBVA: a bit-vector state emits (and accepts) only through
+    /// its read action, so a broken `r(m)` read — `m = 0` or `m > width`,
+    /// which can never see a set bit — blocks both.
+    pub fn of_nbva(nbva: &Nbva) -> GraphView {
+        let mut can_activate = Vec::with_capacity(nbva.len());
+        let mut can_emit = Vec::with_capacity(nbva.len());
+        let mut can_accept = Vec::with_capacity(nbva.len());
+        for s in nbva.states() {
+            let act = !s.cc.is_empty();
+            let read_ok = match s.kind {
+                StateKind::Plain => true,
+                StateKind::Bv { width, read } => read_satisfiable(width, read),
+            };
+            can_activate.push(act);
+            can_emit.push(act && read_ok);
+            can_accept.push(s.is_final && act && read_ok);
+        }
+        GraphView {
+            succ: nbva.states().iter().map(|s| s.succ.clone()).collect(),
+            initial: nbva.initial().to_vec(),
+            can_activate,
+            can_emit,
+            can_accept,
+        }
+    }
+
+    /// View of one LNFA chain: `q0 → q1 → … → qn−1`, single initial, single
+    /// final.
+    pub fn of_chain(classes: &[CharClass]) -> GraphView {
+        let n = classes.len();
+        let can_activate: Vec<bool> = classes.iter().map(|cc| !cc.is_empty()).collect();
+        GraphView {
+            succ: (0..n)
+                .map(|i| {
+                    if i + 1 < n {
+                        vec![i as u32 + 1]
+                    } else {
+                        vec![]
+                    }
+                })
+                .collect(),
+            initial: if n > 0 { vec![0] } else { vec![] },
+            can_emit: can_activate.clone(),
+            can_accept: (0..n).map(|i| i + 1 == n && can_activate[i]).collect(),
+            can_activate,
+        }
+    }
+}
+
+/// Whether a bit-vector read action can ever succeed on a `width`-bit
+/// vector. `r(m)` tests bit `m − 1`; `m = 0` underflows and `m > width` is
+/// out of range (the reference executor panics, the hardware reads a wired
+/// zero).
+pub(crate) fn read_satisfiable(width: u32, read: ReadAction) -> bool {
+    match read {
+        ReadAction::Exact(m) => m >= 1 && m <= width,
+        ReadAction::All => width > 0,
+    }
+}

@@ -1,0 +1,279 @@
+//! The per-image analysis passes: structural dead-code detection
+//! (A001–A004), bit-vector counter analysis (A005–A007), and the
+//! character-class ambiguity metric (A008).
+
+use crate::dataflow::{self, Facts};
+use crate::graph::{read_satisfiable, GraphView};
+use crate::{Report, Rule};
+use rap_automata::nbva::{ReadAction, StateKind};
+use rap_compiler::{Compiled, CompiledNbva};
+use rap_diag::Location;
+use rap_regex::CharClass;
+
+/// A flattened per-state picture of one image for the structural pass.
+/// LNFA chains are concatenated in unit order so every state of the image
+/// gets one stable index for diagnostics.
+pub(crate) struct ImageFacts {
+    /// Successor lists over the flattened indices.
+    pub succ: Vec<Vec<u32>>,
+    /// Per-state character classes.
+    pub ccs: Vec<CharClass>,
+    /// Per-state emission capability (read-gated for BV states).
+    pub can_emit: Vec<bool>,
+    /// The dataflow solution.
+    pub facts: Facts,
+}
+
+impl ImageFacts {
+    /// States that are both reachable and live.
+    pub fn useful(&self) -> Vec<bool> {
+        self.facts.useful()
+    }
+}
+
+/// Builds the flattened view and solves the dataflow problems for one
+/// compiled image of any mode.
+pub(crate) fn image_facts(image: &Compiled) -> ImageFacts {
+    match image {
+        Compiled::Nfa(c) => {
+            let g = GraphView::of_nfa(&c.nfa);
+            let facts = dataflow::solve(&g);
+            ImageFacts {
+                ccs: c.nfa.states().iter().map(|s| s.cc).collect(),
+                can_emit: g.can_emit.clone(),
+                succ: g.succ,
+                facts,
+            }
+        }
+        Compiled::Nbva(c) => {
+            let g = GraphView::of_nbva(&c.nbva);
+            let facts = dataflow::solve(&g);
+            ImageFacts {
+                ccs: c.nbva.states().iter().map(|s| s.cc).collect(),
+                can_emit: g.can_emit.clone(),
+                succ: g.succ,
+                facts,
+            }
+        }
+        Compiled::Lnfa(c) => {
+            let mut succ = Vec::new();
+            let mut ccs = Vec::new();
+            let mut can_emit = Vec::new();
+            let mut reachable = Vec::new();
+            let mut live = Vec::new();
+            for unit in &c.units {
+                let offset = succ.len() as u32;
+                let g = GraphView::of_chain(unit.lnfa.classes());
+                let f = dataflow::solve(&g);
+                succ.extend(
+                    g.succ
+                        .iter()
+                        .map(|edges| edges.iter().map(|&q| q + offset).collect()),
+                );
+                ccs.extend(unit.lnfa.classes().iter().copied());
+                can_emit.extend(g.can_emit);
+                reachable.extend(f.reachable);
+                live.extend(f.live);
+            }
+            ImageFacts {
+                succ,
+                ccs,
+                can_emit,
+                facts: Facts { reachable, live },
+            }
+        }
+    }
+}
+
+/// What the structural pass found in one image.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct StructuralCounts {
+    pub unreachable: u64,
+    pub dead: u64,
+    pub empty_classes: u64,
+    pub dead_transitions: u64,
+    pub transitions: u64,
+}
+
+/// A001–A004: unreachable states, dead states, unsatisfiable classes, and
+/// transitions that can never carry a live activation.
+pub(crate) fn structural(report: &mut Report, pattern: usize, f: &ImageFacts) -> StructuralCounts {
+    let mut counts = StructuralCounts::default();
+    let useful = f.useful();
+    for (q, cc) in f.ccs.iter().enumerate() {
+        let loc = Location::of_pattern(pattern).state(q as u32);
+        if cc.is_empty() {
+            counts.empty_classes += 1;
+            report.push(
+                Rule::EmptyClass,
+                Rule::EmptyClass.severity(),
+                loc,
+                "state has an unsatisfiable character class: no input byte \
+                 can ever activate it"
+                    .to_string(),
+            );
+            continue;
+        }
+        if !f.facts.reachable[q] {
+            counts.unreachable += 1;
+            report.push(
+                Rule::UnreachableState,
+                Rule::UnreachableState.severity(),
+                loc,
+                "state can never activate: no path from an initial state \
+                 reaches it on any input"
+                    .to_string(),
+            );
+        } else if !f.facts.live[q] {
+            counts.dead += 1;
+            report.push(
+                Rule::DeadState,
+                Rule::DeadState.severity(),
+                loc,
+                "state is dead: it can activate but no match ever depends \
+                 on it"
+                    .to_string(),
+            );
+        }
+    }
+    for (p, succ) in f.succ.iter().enumerate() {
+        for &q in succ {
+            counts.transitions += 1;
+            if !(useful[p] && f.can_emit[p] && useful[q as usize]) {
+                counts.dead_transitions += 1;
+            }
+        }
+    }
+    if counts.dead_transitions > 0 {
+        report.push(
+            Rule::DeadTransition,
+            Rule::DeadTransition.severity(),
+            Location::of_pattern(pattern),
+            format!(
+                "{} of {} transitions can never carry a live activation",
+                counts.dead_transitions, counts.transitions
+            ),
+        );
+    }
+    counts
+}
+
+/// What the counter pass found in one NBVA image.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct CounterCounts {
+    pub dead_bv_bits: u64,
+    pub overflows: u64,
+    pub saturations: u64,
+}
+
+/// A005–A007: bit-vector range analysis. `r(m)` reads outside `1..=width`
+/// can never succeed (the reference executor would panic on them — the
+/// hardware reads a wired zero); bits above the read point are dead
+/// storage; an allocation smaller than the vector silently saturates the
+/// count.
+pub(crate) fn counters(report: &mut Report, pattern: usize, c: &CompiledNbva) -> CounterCounts {
+    let mut counts = CounterCounts::default();
+    for (q, (state, alloc)) in c.nbva.states().iter().zip(&c.bv_allocs).enumerate() {
+        let StateKind::Bv { width, read } = state.kind else {
+            continue;
+        };
+        let loc = Location::of_pattern(pattern).state(q as u32);
+        if !read_satisfiable(width, read) {
+            counts.overflows += 1;
+            let m = match read {
+                ReadAction::Exact(m) => m,
+                ReadAction::All => 0,
+            };
+            report.push(
+                Rule::CounterOverflow,
+                Rule::CounterOverflow.severity(),
+                loc,
+                format!(
+                    "read r({m}) of a {width}-bit vector can never see a set \
+                     bit (valid reads are r(1)..=r({width}))"
+                ),
+            );
+            continue;
+        }
+        if let ReadAction::Exact(m) = read {
+            // Bits m..width count repetitions past the read point; nothing
+            // ever observes them.
+            let dead_bits = u64::from(width - m);
+            if dead_bits > 0 {
+                counts.dead_bv_bits += dead_bits;
+                let depth = alloc.map_or(c.depth, |a| a.depth);
+                let dead_cols = width.div_ceil(depth) - m.div_ceil(depth);
+                if dead_cols > 0 {
+                    report.push(
+                        Rule::DeadBvColumn,
+                        Rule::DeadBvColumn.severity(),
+                        loc,
+                        format!(
+                            "top {dead_cols} of {} BV columns ({dead_bits} of \
+                             {width} bits) can never influence the read r({m})",
+                            width.div_ceil(depth)
+                        ),
+                    );
+                }
+            }
+        }
+        if let Some(a) = alloc {
+            let capacity = u64::from(a.columns) * u64::from(a.depth);
+            if a.width_bits != width || capacity < u64::from(width) {
+                counts.saturations += 1;
+                report.push(
+                    Rule::CounterSaturation,
+                    Rule::CounterSaturation.severity(),
+                    loc,
+                    format!(
+                        "allocated {} columns × depth {} = {capacity} bits for \
+                         a {width}-bit vector (alloc says {} bits): counts \
+                         would saturate",
+                        a.columns, a.depth, a.width_bits
+                    ),
+                );
+            }
+        }
+    }
+    counts
+}
+
+/// A008: ambiguity metric for basic-NFA images. A state whose successor
+/// set contains two states with overlapping character classes duplicates
+/// activations on the shared bytes — legal, but it inflates switching
+/// activity and match-report traffic.
+pub(crate) fn overlap(report: &mut Report, pattern: usize, image: &Compiled) -> u64 {
+    let Compiled::Nfa(c) = image else {
+        return 0;
+    };
+    let states = c.nfa.states();
+    let mut sets: Vec<&[u32]> = states.iter().map(|s| s.succ.as_slice()).collect();
+    sets.push(c.nfa.initial());
+    let mut ambiguous = 0u64;
+    for set in sets {
+        let overlapping = set.iter().enumerate().any(|(i, &a)| {
+            set[i + 1..].iter().any(|&b| {
+                a != b
+                    && !states[a as usize]
+                        .cc
+                        .intersection(&states[b as usize].cc)
+                        .is_empty()
+            })
+        });
+        if overlapping {
+            ambiguous += 1;
+        }
+    }
+    if ambiguous > 0 {
+        report.push(
+            Rule::AmbiguousOverlap,
+            Rule::AmbiguousOverlap.severity(),
+            Location::of_pattern(pattern),
+            format!(
+                "{ambiguous} successor sets contain states with overlapping \
+                 character classes (duplicated activations on shared bytes)"
+            ),
+        );
+    }
+    ambiguous
+}

@@ -1,0 +1,579 @@
+//! Analyzer-driven image rewriting: dead-state pruning and equivalence
+//! merging.
+//!
+//! Two language-preserving reductions run to a fixed point after the dead
+//! states (reachable ∧ ¬live fails) are removed:
+//!
+//! * **Right equivalence** — states with identical character class, kind,
+//!   successor set, and finality are interchangeable *downstream*: whichever
+//!   of them is active, the emission into the (shared) successors and the
+//!   match report are the same, so they collapse into one state whose
+//!   activation is the OR of the originals. For bit-vector states the
+//!   merged vector is the bitwise OR of the original vectors (`set1`,
+//!   `shft`, and `clear` are all pointwise ∨-morphisms and both read
+//!   actions distribute over ∨), so behaviour is preserved exactly.
+//! * **Left equivalence** — states with identical character class, kind,
+//!   predecessor set, and initial membership always activate *together*
+//!   (same candidates, same class test), so they collapse into one state
+//!   carrying the union of their successor sets and the OR of their
+//!   finality.
+//!
+//! Glushkov automata of generated rule sets hit these constantly: the
+//! alternatives of `(cat|cow)` share their first position's behaviour, the
+//! alternatives of `(cat|dot)` share their last.
+
+use crate::dataflow;
+use crate::graph::GraphView;
+use rap_automata::nbva::{Nbva, NbvaState, StateKind};
+use rap_automata::nfa::{Nfa, NfaState};
+use rap_compiler::{BvAlloc, Compiled, CompiledLnfa, CompiledNbva, CompiledNfa};
+use rap_regex::CharClass;
+use std::collections::HashMap;
+
+/// What pruning one image did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// States before any rewriting.
+    pub states_before: u64,
+    /// States in the pruned image.
+    pub states_after: u64,
+    /// States removed because they were unreachable or dead.
+    pub removed_dead: u64,
+    /// States removed by right/left equivalence merging.
+    pub merged: u64,
+}
+
+impl PruneStats {
+    /// Total states removed.
+    pub fn removed(&self) -> u64 {
+        self.states_before - self.states_after
+    }
+
+    fn add(&mut self, other: PruneStats) {
+        self.states_before += other.states_before;
+        self.states_after += other.states_after;
+        self.removed_dead += other.removed_dead;
+        self.merged += other.merged;
+    }
+}
+
+/// Rewrites one compiled image with dead-state pruning and equivalence
+/// merging. The returned image matches exactly the same `(input, offset)`
+/// pairs as the original; [`PruneStats`] reports the reduction.
+///
+/// Images that would be left with no states (every state dead — the
+/// pattern matches nothing) are returned unchanged: an empty image cannot
+/// be mapped, and keeping the original preserves the (empty) language.
+pub fn prune_image(image: &Compiled) -> (Compiled, PruneStats) {
+    match image {
+        Compiled::Nfa(c) => {
+            let (c, stats) = prune_nfa(c);
+            (Compiled::Nfa(c), stats)
+        }
+        Compiled::Nbva(c) => {
+            let (c, stats) = prune_nbva(c);
+            (Compiled::Nbva(c), stats)
+        }
+        Compiled::Lnfa(c) => {
+            let (c, stats) = prune_lnfa(c);
+            (Compiled::Lnfa(c), stats)
+        }
+    }
+}
+
+/// IR-generic working state for the rewrite: NFA states are `Plain`-kinded.
+#[derive(Clone, Debug)]
+struct WorkState {
+    cc: CharClass,
+    kind: StateKind,
+    succ: Vec<u32>,
+    is_final: bool,
+    columns: u32,
+    alloc: Option<BvAlloc>,
+}
+
+fn normalize(mut succ: Vec<u32>) -> Vec<u32> {
+    succ.sort_unstable();
+    succ.dedup();
+    succ
+}
+
+/// Encodes a state kind as comparable words (no `Hash` on `StateKind`).
+fn kind_key(kind: StateKind) -> [u64; 2] {
+    use rap_automata::nbva::ReadAction;
+    match kind {
+        StateKind::Plain => [0, 0],
+        StateKind::Bv { width, read } => match read {
+            ReadAction::Exact(m) => [1 | (u64::from(width) << 8), u64::from(m)],
+            ReadAction::All => [2 | (u64::from(width) << 8), 0],
+        },
+    }
+}
+
+/// Drops the states `keep[q] == false`, remapping successors and initials.
+fn retain(states: &mut Vec<WorkState>, initial: &mut Vec<u32>, keep: &[bool]) -> u64 {
+    let n = states.len();
+    let mut new_idx = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for q in 0..n {
+        if keep[q] {
+            new_idx[q] = next;
+            next += 1;
+        }
+    }
+    let removed = (n as u64) - u64::from(next);
+    if removed == 0 {
+        return 0;
+    }
+    let mut new_states = Vec::with_capacity(next as usize);
+    for (q, s) in states.iter().enumerate() {
+        if !keep[q] {
+            continue;
+        }
+        let mut s = s.clone();
+        s.succ = normalize(
+            s.succ
+                .iter()
+                .filter(|&&t| keep[t as usize])
+                .map(|&t| new_idx[t as usize])
+                .collect(),
+        );
+        new_states.push(s);
+    }
+    *initial = normalize(
+        initial
+            .iter()
+            .filter(|&&q| keep[q as usize])
+            .map(|&q| new_idx[q as usize])
+            .collect(),
+    );
+    *states = new_states;
+    removed
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MergeSide {
+    /// Group by (cc, kind, successors, finality).
+    Right,
+    /// Group by (cc, kind, predecessors, initial membership).
+    Left,
+}
+
+/// One merge pass: groups equivalent states, collapses each group onto its
+/// first member, and renumbers. Returns how many states were merged away.
+fn merge_pass(states: &mut Vec<WorkState>, initial: &mut Vec<u32>, side: MergeSide) -> u64 {
+    let n = states.len();
+    let mut pred: Vec<Vec<u32>> = vec![Vec::new(); n];
+    if side == MergeSide::Left {
+        for (p, s) in states.iter().enumerate() {
+            for &q in &s.succ {
+                pred[q as usize].push(p as u32);
+            }
+        }
+        for p in &mut pred {
+            p.sort_unstable();
+            p.dedup();
+        }
+    }
+    let is_init: Vec<bool> = {
+        let mut v = vec![false; n];
+        for &q in initial.iter() {
+            v[q as usize] = true;
+        }
+        v
+    };
+
+    let mut canon: Vec<u32> = (0..n as u32).collect();
+    let mut groups: HashMap<Vec<u64>, u32> = HashMap::new();
+    let mut merged = 0u64;
+    for q in 0..n {
+        let s = &states[q];
+        let mut key: Vec<u64> = Vec::with_capacity(8 + s.succ.len());
+        key.extend_from_slice(&s.cc.as_words()[..]);
+        key.extend_from_slice(&kind_key(s.kind));
+        match side {
+            MergeSide::Right => {
+                key.push(u64::from(s.is_final));
+                key.extend(s.succ.iter().map(|&t| u64::from(t)));
+            }
+            MergeSide::Left => {
+                key.push(u64::from(is_init[q]));
+                key.extend(pred[q].iter().map(|&t| u64::from(t)));
+            }
+        }
+        match groups.get(&key) {
+            Some(&rep) => {
+                canon[q] = rep;
+                merged += 1;
+            }
+            None => {
+                groups.insert(key, q as u32);
+            }
+        }
+    }
+    if merged == 0 {
+        return 0;
+    }
+
+    // Left merges carry their members' successors and finality onto the
+    // representative (the members always activate together, so the merged
+    // state's behaviour is the union of theirs).
+    if side == MergeSide::Left {
+        for q in 0..n {
+            let rep = canon[q] as usize;
+            if rep != q {
+                let extra = states[q].succ.clone();
+                states[rep].succ.extend(extra);
+                states[rep].is_final |= states[q].is_final;
+            }
+        }
+    }
+
+    // Renumber representatives and remap every edge through canon.
+    let mut new_idx = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for q in 0..n {
+        if canon[q] as usize == q {
+            new_idx[q] = next;
+            next += 1;
+        }
+    }
+    let mut new_states = Vec::with_capacity(next as usize);
+    for q in 0..n {
+        if canon[q] as usize != q {
+            continue;
+        }
+        let mut s = states[q].clone();
+        s.succ = normalize(
+            s.succ
+                .iter()
+                .map(|&t| new_idx[canon[t as usize] as usize])
+                .collect(),
+        );
+        new_states.push(s);
+    }
+    *initial = normalize(
+        initial
+            .iter()
+            .map(|&q| new_idx[canon[q as usize] as usize])
+            .collect(),
+    );
+    *states = new_states;
+    merged
+}
+
+/// Runs dead-state removal then right/left merging to a fixed point on the
+/// working representation.
+fn reduce(states: &mut Vec<WorkState>, initial: &mut Vec<u32>, useful: &[bool]) -> (u64, u64) {
+    let removed_dead = retain(states, initial, useful);
+    let mut merged = 0;
+    loop {
+        let round = merge_pass(states, initial, MergeSide::Right)
+            + merge_pass(states, initial, MergeSide::Left);
+        if round == 0 {
+            break;
+        }
+        merged += round;
+    }
+    (removed_dead, merged)
+}
+
+fn prune_nfa(c: &CompiledNfa) -> (CompiledNfa, PruneStats) {
+    let facts = dataflow::solve(&GraphView::of_nfa(&c.nfa));
+    let useful = facts.useful();
+    let before = c.nfa.len() as u64;
+    if useful.iter().all(|&u| !u) {
+        return (
+            c.clone(),
+            PruneStats {
+                states_before: before,
+                states_after: before,
+                ..PruneStats::default()
+            },
+        );
+    }
+    let mut states: Vec<WorkState> = c
+        .nfa
+        .states()
+        .iter()
+        .zip(&c.state_columns)
+        .map(|(s, &columns)| WorkState {
+            cc: s.cc,
+            kind: StateKind::Plain,
+            succ: normalize(s.succ.clone()),
+            is_final: s.is_final,
+            columns,
+            alloc: None,
+        })
+        .collect();
+    let mut initial = normalize(c.nfa.initial().to_vec());
+    let (removed_dead, merged) = reduce(&mut states, &mut initial, &useful);
+    let nfa = Nfa::from_parts(
+        states
+            .iter()
+            .map(|s| NfaState {
+                cc: s.cc,
+                succ: s.succ.clone(),
+                is_final: s.is_final,
+            })
+            .collect(),
+        initial,
+        c.nfa.matches_empty(),
+    )
+    .with_anchors(c.nfa.anchored_start(), c.nfa.anchored_end());
+    let stats = PruneStats {
+        states_before: before,
+        states_after: nfa.len() as u64,
+        removed_dead,
+        merged,
+    };
+    let state_columns = states.iter().map(|s| s.columns).collect();
+    (CompiledNfa { nfa, state_columns }, stats)
+}
+
+fn prune_nbva(c: &CompiledNbva) -> (CompiledNbva, PruneStats) {
+    let facts = dataflow::solve(&GraphView::of_nbva(&c.nbva));
+    let useful = facts.useful();
+    let before = c.nbva.len() as u64;
+    if useful.iter().all(|&u| !u) {
+        return (
+            c.clone(),
+            PruneStats {
+                states_before: before,
+                states_after: before,
+                ..PruneStats::default()
+            },
+        );
+    }
+    let mut states: Vec<WorkState> = c
+        .nbva
+        .states()
+        .iter()
+        .zip(c.state_columns.iter().zip(&c.bv_allocs))
+        .map(|(s, (&columns, &alloc))| WorkState {
+            cc: s.cc,
+            kind: s.kind,
+            succ: normalize(s.succ.clone()),
+            is_final: s.is_final,
+            columns,
+            alloc,
+        })
+        .collect();
+    let mut initial = normalize(c.nbva.initial().to_vec());
+    let (removed_dead, merged) = reduce(&mut states, &mut initial, &useful);
+    let nbva = Nbva::from_parts(
+        states
+            .iter()
+            .map(|s| NbvaState {
+                cc: s.cc,
+                kind: s.kind,
+                succ: s.succ.clone(),
+                is_final: s.is_final,
+            })
+            .collect(),
+        initial,
+        c.nbva.matches_empty(),
+    )
+    .with_anchors(c.nbva.anchored_start(), c.nbva.anchored_end());
+    let stats = PruneStats {
+        states_before: before,
+        states_after: nbva.len() as u64,
+        removed_dead,
+        merged,
+    };
+    (
+        CompiledNbva {
+            nbva,
+            depth: c.depth,
+            state_columns: states.iter().map(|s| s.columns).collect(),
+            bv_allocs: states.iter().map(|s| s.alloc).collect(),
+        },
+        stats,
+    )
+}
+
+fn prune_lnfa(c: &CompiledLnfa) -> (CompiledLnfa, PruneStats) {
+    let before: u64 = c.units.iter().map(|u| u.lnfa.len() as u64).sum();
+    let mut units = Vec::with_capacity(c.units.len());
+    let mut removed_dead = 0u64;
+    let mut merged = 0u64;
+    for unit in &c.units {
+        // A chain with an unsatisfiable class can never complete a match.
+        if unit.lnfa.classes().iter().any(CharClass::is_empty) {
+            removed_dead += unit.lnfa.len() as u64;
+            continue;
+        }
+        // Duplicate chains (e.g. both alternatives of `(x|x)` distributing
+        // to the same literal) match identically: keep one.
+        if units
+            .iter()
+            .any(|u: &rap_compiler::LnfaUnit| u.lnfa == unit.lnfa)
+        {
+            merged += unit.lnfa.len() as u64;
+            continue;
+        }
+        units.push(unit.clone());
+    }
+    if units.is_empty() {
+        return (
+            c.clone(),
+            PruneStats {
+                states_before: before,
+                states_after: before,
+                ..PruneStats::default()
+            },
+        );
+    }
+    let after: u64 = units.iter().map(|u| u.lnfa.len() as u64).sum();
+    (
+        CompiledLnfa {
+            units,
+            matches_empty: c.matches_empty,
+        },
+        PruneStats {
+            states_before: before,
+            states_after: after,
+            removed_dead,
+            merged,
+        },
+    )
+}
+
+/// Prunes a whole workload, accumulating stats.
+pub fn prune_all(images: &[Compiled]) -> (Vec<Compiled>, PruneStats) {
+    let mut total = PruneStats::default();
+    let pruned = images
+        .iter()
+        .map(|image| {
+            let (out, stats) = prune_image(image);
+            total.add(stats);
+            out
+        })
+        .collect();
+    (pruned, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_compiler::{Compiler, CompilerConfig, Mode};
+
+    fn compile(pattern: &str) -> Compiled {
+        Compiler::new(CompilerConfig::default())
+            .compile_str(pattern)
+            .expect("compiles")
+    }
+
+    fn compile_forced(pattern: &str, mode: Mode) -> Compiled {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let regex = rap_regex::parse(pattern).expect("parses");
+        compiler.compile_with_mode(&regex, mode).expect("compiles")
+    }
+
+    fn ends(image: &Compiled, input: &[u8]) -> Vec<usize> {
+        crate::soundness::compiled_match_ends(image, input)
+    }
+
+    #[test]
+    fn suffix_share_right_merges() {
+        // (cat|dot) as a forced NFA: the two final 't' states have equal
+        // class, successors (none), and finality — they merge.
+        let image = compile_forced("(cat|dot)", Mode::Nfa);
+        let (pruned, stats) = prune_image(&image);
+        assert_eq!(stats.states_before, 6);
+        assert_eq!(stats.merged, 1);
+        assert_eq!(stats.states_after, 5);
+        for input in [&b"a cat sat"[..], b"dot dot", b"cot", b"catdot"] {
+            assert_eq!(ends(&pruned, input), ends(&image, input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_share_left_merges() {
+        // (cat|cow): both 'c' states are initial with no predecessors —
+        // left equivalence merges them, carrying the union of successors.
+        let image = compile_forced("(cat|cow)", Mode::Nfa);
+        let (pruned, stats) = prune_image(&image);
+        assert_eq!(stats.states_before, 6);
+        assert!(stats.merged >= 1, "{stats:?}");
+        for input in [&b"cat cow"[..], b"caw cot", b"ccow"] {
+            assert_eq!(ends(&pruned, input), ends(&image, input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn clean_chain_is_untouched() {
+        let image = compile_forced("abcd", Mode::Nfa);
+        let (pruned, stats) = prune_image(&image);
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(ends(&pruned, b"zabcdz"), vec![5]);
+    }
+
+    #[test]
+    fn nbva_image_prunes_safely() {
+        let image = compile("b(a{7}|c{5})b");
+        let (pruned, stats) = prune_image(&image);
+        assert_eq!(stats.states_before, 4);
+        // The two BV states differ in class; the two 'b's differ in role.
+        assert_eq!(stats.removed(), 0);
+        assert_eq!(ends(&pruned, b"bcccccb"), vec![7]);
+    }
+
+    #[test]
+    fn nbva_shared_read_targets_merge() {
+        // x(a{9}y|b{9}y): the two 'y' finals share class/successors.
+        let image = compile("x(a{9}y|b{9}y)");
+        let (pruned, stats) = prune_image(&image);
+        assert_eq!(stats.merged, 1);
+        let input = b"xaaaaaaaaay xbbbbbbbbby";
+        assert_eq!(ends(&pruned, input), ends(&image, input));
+    }
+
+    #[test]
+    fn lnfa_duplicate_chains_dedup() {
+        // The rewriter itself dedups syntactic duplicates, so build the
+        // image by hand: two identical `axb` chains plus an unsatisfiable
+        // one.
+        use rap_automata::lnfa::Lnfa;
+        use rap_compiler::{CompiledLnfa, LnfaUnit, MatchPath};
+        let chain = |classes: Vec<CharClass>| Lnfa::new(classes);
+        let axb = vec![
+            CharClass::single(b'a'),
+            CharClass::single(b'x'),
+            CharClass::single(b'b'),
+        ];
+        let image = Compiled::Lnfa(CompiledLnfa {
+            units: vec![
+                LnfaUnit {
+                    lnfa: chain(axb.clone()),
+                    path: MatchPath::Cam,
+                },
+                LnfaUnit {
+                    lnfa: chain(axb),
+                    path: MatchPath::Cam,
+                },
+                LnfaUnit {
+                    lnfa: chain(vec![CharClass::single(b'q'), CharClass::empty()]),
+                    path: MatchPath::Cam,
+                },
+            ],
+            matches_empty: false,
+        });
+        let (pruned, stats) = prune_image(&image);
+        assert_eq!(stats.states_before, 8);
+        assert_eq!(stats.merged, 3);
+        assert_eq!(stats.removed_dead, 2);
+        assert_eq!(stats.states_after, 3);
+        assert_eq!(ends(&pruned, b"zaxbz"), vec![4]);
+    }
+
+    #[test]
+    fn anchors_survive_pruning() {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let image = compiler.compile_str("^(cat|dot)").expect("compiles");
+        let (pruned, _) = prune_image(&image);
+        assert!(pruned.anchored_start());
+        assert_eq!(ends(&pruned, b"cat cat"), vec![3]);
+        assert_eq!(ends(&image, b"cat cat"), vec![3]);
+    }
+}

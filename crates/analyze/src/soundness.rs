@@ -1,0 +1,230 @@
+//! Rewriter-soundness lint: a bounded model check of a compiled image
+//! against the reference Glushkov NFA of its source pattern.
+//!
+//! The compiler applies non-trivial rewritings (repetition unfolding, tile
+//! splitting, LNFA distribution) before an image reaches hardware. This
+//! pass replays both the reference automaton and the compiled image over
+//! an exhaustive set of short strings and reports the first divergence in
+//! reported match ends.
+//!
+//! Exhaustive over Σ = 256 bytes is hopeless, but the automata only ever
+//! test byte membership in their character classes — so bytes with the
+//! same membership signature across *every* class of both machines are
+//! interchangeable. The check partitions the alphabet into those
+//! equivalence blocks and enumerates strings over one representative per
+//! block, which is exhaustive up to the chosen length by construction.
+
+use rap_automata::nfa::Nfa;
+use rap_compiler::Compiled;
+use rap_regex::{CharClass, Pattern};
+
+/// Bounds for the model check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SoundnessConfig {
+    /// Longest string length enumerated (exhaustive up to here over the
+    /// live alphabet partition).
+    pub max_len: usize,
+    /// Hard cap on the number of strings checked per pattern.
+    pub max_strings: usize,
+}
+
+impl Default for SoundnessConfig {
+    fn default() -> Self {
+        SoundnessConfig {
+            max_len: 5,
+            max_strings: 2000,
+        }
+    }
+}
+
+/// Match ends reported by a compiled image on one input, normalised to a
+/// sorted, deduplicated list (an LNFA image is a union of chains, each
+/// reporting independently).
+pub fn compiled_match_ends(image: &Compiled, input: &[u8]) -> Vec<usize> {
+    match image {
+        Compiled::Nfa(c) => c.nfa.match_ends(input),
+        Compiled::Nbva(c) => c.nbva.match_ends(input),
+        Compiled::Lnfa(c) => {
+            let mut ends: Vec<usize> = c
+                .units
+                .iter()
+                .flat_map(|u| u.lnfa.match_ends(input))
+                .collect();
+            ends.sort_unstable();
+            ends.dedup();
+            ends
+        }
+    }
+}
+
+/// Every character class either machine consults.
+fn all_classes(image: &Compiled, reference: &Nfa) -> Vec<CharClass> {
+    let mut ccs: Vec<CharClass> = reference.states().iter().map(|s| s.cc).collect();
+    match image {
+        Compiled::Nfa(c) => ccs.extend(c.nfa.states().iter().map(|s| s.cc)),
+        Compiled::Nbva(c) => ccs.extend(c.nbva.states().iter().map(|s| s.cc)),
+        Compiled::Lnfa(c) => {
+            for u in &c.units {
+                ccs.extend(u.lnfa.classes().iter().copied());
+            }
+        }
+    }
+    ccs
+}
+
+/// One representative byte per alphabet-partition block: two bytes are
+/// equivalent when no class distinguishes them. The all-miss block (bytes
+/// outside every class) gets a representative too — mismatch behaviour is
+/// part of the semantics.
+fn representatives(ccs: &[CharClass]) -> Vec<u8> {
+    let mut reps: Vec<u8> = Vec::new();
+    let mut seen: Vec<Vec<u64>> = Vec::new();
+    for b in 0..=255u8 {
+        // Pack the membership signature 64 classes per word.
+        let mut sig = vec![0u64; ccs.len() / 64 + 1];
+        for (i, cc) in ccs.iter().enumerate() {
+            if cc.contains(b) {
+                sig[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        if !seen.contains(&sig) {
+            seen.push(sig);
+            reps.push(b);
+        }
+    }
+    reps
+}
+
+/// Model-checks a compiled image against its source pattern. Returns
+/// `None` when every enumerated string produces identical match ends, or
+/// a description of the first divergence.
+pub fn check(image: &Compiled, pattern: &Pattern, cfg: &SoundnessConfig) -> Option<String> {
+    let reference = Nfa::from_pattern(pattern);
+    let reps = representatives(&all_classes(image, &reference));
+    let mut checked = 0usize;
+    let mut buf: Vec<u8> = Vec::with_capacity(cfg.max_len);
+    for len in 1..=cfg.max_len {
+        // Odometer over representative bytes: indices[i] counts through
+        // `reps` for position i.
+        let mut indices = vec![0usize; len];
+        loop {
+            if checked >= cfg.max_strings {
+                return None;
+            }
+            buf.clear();
+            buf.extend(indices.iter().map(|&i| reps[i]));
+            let want = reference.match_ends(&buf);
+            let got = compiled_match_ends(image, &buf);
+            if want != got {
+                return Some(format!(
+                    "input {:?} (len {len}): reference match ends {want:?}, compiled image reports {got:?}",
+                    String::from_utf8_lossy(&buf)
+                ));
+            }
+            checked += 1;
+            // Advance the odometer; carry out means this length is done.
+            let mut pos = 0;
+            loop {
+                if pos == len {
+                    break;
+                }
+                indices[pos] += 1;
+                if indices[pos] < reps.len() {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+            }
+            if pos == len {
+                break;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_automata::nfa::NfaState;
+    use rap_compiler::{CompiledNfa, Compiler, CompilerConfig};
+    use rap_regex::parse_pattern;
+
+    fn check_pattern(pattern: &str) -> Option<String> {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let parsed = parse_pattern(pattern).expect("parses");
+        let image = compiler.compile_anchored(&parsed).expect("compiles");
+        check(&image, &parsed, &SoundnessConfig::default())
+    }
+
+    #[test]
+    fn compiled_images_agree_with_reference() {
+        // One pattern per mode, plus anchored and unfolding cases.
+        for pattern in [
+            "abc",
+            "a(b|c)d",
+            "ab*c",
+            "ac{6}d",
+            "b(a{7}|c{5})b",
+            "^ab",
+            "ab$",
+        ] {
+            assert_eq!(check_pattern(pattern), None, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn pruned_images_stay_sound() {
+        let compiler = Compiler::new(CompilerConfig::default());
+        for pattern in ["(cat|dot)", "(cat|cow)", "x(a{9}y|b{9}y)"] {
+            let parsed = parse_pattern(pattern).expect("parses");
+            let image = compiler.compile_anchored(&parsed).expect("compiles");
+            let (pruned, _) = crate::prune::prune_image(&image);
+            assert_eq!(
+                check(&pruned, &parsed, &SoundnessConfig::default()),
+                None,
+                "{pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn broken_image_is_caught() {
+        // An "image" for `ab` whose first state wrongly reports matches.
+        let states = vec![
+            NfaState {
+                cc: rap_regex::CharClass::single(b'a'),
+                succ: vec![1],
+                is_final: true, // wrong: should be false
+            },
+            NfaState {
+                cc: rap_regex::CharClass::single(b'b'),
+                succ: vec![],
+                is_final: true,
+            },
+        ];
+        let nfa = Nfa::from_parts(states, vec![0], false);
+        let image = Compiled::Nfa(CompiledNfa {
+            nfa,
+            state_columns: vec![1, 1],
+        });
+        let parsed = parse_pattern("ab").expect("parses");
+        let mismatch = check(&image, &parsed, &SoundnessConfig::default());
+        assert!(mismatch.is_some());
+        assert!(mismatch.expect("mismatch").contains("reference match ends"));
+    }
+
+    #[test]
+    fn string_cap_is_respected() {
+        // With a cap of 0 nothing is enumerated, so even the broken image
+        // above would pass — the cap trades confidence for time.
+        let parsed = parse_pattern("a.b").expect("parses");
+        let compiler = Compiler::new(CompilerConfig::default());
+        let image = compiler.compile_anchored(&parsed).expect("compiles");
+        let cfg = SoundnessConfig {
+            max_len: 3,
+            max_strings: 0,
+        };
+        assert_eq!(check(&image, &parsed, &cfg), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! Bench-corpus audit: the analyzer over every synthetic suite.
+//!
+//! Two properties are pinned here:
+//!
+//! * **No false positives.** The generators produce clean patterns and the
+//!   compiler is trusted, so analyzing any suite — in the native mode mix
+//!   or force-compiled to basic NFAs (the CA/CAMA baselines) — must yield
+//!   zero Error-severity findings.
+//! * **Pruning finds real reductions.** Union-shaped patterns whose
+//!   alternatives share first/last literals produce left/right-equivalent
+//!   Glushkov states; over a bench-scale corpus the merge passes must fire
+//!   on at least one suite.
+
+use rap_analyze::{analyze, AnalyzeOptions, PruneStats};
+use rap_compiler::{Compiled, Compiler, CompilerConfig, Mode};
+use rap_workloads::{generate_patterns, Suite};
+
+fn compile_suite(suite: Suite, n: usize, forced: Option<Mode>) -> Vec<Compiled> {
+    let compiler = Compiler::new(CompilerConfig::default());
+    generate_patterns(suite, n, 42)
+        .iter()
+        .filter_map(|src| {
+            let parsed = rap_regex::parse_pattern(src).expect("suite patterns parse");
+            match forced {
+                Some(mode) => compiler.compile_with_mode(&parsed.regex, mode).ok(),
+                None => compiler.compile_anchored(&parsed).ok(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn bench_corpus_has_no_error_findings_and_pruning_fires() {
+    let mut total = PruneStats::default();
+    for suite in Suite::all() {
+        for forced in [None, Some(Mode::Nfa)] {
+            let images = compile_suite(suite, 120, forced);
+            assert!(!images.is_empty(), "{suite}: nothing compiled");
+            let a = analyze(&images, &[], &AnalyzeOptions::report_only().with_prune());
+            let errors: Vec<_> = a.report.errors().collect();
+            assert!(
+                errors.is_empty(),
+                "{suite} (forced {forced:?}): unexpected errors: {errors:?}"
+            );
+            // Clean automata: nothing unreachable or dead anywhere.
+            assert_eq!(a.stats.unreachable_states, 0, "{suite}");
+            assert_eq!(a.stats.dead_states, 0, "{suite}");
+            total.states_before += a.stats.states_before;
+            total.states_after += a.stats.states_after;
+            total.merged += a.stats.mergeable_states;
+            println!(
+                "{suite:<13} forced={:<9} states {} -> {} (merged {})",
+                format!("{forced:?}"),
+                a.stats.states_before,
+                a.stats.states_after,
+                a.stats.mergeable_states
+            );
+        }
+    }
+    assert!(
+        total.merged > 0,
+        "no suite produced a mergeable state at bench scale: {total:?}"
+    );
+    assert!(total.states_after < total.states_before, "{total:?}");
+}

@@ -1,0 +1,99 @@
+//! Property tests: analyzer-driven pruning preserves match semantics.
+//!
+//! For random patterns compiled to each IR, the pruned image must report
+//! exactly the unpruned image's match ends on random inputs — and both
+//! must agree with the software reference NFA. The tiny `{a,b,c}`
+//! alphabet makes shared prefixes/suffixes (and therefore real merges)
+//! common, so the rewriting path is genuinely exercised.
+
+use proptest::prelude::*;
+use rap_analyze::{analyze, compiled_match_ends, prune_image, AnalyzeOptions};
+use rap_automata::nfa::Nfa;
+use rap_compiler::{Compiler, CompilerConfig, Mode};
+use rap_regex::{CharClass, Regex};
+
+/// Random patterns that exercise all three RAP modes.
+fn arb_pattern() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::literal_byte(b'a')),
+        Just(Regex::literal_byte(b'b')),
+        Just(Regex::literal_byte(b'c')),
+        Just(Regex::Class(CharClass::from_bytes([b'a', b'b']))),
+        (5u32..24).prop_map(|n| Regex::repeat(Regex::literal_byte(b'c'), n, Some(n))),
+    ];
+    leaf.prop_recursive(2, 10, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Regex::alt),
+            inner.clone().prop_map(Regex::opt),
+            inner.prop_map(Regex::star),
+        ]
+    })
+    .prop_filter("needs at least one state", |re| re.unfolded_size() > 0)
+}
+
+fn arb_input() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop_oneof![
+            5 => Just(b'a'),
+            5 => Just(b'b'),
+            10 => Just(b'c'),
+            1 => Just(b'x'),
+        ],
+        0..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `prune_image` never changes an image's match ends, in any IR.
+    #[test]
+    fn pruning_preserves_match_ends(re in arb_pattern(), input in arb_input()) {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let expect = Nfa::from_regex(&re).match_ends(&input);
+        for mode in [Mode::Nfa, Mode::Nbva, Mode::Lnfa] {
+            // Not every pattern is expressible in every IR: LNFA requires
+            // a linearizable shape (forcing it otherwise is a contract
+            // violation), and the other modes can reject via typed errors.
+            if mode == Mode::Lnfa && compiler.decide(&re) != Mode::Lnfa {
+                continue;
+            }
+            let Ok(image) = compiler.compile_with_mode(&re, mode) else {
+                continue;
+            };
+            let before = compiled_match_ends(&image, &input);
+            prop_assert_eq!(
+                &before, &expect,
+                "{mode:?} image of {re} disagrees with reference"
+            );
+            let (pruned, stats) = prune_image(&image);
+            prop_assert_eq!(pruned.state_count(), stats.states_after);
+            let after = compiled_match_ends(&pruned, &input);
+            prop_assert_eq!(
+                &after, &before,
+                "pruned {mode:?} image of {re} changed semantics ({stats:?})"
+            );
+        }
+    }
+
+    /// The full `analyze` entry point in prune mode hands back images with
+    /// identical semantics to the ones it was given.
+    #[test]
+    fn analyze_prune_mode_is_semantics_preserving(
+        res in prop::collection::vec(arb_pattern(), 1..4),
+        input in arb_input(),
+    ) {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let images: Vec<_> = res.iter().filter_map(|re| compiler.compile(re).ok()).collect();
+        let a = analyze(&images, &[], &AnalyzeOptions::report_only().with_prune());
+        prop_assert_eq!(a.images.len(), images.len());
+        for (orig, pruned) in images.iter().zip(&a.images) {
+            prop_assert_eq!(
+                compiled_match_ends(pruned, &input),
+                compiled_match_ends(orig, &input),
+                "pruned image of {} changed semantics", orig.state_count()
+            );
+        }
+    }
+}

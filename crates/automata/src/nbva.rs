@@ -151,6 +151,36 @@ impl Nbva {
             .with_anchors(pattern.anchored_start, pattern.anchored_end)
     }
 
+    /// Assembles an automaton from explicit parts — the constructor used by
+    /// static-analysis rewrites (dead-state pruning, equivalence merging)
+    /// that must rebuild an [`Nbva`] after editing its state graph.
+    /// Anchoring flags start unset; chain [`Nbva::with_anchors`] to restore
+    /// them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any initial id or successor id is out of range.
+    pub fn from_parts(states: Vec<NbvaState>, initial: Vec<StateId>, matches_empty: bool) -> Nbva {
+        let n = states.len();
+        assert!(
+            initial.iter().all(|&q| (q as usize) < n),
+            "initial id out of range"
+        );
+        assert!(
+            states
+                .iter()
+                .all(|s| s.succ.iter().all(|&q| (q as usize) < n)),
+            "successor id out of range"
+        );
+        Nbva {
+            states,
+            initial,
+            matches_empty,
+            anchored_start: false,
+            anchored_end: false,
+        }
+    }
+
     /// Sets the anchoring flags (builder style).
     #[must_use]
     pub fn with_anchors(mut self, start: bool, end: bool) -> Nbva {

@@ -1,0 +1,80 @@
+//! Corpus audit — the rap-analyze static analyzer (prune enabled) over
+//! every benchmark suite for the RAP decision mix and the force-NFA CA
+//! baseline. Prints one row per (suite, machine) cell and writes
+//! `results/audit.csv`; exits non-zero if any cell reports an
+//! Error-severity finding.
+//!
+//! Scale knobs: `RAP_BENCH_PATTERNS` / `RAP_BENCH_SEED` (input length is
+//! irrelevant — the analyzer never executes the automata). `RAP_TRACE=1`
+//! additionally records per-pass timings in the telemetry registry and
+//! writes `results/audit_metrics.prom`.
+
+use rap_analyze::{analyze_with_registry, AnalyzeOptions};
+use rap_bench::{config_from_env, tables::Table, telemetry_from_env};
+use rap_circuit::Machine;
+use rap_sim::Simulator;
+use rap_workloads::Suite;
+
+fn main() {
+    let cfg = config_from_env();
+    let telemetry = telemetry_from_env();
+    let registry = telemetry.as_ref().map(|t| t.registry());
+    let options = AnalyzeOptions::report_only().with_prune();
+
+    println!(
+        "corpus audit: {} patterns per suite, seed {}\n",
+        cfg.patterns_per_suite, cfg.seed
+    );
+    let mut table = Table::new([
+        "Suite", "Machine", "Images", "States", "Unreach", "Dead", "DeadTr", "DeadBvB", "Merged",
+        "Pruned", "After", "Findings", "Errors",
+    ]);
+    let mut total_errors = 0u64;
+    for suite in Suite::all() {
+        for machine in [Machine::Rap, Machine::Ca] {
+            let sim = Simulator::new(machine)
+                .with_bv_depth(suite.chosen_bv_depth())
+                .with_bin_size(suite.chosen_bin_size());
+            let sources = rap_workloads::generate_patterns(suite, cfg.patterns_per_suite, cfg.seed);
+            let patterns: Vec<_> = sources
+                .iter()
+                .map(|s| rap_regex::parse_pattern(s).expect("suite patterns parse"))
+                .collect();
+            let images = sim.compile_parsed(&patterns).expect("suite compiles");
+            let a = analyze_with_registry(&images, &patterns, &options, registry);
+            let errors = a.report.errors().count() as u64;
+            total_errors += errors;
+            table.row([
+                suite.name().to_string(),
+                machine.name().to_string(),
+                a.stats.images.to_string(),
+                a.stats.states_before.to_string(),
+                a.stats.unreachable_states.to_string(),
+                a.stats.dead_states.to_string(),
+                a.stats.dead_transitions.to_string(),
+                a.stats.dead_bv_bits.to_string(),
+                a.stats.mergeable_states.to_string(),
+                a.stats.pruned_states.to_string(),
+                a.stats.states_after.to_string(),
+                a.report.len().to_string(),
+                errors.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    table.write_csv("audit");
+
+    if let Some(telemetry) = telemetry {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir).expect("create results/");
+        let prom = dir.join("audit_metrics.prom");
+        std::fs::write(&prom, telemetry.prometheus())
+            .unwrap_or_else(|e| panic!("write {prom:?}: {e}"));
+        println!("[written {}]", prom.display());
+    }
+    if total_errors > 0 {
+        eprintln!("audit failed: {total_errors} error-severity finding(s)");
+        std::process::exit(2);
+    }
+    println!("\naudit clean: no error-severity findings");
+}

@@ -1,0 +1,223 @@
+//! `rap analyze` — run the static dataflow analyzer over a suite's
+//! compiled images and report diagnostics in the shared rap-diag schema.
+
+use super::{outln, parse_suite};
+use crate::args::Args;
+use crate::CliError;
+use rap_analyze::{analyze, compile_error_diag, AnalyzeOptions, SoundnessConfig};
+use rap_compiler::{Compiled, Mode};
+use rap_pipeline::PatternSet;
+use rap_sim::{SimError, Simulator};
+use std::io::Write;
+
+const HELP: &str = "\
+rap analyze — statically analyze a suite's compiled automata
+
+Generates one benchmark suite, compiles it for the chosen machine, and
+runs the rap-analyze dataflow passes (A001..A011) over every image:
+reachability/liveness, dead-transition and BV-column accounting, counter
+range checks, the class-overlap ambiguity metric, and a prune dry-run.
+Exits non-zero when an Error-severity finding is reported; warnings and
+infos do not fail the analysis.
+
+USAGE:
+    rap analyze <suite> [FLAGS]
+
+SUITES:
+    regexlib spamassassin snort suricata prosite yara clamav
+
+FLAGS:
+    --machine M     rap | cama | bvap | ca       (default rap)
+    --patterns N    patterns to generate         (default 40)
+    --seed S        RNG seed                     (default 42)
+    --depth N       BV depth for NBVA mode       (default 8)
+    --threshold N   bounded-repetition unfolding threshold (default 4)
+    --prune         report against the pruned (reduced) images
+    --soundness     bounded-model-check every image against the reference
+                    NFA (slow; emits A010 on mismatch)
+    --max-len N     soundness: longest input enumerated (default 5)
+    --json          emit the report as JSON on stdout (the shared rap-diag
+                    schema, identical to `rap lint --json`)";
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        outln!(out, "{HELP}");
+        return Ok(());
+    }
+    let suite = parse_suite(args.positional(0, "suite")?)?;
+    let machine = args.machine()?;
+    let count: usize = args.flag_num("patterns", 40)?;
+    let seed: u64 = args.flag_num("seed", 42)?;
+    let mut sim = Simulator::new(machine).with_bv_depth(args.flag_num("depth", 8)?);
+    sim.compiler.unfold_threshold = args.flag_num("threshold", 4)?;
+
+    let sources = rap_workloads::generate_patterns(suite, count, seed);
+    let pats = PatternSet::parse(&sources).map_err(|e| CliError::Runtime(e.to_string()))?;
+
+    // Compile pattern-by-pattern so one bad pattern becomes an A009
+    // finding instead of aborting the whole analysis.
+    let mut images: Vec<Compiled> = Vec::new();
+    let mut compiled_patterns = Vec::new();
+    let mut failures: Vec<(usize, rap_compiler::CompileError)> = Vec::new();
+    for (i, pattern) in pats.parsed().iter().enumerate() {
+        match sim.compile_parsed(std::slice::from_ref(pattern)) {
+            Ok(mut imgs) => {
+                images.append(&mut imgs);
+                compiled_patterns.push(pattern.clone());
+            }
+            Err(SimError::Compile { error, .. }) => failures.push((i, error)),
+            Err(other) => return Err(CliError::Runtime(other.to_string())),
+        }
+    }
+
+    let mut options = AnalyzeOptions::report_only();
+    if args.switch("prune") {
+        options = options.with_prune();
+    }
+    if args.switch("soundness") {
+        options = options.with_soundness(SoundnessConfig {
+            max_len: args.flag_num("max-len", 5)?,
+            ..SoundnessConfig::default()
+        });
+    }
+    let mut analysis = analyze(&images, &compiled_patterns, &options);
+    for (i, error) in &failures {
+        compile_error_diag(&mut analysis.report, *i, error);
+    }
+
+    if args.switch("json") {
+        outln!(out, "{}", analysis.report.to_json());
+    } else {
+        let stats = &analysis.stats;
+        let modes = |want: Mode| analysis.summaries.iter().filter(|s| s.mode == want).count();
+        outln!(
+            out,
+            "analyze: {machine} on {} ({} patterns, seed {seed})",
+            suite.name(),
+            count
+        );
+        outln!(
+            out,
+            "compiled: {} image(s) ({} NFA, {} NBVA, {} LNFA), {} state(s), {} failed",
+            stats.images,
+            modes(Mode::Nfa),
+            modes(Mode::Nbva),
+            modes(Mode::Lnfa),
+            stats.states_before,
+            failures.len()
+        );
+        outln!(
+            out,
+            "dataflow: {} unreachable, {} dead state(s), {} dead transition(s), \
+             {} dead BV bit(s), {} mergeable state(s)",
+            stats.unreachable_states,
+            stats.dead_states,
+            stats.dead_transitions,
+            stats.dead_bv_bits,
+            stats.mergeable_states
+        );
+        if options.prune {
+            outln!(
+                out,
+                "prune   : {} -> {} state(s) ({} pruned)",
+                stats.states_before,
+                stats.states_after,
+                stats.pruned_states
+            );
+        }
+        if analysis.report.is_empty() {
+            outln!(out, "analysis clean: no findings");
+        } else {
+            out.write_all(analysis.report.to_string().as_bytes())
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+        }
+        outln!(out, "{} finding(s)", analysis.report.len());
+    }
+    if !analysis.report.is_legal() {
+        return Err(CliError::Runtime(format!(
+            "analysis failed: {} error(s)",
+            analysis.report.errors().count()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(argv: &[&str]) -> String {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&argv, &mut out).expect("analyze succeeds");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    #[test]
+    fn clean_suite_analyzes_clean() {
+        let s = run_ok(&["snort", "--patterns", "12"]);
+        assert!(s.contains("analyze: RAP on Snort"), "{s}");
+        assert!(
+            s.contains("analysis clean: no findings") || s.contains("finding(s)"),
+            "{s}"
+        );
+        assert!(s.contains("dataflow:"), "{s}");
+    }
+
+    #[test]
+    fn json_output_uses_shared_schema() {
+        let s = run_ok(&["regexlib", "--patterns", "8", "--json"]);
+        assert!(s.contains("\"legal\": true"), "{s}");
+        assert!(s.contains("\"findings\""), "{s}");
+    }
+
+    #[test]
+    fn all_three_ir_modes_are_analyzed() {
+        // RegexLib's generator mixes NFA, NBVA, and LNFA shapes; at this
+        // scale the RAP decision graph exercises all three IRs.
+        let s = run_ok(&["regexlib", "--patterns", "40"]);
+        let line = s
+            .lines()
+            .find(|l| l.starts_with("compiled:"))
+            .expect("compiled line");
+        for zero in ["(0 NFA", ", 0 NBVA", ", 0 LNFA"] {
+            assert!(!line.contains(zero), "{line}");
+        }
+    }
+
+    #[test]
+    fn prune_reports_reduction_line() {
+        let s = run_ok(&["regexlib", "--patterns", "120", "--prune"]);
+        assert!(s.contains("prune   :"), "{s}");
+        assert!(s.contains("pruned)"), "{s}");
+    }
+
+    #[test]
+    fn soundness_pass_stays_clean() {
+        let s = run_ok(&[
+            "prosite",
+            "--patterns",
+            "4",
+            "--soundness",
+            "--max-len",
+            "3",
+        ]);
+        assert!(!s.contains("A010"), "{s}");
+    }
+
+    #[test]
+    fn unknown_suite_is_usage_error() {
+        let argv = vec!["nosuch".to_string()];
+        let mut out = Vec::new();
+        assert!(matches!(run(&argv, &mut out), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_prints_flags() {
+        let s = run_ok(&["--help"]);
+        assert!(s.contains("--prune"), "{s}");
+        assert!(s.contains("--soundness"), "{s}");
+    }
+}

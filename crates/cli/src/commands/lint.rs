@@ -5,7 +5,6 @@ use crate::args::Args;
 use crate::{read_patterns, CliError};
 use rap_pipeline::PatternSet;
 use rap_sim::Simulator;
-use rap_verify::{Report, Severity};
 use std::io::Write;
 
 const HELP: &str = "\
@@ -25,7 +24,10 @@ FLAGS:
     --depth N       BV depth for NBVA mode (4/8/16/32, default 8)
     --bin N         max LNFAs per bin (default 8)
     --threshold N   bounded-repetition unfolding threshold (default 4)
-    --json          emit the report as JSON on stdout";
+    --json          emit the report as JSON on stdout (the shared rap-diag
+                    schema, identical to `rap analyze --json`: legal flag +
+                    findings with rule/severity/array/pattern/state/tile/
+                    bin/message)";
 
 /// Runs the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -50,10 +52,14 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let report = plan.lint();
 
     if args.switch("json") {
-        outln!(out, "{}", report_json(&report));
+        outln!(out, "{}", report.to_json());
     } else {
-        out.write_all(report.to_string().as_bytes())
-            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        if report.is_empty() {
+            outln!(out, "mapping verified clean");
+        } else {
+            out.write_all(report.to_string().as_bytes())
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+        }
         outln!(
             out,
             "{} pattern(s), {} array(s), {} finding(s)",
@@ -69,56 +75,6 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )));
     }
     Ok(())
-}
-
-/// Renders a report as a JSON object (hand-rolled; the workspace carries no
-/// JSON dependency).
-fn report_json(report: &Report) -> String {
-    let mut s = String::from("{\n");
-    s.push_str(&format!("  \"legal\": {},\n", report.is_legal()));
-    s.push_str("  \"findings\": [");
-    for (i, d) in report.diagnostics.iter().enumerate() {
-        s.push_str(if i == 0 { "\n" } else { ",\n" });
-        s.push_str(&format!(
-            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"array\": {}, \
-             \"pattern\": {}, \"tile\": {}, \"bin\": {}, \"message\": \"{}\"}}",
-            d.rule,
-            match d.severity {
-                Severity::Info => "info",
-                Severity::Warning => "warning",
-                Severity::Error => "error",
-            },
-            json_opt(d.location.array.map(|v| v as u64)),
-            json_opt(d.location.pattern.map(|v| v as u64)),
-            json_opt(d.location.tile.map(u64::from)),
-            json_opt(d.location.bin.map(|v| v as u64)),
-            json_escape(&d.message),
-        ));
-    }
-    if !report.diagnostics.is_empty() {
-        s.push_str("\n  ");
-    }
-    s.push_str("]\n}");
-    s
-}
-
-fn json_opt(v: Option<u64>) -> String {
-    v.map_or_else(|| "null".to_string(), |v| v.to_string())
-}
-
-fn json_escape(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    for c in text.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -165,17 +121,12 @@ mod tests {
         let j = run_ok(&[&path, "--depth", "10", "--json"]);
         assert!(j.contains("\"legal\": true"), "{j}");
         assert!(j.contains("\"rule\": \"V001-bv-depth\""), "{j}");
+        assert!(j.contains("\"state\": null"), "{j}");
     }
 
     #[test]
     fn help_flag() {
         let s = run_ok(&["--help"]);
         assert!(s.contains("rap lint"));
-    }
-
-    #[test]
-    fn escaping_handles_quotes_and_control() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 }

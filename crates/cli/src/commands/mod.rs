@@ -1,5 +1,6 @@
 //! The CLI subcommands.
 
+pub mod analyze;
 pub mod compare;
 pub mod compile;
 pub mod dot;

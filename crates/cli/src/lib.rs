@@ -9,6 +9,7 @@
 //! rap gen-input <patterns.txt> <length> [--rate R] [--seed S] [--out FILE]
 //! rap compare <patterns.txt> <input-file>
 //! rap lint    <patterns.txt> [--machine rap|cama|bvap|ca] [--json]
+//! rap analyze <suite> [--machine M] [--patterns N] [--prune] [--json]
 //! rap trace   <suite> [--machine M] [--sample N] [--top N] [--out FILE]
 //! ```
 //!
@@ -68,6 +69,7 @@ COMMANDS:
     dot        Print a pattern's Glushkov automaton in Graphviz DOT
     layout     Show per-array tile occupancy after mapping
     lint       Statically verify the mapping plan for a pattern file
+    analyze    Run the dataflow static analyzer over a suite's automata
     trace      Profile one suite with cycle-level telemetry attached
     help       Show this message
 
@@ -93,6 +95,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "dot" => commands::dot::run(rest, out),
         "layout" => commands::layout::run(rest, out),
         "lint" => commands::lint::run(rest, out),
+        "analyze" => commands::analyze::run(rest, out),
         "trace" => commands::trace::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| CliError::Runtime(e.to_string()))

@@ -108,6 +108,18 @@ pub enum CompileError {
     EmptyLanguageOrEpsilon,
     /// The configured BV depth is invalid for the CAM geometry.
     BadBvDepth(rap_arch::config::BvDepthError),
+    /// A bounded repetition cannot be encoded at all: the per-tile
+    /// bit-vector capacity for its character class is zero (a `bv_bits_cap`
+    /// of 0, or tiles too narrow for CC codes + the initial-vector column),
+    /// so no amount of tile splitting fits it. Surfaced as a typed error —
+    /// the static analyzer reports it as an `A009-compile-error`
+    /// diagnostic — instead of silently producing an empty tile set.
+    BvCapacity {
+        /// Repetition bound (bit-vector width) that needed encoding.
+        width: u32,
+        /// Per-tile bit capacity available for the repetition's class.
+        capacity: u32,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -122,6 +134,11 @@ impl fmt::Display for CompileError {
                 write!(f, "pattern has no states to map (empty language or ε)")
             }
             CompileError::BadBvDepth(e) => write!(f, "{e}"),
+            CompileError::BvCapacity { width, capacity } => write!(
+                f,
+                "bounded repetition needs a {width}-bit vector but the \
+                 per-tile BV capacity for its class is {capacity} bits"
+            ),
         }
     }
 }

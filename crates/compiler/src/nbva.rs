@@ -70,7 +70,7 @@ pub(crate) fn compile(
     // r{m}·r{0,n−m}, then split repetitions too wide for one tile
     // (Example 4.3's dichotomic search reduces to this closed form).
     let rewritten = split_bounded(&unfold_below_threshold(regex, config.unfold_threshold));
-    let fitted = fit_to_tile(&rewritten, depth, config);
+    let fitted = fit_to_tile(&rewritten, depth, config)?;
     let nbva = Nbva::from_regex(&fitted, config.unfold_threshold);
     if nbva.is_empty() {
         return Err(CompileError::EmptyLanguageOrEpsilon);
@@ -130,35 +130,45 @@ pub(crate) fn compile(
 ///
 /// The split is exact for both shapes: `σ{m} ≡ σ{k}·σ{m−k}` and
 /// `σ{0,n} ≡ σ{0,k}·σ{0,n−k}`.
-fn fit_to_tile(regex: &Regex, depth: u32, config: &CompilerConfig) -> Regex {
-    match regex {
+///
+/// Returns [`CompileError::BvCapacity`] when the per-tile capacity for the
+/// repetition's class is zero — no split can fit, and looping on a zero
+/// step would otherwise never terminate.
+fn fit_to_tile(regex: &Regex, depth: u32, config: &CompilerConfig) -> Result<Regex, CompileError> {
+    Ok(match regex {
         Regex::Empty | Regex::Class(_) => regex.clone(),
         Regex::Concat(parts) => Regex::concat(
             parts
                 .iter()
                 .map(|p| fit_to_tile(p, depth, config))
-                .collect(),
+                .collect::<Result<_, _>>()?,
         ),
         Regex::Alt(parts) => Regex::alt(
             parts
                 .iter()
                 .map(|p| fit_to_tile(p, depth, config))
-                .collect(),
+                .collect::<Result<_, _>>()?,
         ),
-        Regex::Star(inner) => Regex::star(fit_to_tile(inner, depth, config)),
-        Regex::Plus(inner) => Regex::plus(fit_to_tile(inner, depth, config)),
-        Regex::Opt(inner) => Regex::opt(fit_to_tile(inner, depth, config)),
+        Regex::Star(inner) => Regex::star(fit_to_tile(inner, depth, config)?),
+        Regex::Plus(inner) => Regex::plus(fit_to_tile(inner, depth, config)?),
+        Regex::Opt(inner) => Regex::opt(fit_to_tile(inner, depth, config)?),
         Regex::Repeat { inner, min, max } => {
-            let body = fit_to_tile(inner, depth, config);
+            let body = fit_to_tile(inner, depth, config)?;
             let (cc, n) = match (&body, max) {
                 (Regex::Class(cc), Some(n)) => (*cc, *n),
                 // Non-class or unbounded repetitions were already unfolded
                 // by the earlier rewriting passes.
-                _ => return Regex::repeat(body, *min, *max),
+                _ => return Ok(Regex::repeat(body, *min, *max)),
             };
             let max_bits = max_bits_per_tile(&cc, depth, config);
             if n <= max_bits {
-                return Regex::repeat(body, *min, *max);
+                return Ok(Regex::repeat(body, *min, *max));
+            }
+            if max_bits == 0 {
+                return Err(CompileError::BvCapacity {
+                    width: n,
+                    capacity: 0,
+                });
             }
             let mut parts = Vec::new();
             let mut remaining = n;
@@ -170,7 +180,7 @@ fn fit_to_tile(regex: &Regex, depth: u32, config: &CompilerConfig) -> Regex {
             }
             Regex::concat(parts)
         }
-    }
+    })
 }
 
 /// Largest repetition bound of class `cc` whose image (CC codes + initial
@@ -209,6 +219,28 @@ mod tests {
 
     fn compile_str(pattern: &str, depth: u32) -> CompiledNbva {
         compile(&parse(pattern).expect("parses"), &cfg(depth)).expect("compiles")
+    }
+
+    #[test]
+    fn zero_bv_capacity_is_a_typed_error() {
+        // With a 0-bit cap no split of x{100} can ever fit a tile; this
+        // used to loop forever on a zero-sized split step.
+        let regex = parse("x{100}y").expect("parses");
+        let config = CompilerConfig {
+            bv_bits_cap: Some(0),
+            ..cfg(4)
+        };
+        let err = compile(&regex, &config).expect_err("unencodable repetition");
+        assert!(
+            matches!(
+                err,
+                CompileError::BvCapacity {
+                    width: 100,
+                    capacity: 0
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -200,6 +200,75 @@ impl CompiledSet {
             mapping,
         }
     }
+
+    /// Stage transition: runs the static analyzer over the images.
+    ///
+    /// `patterns` provides each image's source pattern for the optional
+    /// soundness check (same indexing as the images; pass `&[]` when that
+    /// pass is off). With [`rap_analyze::AnalyzeOptions::prune`] the
+    /// returned set carries the *pruned* images — dead states removed,
+    /// equivalent states merged — and a correspondingly re-derived cache
+    /// key, so pruned and unpruned plans never collide in the plan cache.
+    ///
+    /// Analyzer findings are advisory at the pipeline level (the mapping
+    /// verifier still gates simulation); `rap analyze` is the surface that
+    /// turns Error-severity findings into a failing exit.
+    pub fn analyze(
+        self,
+        patterns: &[Pattern],
+        options: &rap_analyze::AnalyzeOptions,
+        registry: Option<&rap_telemetry::Registry>,
+    ) -> AnalyzedSet {
+        let analysis =
+            rap_analyze::analyze_with_registry(&self.images, patterns, options, registry);
+        AnalyzedSet {
+            compiled: CompiledSet {
+                machine: self.machine,
+                forced: self.forced,
+                key: crate::cache::analysis_key(self.key, options),
+                images: analysis.images,
+            },
+            report: analysis.report,
+            stats: analysis.stats,
+        }
+    }
+}
+
+/// Stage 2½ artifact: analyzed (and, in prune mode, rewritten) images plus
+/// the analyzer's findings. Obtained through [`CompiledSet::analyze`];
+/// mapping an `AnalyzedSet` places the analyzer's output images.
+#[derive(Clone, Debug)]
+pub struct AnalyzedSet {
+    compiled: CompiledSet,
+    report: rap_analyze::Report,
+    stats: rap_analyze::AnalyzeStats,
+}
+
+impl AnalyzedSet {
+    /// The (possibly pruned) compile product.
+    pub fn compiled(&self) -> &CompiledSet {
+        &self.compiled
+    }
+
+    /// The analyzer's findings.
+    pub fn report(&self) -> &rap_analyze::Report {
+        &self.report
+    }
+
+    /// The analyzer's aggregate counters (state reductions live here).
+    pub fn stats(&self) -> &rap_analyze::AnalyzeStats {
+        &self.stats
+    }
+
+    /// Unwraps to the compile product, dropping the findings.
+    pub fn into_compiled(self) -> CompiledSet {
+        self.compiled
+    }
+
+    /// Stage transition: places the analyzed images onto arrays.
+    pub fn map(self, sim: &Simulator) -> MappedPlan {
+        self.compiled.map(sim)
+    }
 }
 
 /// Stage 3 artifact: images plus their array placement — *not yet checked

@@ -88,6 +88,7 @@ pub struct Pipeline {
     plans: ArtifactCache<VerifiedPlan>,
     metrics: Metrics,
     telemetry: Option<Arc<Telemetry>>,
+    analysis: Option<rap_analyze::AnalyzeOptions>,
 }
 
 impl Pipeline {
@@ -100,6 +101,7 @@ impl Pipeline {
             plans: ArtifactCache::new(),
             metrics: Metrics::default(),
             telemetry: None,
+            analysis: None,
         }
     }
 
@@ -125,6 +127,23 @@ impl Pipeline {
     /// The attached observability context, if any.
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// Enables the Analyze stage: every plan build runs the static
+    /// analyzer between compile and map. With
+    /// [`rap_analyze::AnalyzeOptions::prune`] the mapper then places the
+    /// analyzer's *reduced* images (dead states removed, equivalent states
+    /// merged — match semantics preserved). The options are part of the
+    /// plan cache key, so analyzed and plain plans never collide.
+    #[must_use]
+    pub fn with_analysis(mut self, options: rap_analyze::AnalyzeOptions) -> Pipeline {
+        self.analysis = Some(options);
+        self
+    }
+
+    /// The Analyze stage configuration, if enabled.
+    pub fn analysis(&self) -> Option<&rap_analyze::AnalyzeOptions> {
+        self.analysis.as_ref()
     }
 
     /// The workload scale knobs.
@@ -166,13 +185,30 @@ impl Pipeline {
         patterns: &PatternSet,
         forced: Option<Mode>,
     ) -> Result<Arc<VerifiedPlan>, EvalError> {
-        let key = patterns.cache_key(sim, forced);
+        let mut key = patterns.cache_key(sim, forced);
+        if let Some(options) = &self.analysis {
+            key = crate::cache::analysis_key(key, options);
+        }
         self.plans.get_or_build(key, || {
             let compiled = self
                 .metrics
                 .timed(Stage::Compile, || patterns.compile(sim, forced))?;
             self.metrics
                 .add_compiled(patterns.len() as u64, compiled.state_count());
+            let compiled = match &self.analysis {
+                Some(options) => {
+                    let analyzed = self.metrics.timed(Stage::Analyze, || {
+                        compiled.analyze(
+                            patterns.parsed(),
+                            options,
+                            self.telemetry.as_ref().map(|t| t.registry()),
+                        )
+                    });
+                    self.metrics.add_pruned(analyzed.stats().pruned_states);
+                    analyzed.into_compiled()
+                }
+                None => compiled,
+            };
             let mapped = self.metrics.timed(Stage::Map, || compiled.map(sim));
             self.metrics.timed(Stage::Verify, || mapped.verify())
         })
@@ -349,6 +385,71 @@ mod tests {
         let prom = tel.prometheus();
         assert!(prom.contains("rap_pipeline_stage_ns"), "{prom}");
         assert!(prom.contains("rap_sim_runs_total"), "{prom}");
+    }
+
+    #[test]
+    fn analyze_stage_prunes_without_changing_matches() {
+        // Force-NFA (the CA baseline) on a union-heavy suite: the Glushkov
+        // automata of `(lit|lit)` fragments are full of left/right
+        // equivalent states, so pruning must fire.
+        // Shared literals across union alternatives are random collisions
+        // (~1/26 per candidate), so a bench-scale corpus is needed for the
+        // merge passes to fire; 120 patterns at this seed merge 5 states.
+        let spec = BenchConfig {
+            patterns_per_suite: 120,
+            input_len: 2_000,
+            match_rate: 0.02,
+            seed: 42,
+        };
+        let plain_pipe = Pipeline::new(spec);
+        let corpus = plain_pipe.corpus(Suite::RegexLib);
+        let sim = plain_pipe.simulator_for(Machine::Ca, Suite::RegexLib);
+        let plain = plain_pipe
+            .eval_with(&sim, corpus.patterns(), corpus.input(), Some(Mode::Nfa))
+            .expect("evals");
+
+        let pruned_pipe = Pipeline::new(spec)
+            .with_analysis(rap_analyze::AnalyzeOptions::report_only().with_prune());
+        let corpus = pruned_pipe.corpus(Suite::RegexLib);
+        let sim = pruned_pipe.simulator_for(Machine::Ca, Suite::RegexLib);
+        let pruned = pruned_pipe
+            .eval_with(&sim, corpus.patterns(), corpus.input(), Some(Mode::Nfa))
+            .expect("evals");
+
+        // Same matches, fewer placed states — and the reduction is
+        // visible in the report counter.
+        assert_eq!(pruned.matches, plain.matches);
+        assert!(
+            pruned.states < plain.states,
+            "pruned {} vs plain {}",
+            pruned.states,
+            plain.states
+        );
+        let report = pruned_pipe.report();
+        assert!(report.states_pruned > 0, "{report}");
+        assert!(report.stage_secs(Stage::Analyze) > 0.0);
+        assert_eq!(plain_pipe.report().states_pruned, 0);
+    }
+
+    #[test]
+    fn analysis_options_are_part_of_the_cache_key() {
+        let spec = BenchConfig {
+            patterns_per_suite: 4,
+            input_len: 256,
+            match_rate: 0.02,
+            seed: 3,
+        };
+        let pipe = Pipeline::new(spec);
+        let corpus = pipe.corpus(Suite::Snort);
+        let sim = pipe.simulator_for(Machine::Rap, Suite::Snort);
+        let base = corpus.patterns().cache_key(&sim, None);
+        let with_prune = crate::cache::analysis_key(
+            base,
+            &rap_analyze::AnalyzeOptions::report_only().with_prune(),
+        );
+        let without = crate::cache::analysis_key(base, &rap_analyze::AnalyzeOptions::report_only());
+        assert_ne!(base, with_prune);
+        assert_ne!(with_prune, without);
     }
 
     #[test]

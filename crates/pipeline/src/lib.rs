@@ -6,10 +6,14 @@
 //! load-bearing properties:
 //!
 //! 1. **Typed stage artifacts.** The flow is a chain of owning types
-//!    ([`PatternSet`] → [`CompiledSet`] → [`MappedPlan`] →
-//!    [`VerifiedPlan`] → [`rap_sim::RunResult`]); each transition is the
-//!    only way to obtain the next artifact, so illegal orderings — e.g.
-//!    simulating an unverified plan — are unrepresentable at compile time.
+//!    ([`PatternSet`] → [`CompiledSet`] → \[[`AnalyzedSet`] →\]
+//!    [`MappedPlan`] → [`VerifiedPlan`] → [`rap_sim::RunResult`]); each
+//!    transition is the only way to obtain the next artifact, so illegal
+//!    orderings — e.g. simulating an unverified plan — are
+//!    unrepresentable at compile time. The bracketed Analyze stage is
+//!    opt-in ([`Pipeline::with_analysis`]): it lints the compiled images
+//!    and, in prune mode, hands the mapper a semantically equivalent but
+//!    smaller automaton.
 //! 2. **Content-addressed caching.** Verified plans are cached under a
 //!    stable FNV-1a/128 hash of (pattern sources, machine, forced mode,
 //!    `CompilerConfig`, `MapperConfig`), so each distinct configuration
@@ -54,10 +58,14 @@ pub mod report;
 pub mod summary;
 pub mod workload;
 
-pub use artifact::{build_plan, build_plan_sim, CompiledSet, MappedPlan, PatternSet, VerifiedPlan};
+pub use artifact::{
+    build_plan, build_plan_sim, AnalyzedSet, CompiledSet, MappedPlan, PatternSet, VerifiedPlan,
+};
 pub use cache::{ArtifactCache, CacheKey, CacheStats, StableHasher};
 pub use driver::{default_workers, par_map, Pipeline};
 pub use error::EvalError;
 pub use report::{PipelineReport, Stage, STAGES};
 pub use summary::RunSummary;
 pub use workload::{corpus_stats, suite_corpus, BenchConfig, SuiteCorpus};
+
+pub use rap_analyze::{AnalyzeOptions, SoundnessConfig};

@@ -24,6 +24,8 @@ pub enum Stage {
     Generate,
     /// Regex-to-hardware compilation.
     Compile,
+    /// Static analysis of the compiled images (opt-in, with pruning).
+    Analyze,
     /// Array placement.
     Map,
     /// Static legality verification.
@@ -33,9 +35,10 @@ pub enum Stage {
 }
 
 /// All stages in execution order.
-pub const STAGES: [Stage; 5] = [
+pub const STAGES: [Stage; 6] = [
     Stage::Generate,
     Stage::Compile,
+    Stage::Analyze,
     Stage::Map,
     Stage::Verify,
     Stage::Simulate,
@@ -54,6 +57,7 @@ impl Stage {
         match self {
             Stage::Generate => "generate",
             Stage::Compile => "compile",
+            Stage::Analyze => "analyze",
             Stage::Map => "map",
             Stage::Verify => "verify",
             Stage::Simulate => "simulate",
@@ -64,9 +68,10 @@ impl Stage {
         match self {
             Stage::Generate => 0,
             Stage::Compile => 1,
-            Stage::Map => 2,
-            Stage::Verify => 3,
-            Stage::Simulate => 4,
+            Stage::Analyze => 2,
+            Stage::Map => 3,
+            Stage::Verify => 4,
+            Stage::Simulate => 5,
         }
     }
 }
@@ -81,9 +86,10 @@ impl fmt::Display for Stage {
 /// a telemetry registry, registered once at pipeline construction.
 #[derive(Debug)]
 pub(crate) struct Metrics {
-    stage_ns: [Histogram; 5],
+    stage_ns: [Histogram; 6],
     patterns: Counter,
     states: Counter,
+    pruned: Counter,
     cells: Counter,
     workers: Gauge,
     grid_ns: Counter,
@@ -109,6 +115,7 @@ impl Metrics {
             }),
             patterns: registry.counter("rap_pipeline_patterns_compiled_total", &[]),
             states: registry.counter("rap_pipeline_states_compiled_total", &[]),
+            pruned: registry.counter("rap_pipeline_states_pruned_total", &[]),
             cells: registry.counter("rap_pipeline_cells_evaluated_total", &[]),
             workers: registry.gauge("rap_pipeline_grid_workers_max", &[]),
             grid_ns: registry.counter("rap_pipeline_grid_ns_total", &[]),
@@ -135,6 +142,11 @@ impl Metrics {
         self.cells.inc();
     }
 
+    /// Charges states removed by the Analyze stage's pruning.
+    pub fn add_pruned(&self, states: u64) {
+        self.pruned.add(states);
+    }
+
     pub fn record_grid(&self, workers: u64, ns: u64) {
         self.workers.set_max(workers);
         self.grid_ns.add(ns);
@@ -147,7 +159,7 @@ impl Metrics {
         self.plan_cache_misses.set(plan_cache.misses);
         self.corpus_cache_hits.set(corpus_cache.hits);
         self.corpus_cache_misses.set(corpus_cache.misses);
-        let mut stage_ns = [0u64; 5];
+        let mut stage_ns = [0u64; 6];
         for (out, hist) in stage_ns.iter_mut().zip(&self.stage_ns) {
             *out = hist.sum();
         }
@@ -157,6 +169,7 @@ impl Metrics {
             corpus_cache,
             patterns_compiled: self.patterns.get(),
             states_compiled: self.states.get(),
+            states_pruned: self.pruned.get(),
             cells_evaluated: self.cells.get(),
             max_workers: self.workers.get(),
             grid_ns: self.grid_ns.get(),
@@ -169,7 +182,7 @@ impl Metrics {
 pub struct PipelineReport {
     /// Cumulative wall-clock nanoseconds per stage, summed across workers
     /// (parallel stage time can exceed elapsed real time).
-    pub stage_ns: [u64; 5],
+    pub stage_ns: [u64; 6],
     /// Verified-plan cache hits/misses (misses = distinct compiles run).
     pub plan_cache: CacheStats,
     /// Process-wide workload memo hits/misses.
@@ -178,6 +191,8 @@ pub struct PipelineReport {
     pub patterns_compiled: u64,
     /// Hardware states produced by those compiles.
     pub states_compiled: u64,
+    /// States the Analyze stage's pruning removed from those compiles.
+    pub states_pruned: u64,
     /// (machine × suite) cells simulated.
     pub cells_evaluated: u64,
     /// Largest worker count used by a grid fan-out.
@@ -217,8 +232,8 @@ impl fmt::Display for PipelineReport {
         )?;
         writeln!(
             f,
-            "  compiled     : {} patterns -> {} states",
-            self.patterns_compiled, self.states_compiled
+            "  compiled     : {} patterns -> {} states ({} pruned by analysis)",
+            self.patterns_compiled, self.states_compiled, self.states_pruned
         )?;
         writeln!(
             f,

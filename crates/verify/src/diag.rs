@@ -1,7 +1,15 @@
-//! Structured diagnostics: rule codes, severities, locations, and the
-//! report collecting them.
+//! The verifier's rule codes, plus re-exports of the shared diagnostic
+//! machinery from `rap-diag` — both lint families (`rap lint`,
+//! `rap analyze`) emit one report shape and one JSON schema.
 
 use std::fmt;
+
+pub use rap_diag::{Location, RuleCode, Severity};
+
+/// One mapping-legality finding.
+pub type Diagnostic = rap_diag::Diagnostic<Rule>;
+/// The verifier's output: every finding, in check order.
+pub type Report = rap_diag::Report<Rule>;
 
 /// The legality rules the verifier checks. Each rule has a stable code
 /// (`V001`…) used in reports, test assertions, and the CLI's JSON output —
@@ -96,185 +104,15 @@ impl Rule {
     }
 }
 
+impl RuleCode for Rule {
+    fn code(&self) -> &'static str {
+        Rule::code(*self)
+    }
+}
+
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.code())
-    }
-}
-
-/// How bad a finding is.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum Severity {
-    /// Advisory only; the plan is legal.
-    Info,
-    /// Suspicious but executable; worth a look.
-    Warning,
-    /// The plan violates a hardware invariant and must not be executed.
-    Error,
-}
-
-impl fmt::Display for Severity {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Severity::Info => "info",
-            Severity::Warning => "warning",
-            Severity::Error => "error",
-        })
-    }
-}
-
-/// Where in the plan a finding points.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Location {
-    /// Array index in `Mapping::arrays`.
-    pub array: Option<usize>,
-    /// Pattern index in the workload.
-    pub pattern: Option<usize>,
-    /// Tile index within the array.
-    pub tile: Option<u32>,
-    /// Bin index within an LNFA array.
-    pub bin: Option<usize>,
-}
-
-impl Location {
-    /// A location naming only an array.
-    pub fn array(array: usize) -> Location {
-        Location {
-            array: Some(array),
-            ..Location::default()
-        }
-    }
-
-    /// Adds the pattern index.
-    #[must_use]
-    pub fn pattern(mut self, pattern: usize) -> Location {
-        self.pattern = Some(pattern);
-        self
-    }
-
-    /// Adds the tile index.
-    #[must_use]
-    pub fn tile(mut self, tile: u32) -> Location {
-        self.tile = Some(tile);
-        self
-    }
-
-    /// Adds the bin index.
-    #[must_use]
-    pub fn bin(mut self, bin: usize) -> Location {
-        self.bin = Some(bin);
-        self
-    }
-}
-
-impl fmt::Display for Location {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut sep = "";
-        for (name, value) in [
-            ("array", self.array.map(|v| v as u64)),
-            ("pattern", self.pattern.map(|v| v as u64)),
-            ("tile", self.tile.map(u64::from)),
-            ("bin", self.bin.map(|v| v as u64)),
-        ] {
-            if let Some(v) = value {
-                write!(f, "{sep}{name} {v}")?;
-                sep = ", ";
-            }
-        }
-        if sep.is_empty() {
-            f.write_str("mapping")?;
-        }
-        Ok(())
-    }
-}
-
-/// One finding.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Diagnostic {
-    /// The violated (or advisory) rule.
-    pub rule: Rule,
-    /// How bad it is.
-    pub severity: Severity,
-    /// Where it points.
-    pub location: Location,
-    /// Human-readable explanation with the offending numbers.
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} [{}] at {}: {}",
-            self.severity, self.rule, self.location, self.message
-        )
-    }
-}
-
-/// The verifier's output: every finding, in check order.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct Report {
-    /// The findings.
-    pub diagnostics: Vec<Diagnostic>,
-}
-
-impl Report {
-    /// `true` when no *error* was found — the plan is legal to execute
-    /// (warnings and infos may still be present).
-    pub fn is_legal(&self) -> bool {
-        self.diagnostics
-            .iter()
-            .all(|d| d.severity != Severity::Error)
-    }
-
-    /// `true` when nothing at all was reported.
-    pub fn is_empty(&self) -> bool {
-        self.diagnostics.is_empty()
-    }
-
-    /// Number of findings.
-    pub fn len(&self) -> usize {
-        self.diagnostics.len()
-    }
-
-    /// The error findings.
-    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.diagnostics
-            .iter()
-            .filter(|d| d.severity == Severity::Error)
-    }
-
-    /// The findings for one rule (handy in tests).
-    pub fn by_rule(&self, rule: Rule) -> Vec<&Diagnostic> {
-        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
-    }
-
-    /// Records a finding.
-    pub(crate) fn push(
-        &mut self,
-        rule: Rule,
-        severity: Severity,
-        location: Location,
-        message: String,
-    ) {
-        self.diagnostics.push(Diagnostic {
-            rule,
-            severity,
-            location,
-            message,
-        });
-    }
-}
-
-impl fmt::Display for Report {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.diagnostics.is_empty() {
-            return writeln!(f, "mapping verified clean");
-        }
-        for d in &self.diagnostics {
-            writeln!(f, "{d}")?;
-        }
-        Ok(())
+        f.write_str(Rule::code(*self))
     }
 }
 

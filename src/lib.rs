@@ -39,16 +39,20 @@
 //! | [`compiler`] | the Fig. 9 decision graph and per-mode compilation (§4) |
 //! | [`mapper`] | greedy array packing and multi-LNFA binning (§4.3) |
 //! | [`sim`] | cycle-accurate RAP + CA/CAMA/BVAP baselines (§5) |
+//! | [`diag`] | shared diagnostic vocabulary (severity, location, report, JSON) |
 //! | [`verify`] | static legality verifier for plans (rules V001–V012) |
+//! | [`analyze`] | dataflow static analyzer over compiled IRs (rules A001–A011) + pruning |
 //! | [`telemetry`] | metrics registry, span timing, cycle-sampled simulator probes, JSONL/Prometheus export |
 //! | [`pipeline`] | typed parse → compile → map → verify → simulate stages, plan cache, grid driver |
 //! | [`workloads`] | synthetic stand-ins for the seven benchmark suites (§5.1) |
 //! | [`engines`] | software matcher baselines (Hyperscan/HybridSA stand-ins, §5.5) |
 
+pub use rap_analyze as analyze;
 pub use rap_arch as arch;
 pub use rap_automata as automata;
 pub use rap_circuit as circuit;
 pub use rap_compiler as compiler;
+pub use rap_diag as diag;
 pub use rap_engines as engines;
 pub use rap_mapper as mapper;
 pub use rap_pipeline as pipeline;
