@@ -25,8 +25,8 @@
 //! With [`AnalyzeOptions::prune`] the analyzer also *rewrites* the images:
 //! dead states are removed and right/left-equivalent states merged (see
 //! [`prune`]), preserving match semantics exactly — the optional
-//! [`soundness`] bounded model check validates the final images against
-//! their source patterns.
+//! [`soundness`] pass proves the final images equivalent to their source
+//! patterns by exact product construction.
 
 mod dataflow;
 mod graph;
@@ -36,7 +36,9 @@ pub mod soundness;
 
 pub use dataflow::Facts;
 pub use prune::{prune_all, prune_image, PruneStats};
-pub use soundness::{check as check_soundness, compiled_match_ends, SoundnessConfig};
+pub use soundness::{
+    check as check_soundness, compiled_match_ends, representatives, SoundnessConfig,
+};
 
 use rap_compiler::{CompileError, Compiled, Mode};
 use rap_diag::{Location, RuleCode};
@@ -146,8 +148,9 @@ pub struct AnalyzeOptions {
     /// Rewrite the images: remove dead states and merge equivalent ones.
     /// The returned [`Analysis::images`] then carry the reduced automata.
     pub prune: bool,
-    /// Bounded-model-check every (possibly pruned) image against its
-    /// source pattern, reporting divergences as `A010-rewrite-unsound`.
+    /// Prove every (possibly pruned) image equivalent to its source
+    /// pattern by exact product construction, reporting divergences as
+    /// `A010-rewrite-unsound`.
     pub soundness: Option<SoundnessConfig>,
 }
 
@@ -334,6 +337,63 @@ pub fn analyze_with_registry(
         images: out_images,
         stats,
         summaries,
+    }
+}
+
+/// Per-state activity capability of one sub-automaton of an image,
+/// derived from the dataflow fixpoint. Exported for downstream worst-case
+/// analysis (`rap-bound`): a state that is not activatable can never be
+/// observed active by the simulator, so the count of activatable states
+/// is a sound bound on an automaton's peak active-state count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnitActivity {
+    /// The state can be active at some cycle of some input: forward
+    /// reachable from the initial states with a satisfiable class.
+    pub activatable: Vec<bool>,
+    /// The state can report a match at some cycle: activatable, final,
+    /// and (for a bit-vector state) readable through a satisfiable read
+    /// action.
+    pub accepting: Vec<bool>,
+}
+
+impl UnitActivity {
+    fn of_view(g: &graph::GraphView) -> UnitActivity {
+        let facts = dataflow::solve(g);
+        let accepting = facts
+            .reachable
+            .iter()
+            .zip(&g.can_accept)
+            .map(|(&r, &a)| r && a)
+            .collect();
+        UnitActivity {
+            activatable: facts.reachable,
+            accepting,
+        }
+    }
+
+    /// Number of activatable states.
+    pub fn activatable_count(&self) -> u64 {
+        self.activatable.iter().filter(|&&b| b).count() as u64
+    }
+
+    /// Number of accepting-capable states.
+    pub fn accepting_count(&self) -> u64 {
+        self.accepting.iter().filter(|&&b| b).count() as u64
+    }
+}
+
+/// Activity capabilities of every sub-automaton of `image`: one unit for
+/// an NFA or NBVA image, one per chain for an LNFA image (in unit order,
+/// matching [`rap_compiler::CompiledLnfa::units`]).
+pub fn state_activity(image: &Compiled) -> Vec<UnitActivity> {
+    match image {
+        Compiled::Nfa(c) => vec![UnitActivity::of_view(&graph::GraphView::of_nfa(&c.nfa))],
+        Compiled::Nbva(c) => vec![UnitActivity::of_view(&graph::GraphView::of_nbva(&c.nbva))],
+        Compiled::Lnfa(c) => c
+            .units
+            .iter()
+            .map(|u| UnitActivity::of_view(&graph::GraphView::of_chain(u.lnfa.classes())))
+            .collect(),
     }
 }
 

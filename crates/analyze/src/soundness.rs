@@ -1,39 +1,54 @@
-//! Rewriter-soundness lint: a bounded model check of a compiled image
+//! Rewriter-soundness check: exact equivalence of a compiled image
 //! against the reference Glushkov NFA of its source pattern.
 //!
 //! The compiler applies non-trivial rewritings (repetition unfolding, tile
 //! splitting, LNFA distribution) before an image reaches hardware. This
-//! pass replays both the reference automaton and the compiled image over
-//! an exhaustive set of short strings and reports the first divergence in
-//! reported match ends.
+//! pass proves — not samples — that the rewritten image reports exactly
+//! the reference automaton's match ends on *every* input, by a product
+//! construction: both machines are stepped jointly, breadth-first, over
+//! one representative byte per alphabet-partition block, and every
+//! reachable joint configuration is checked for agreement of the raw
+//! match signal. The frontier is deduplicated against the set of visited
+//! configurations (the antichain-style subsumption of tools like Mata
+//! degenerates to exact-configuration dedup here, because the image side
+//! is not a plain powerset lattice — NBVA bit vectors and LNFA chain
+//! registers carry more than a state set).
 //!
 //! Exhaustive over Σ = 256 bytes is hopeless, but the automata only ever
 //! test byte membership in their character classes — so bytes with the
 //! same membership signature across *every* class of both machines are
-//! interchangeable. The check partitions the alphabet into those
-//! equivalence blocks and enumerates strings over one representative per
-//! block, which is exhaustive up to the chosen length by construction.
+//! interchangeable ([`representatives`]). Exploring one representative
+//! per block is exhaustive over the mintermized alphabet by construction.
+//!
+//! Unlike the bounded model check this pass replaces, the result does not
+//! depend on an input-length bound: when the joint exploration closes
+//! (no unvisited configuration remains) the two machines are *equal* on
+//! all inputs of all lengths. The only knob left is a memory/time budget
+//! ([`SoundnessConfig::max_configs`]); an exploration that exhausts it
+//! returns inconclusively, exactly like the old string cap did.
 
-use rap_automata::nfa::Nfa;
+use rap_automata::bitvec::BitVec;
+use rap_automata::lnfa::ShiftAndRun;
+use rap_automata::nbva::NbvaRun;
+use rap_automata::nfa::{Nfa, NfaRun};
 use rap_compiler::Compiled;
 use rap_regex::{CharClass, Pattern};
+use std::collections::HashSet;
 
-/// Bounds for the model check.
+/// Resource budget for the equivalence check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SoundnessConfig {
-    /// Longest string length enumerated (exhaustive up to here over the
-    /// live alphabet partition).
-    pub max_len: usize,
-    /// Hard cap on the number of strings checked per pattern.
-    pub max_strings: usize,
+    /// Maximum number of distinct joint configurations explored. The
+    /// check is exact whenever exploration closes under this budget;
+    /// exhausting it returns inconclusively (no finding). There is no
+    /// input-length bound — equivalence holds for all lengths once the
+    /// configuration space closes.
+    pub max_configs: usize,
 }
 
 impl Default for SoundnessConfig {
     fn default() -> Self {
-        SoundnessConfig {
-            max_len: 5,
-            max_strings: 2000,
-        }
+        SoundnessConfig { max_configs: 8192 }
     }
 }
 
@@ -73,10 +88,11 @@ fn all_classes(image: &Compiled, reference: &Nfa) -> Vec<CharClass> {
 }
 
 /// One representative byte per alphabet-partition block: two bytes are
-/// equivalent when no class distinguishes them. The all-miss block (bytes
-/// outside every class) gets a representative too — mismatch behaviour is
-/// part of the semantics.
-fn representatives(ccs: &[CharClass]) -> Vec<u8> {
+/// equivalent when no class in `ccs` distinguishes them, so stepping any
+/// automaton built from those classes with either byte reaches the same
+/// configuration. The all-miss block (bytes outside every class) gets a
+/// representative too — mismatch behaviour is part of the semantics.
+pub fn representatives(ccs: &[CharClass]) -> Vec<u8> {
     let mut reps: Vec<u8> = Vec::new();
     let mut seen: Vec<Vec<u64>> = Vec::new();
     for b in 0..=255u8 {
@@ -95,50 +111,157 @@ fn representatives(ccs: &[CharClass]) -> Vec<u8> {
     reps
 }
 
-/// Model-checks a compiled image against its source pattern. Returns
-/// `None` when every enumerated string produces identical match ends, or
-/// a description of the first divergence.
+/// The image side of a joint configuration: a live run of whichever IR
+/// the pattern compiled to.
+#[derive(Clone, Debug)]
+enum ImageRun<'a> {
+    Nfa(NfaRun<'a>),
+    Nbva(NbvaRun<'a>),
+    Lnfa(Vec<ShiftAndRun<'a>>),
+}
+
+impl<'a> ImageRun<'a> {
+    fn start(image: &'a Compiled) -> ImageRun<'a> {
+        match image {
+            Compiled::Nfa(c) => ImageRun::Nfa(c.nfa.start()),
+            Compiled::Nbva(c) => ImageRun::Nbva(c.nbva.start()),
+            Compiled::Lnfa(c) => ImageRun::Lnfa(c.units.iter().map(|u| u.lnfa.start()).collect()),
+        }
+    }
+
+    /// Consumes one byte; returns the raw (unfiltered) match signal.
+    fn step(&mut self, byte: u8) -> bool {
+        match self {
+            ImageRun::Nfa(run) => run.step(byte),
+            ImageRun::Nbva(run) => run.step(byte),
+            ImageRun::Lnfa(runs) => runs.iter_mut().fold(false, |m, r| r.step(byte) | m),
+        }
+    }
+
+    /// The configuration's content identity: every bit of run state, as
+    /// bit vectors (activation maps, NBVA vectors, chain registers).
+    fn fingerprint(&self) -> Vec<BitVec> {
+        match self {
+            ImageRun::Nfa(run) => vec![run.active_bits().clone()],
+            ImageRun::Nbva(run) => {
+                let plain = run.plain_active_bits().clone();
+                let n = plain.len();
+                let mut fp = Vec::with_capacity(n + 1);
+                fp.push(plain);
+                for q in 0..n {
+                    fp.push(run.vector(q as u32).clone());
+                }
+                fp
+            }
+            ImageRun::Lnfa(runs) => runs.iter().map(|r| r.states().clone()).collect(),
+        }
+    }
+}
+
+/// One visited node of the joint exploration: the paired runs plus a
+/// parent pointer for counterexample reconstruction.
+struct Node<'a> {
+    reference: NfaRun<'a>,
+    image: ImageRun<'a>,
+    /// Index of the predecessor node (`usize::MAX` for the root).
+    parent: usize,
+    /// The byte that led here from the parent.
+    byte: u8,
+}
+
+/// Rebuilds the input string leading to `node`, then appends `last` and
+/// (optionally) `extension`.
+fn witness(nodes: &[Node<'_>], node: usize, last: u8, extension: Option<u8>) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut i = node;
+    while nodes[i].parent != usize::MAX {
+        bytes.push(nodes[i].byte);
+        i = nodes[i].parent;
+    }
+    bytes.reverse();
+    bytes.push(last);
+    bytes.extend(extension);
+    bytes
+}
+
+fn divergence(image: &Compiled, reference: &Nfa, input: &[u8]) -> String {
+    let want = reference.match_ends(input);
+    let got = compiled_match_ends(image, input);
+    format!(
+        "input {:?} (len {}): reference match ends {want:?}, compiled image reports {got:?}",
+        String::from_utf8_lossy(input),
+        input.len()
+    )
+}
+
+/// Checks a compiled image against its source pattern by exact product
+/// construction. Returns `None` when the image provably reports the
+/// reference automaton's match ends on every input (or the exploration
+/// budget runs out before the configuration space closes), or a
+/// description of a concrete diverging input.
 pub fn check(image: &Compiled, pattern: &Pattern, cfg: &SoundnessConfig) -> Option<String> {
+    if cfg.max_configs == 0 {
+        return None;
+    }
     let reference = Nfa::from_pattern(pattern);
     let reps = representatives(&all_classes(image, &reference));
-    let mut checked = 0usize;
-    let mut buf: Vec<u8> = Vec::with_capacity(cfg.max_len);
-    for len in 1..=cfg.max_len {
-        // Odometer over representative bytes: indices[i] counts through
-        // `reps` for position i.
-        let mut indices = vec![0usize; len];
-        loop {
-            if checked >= cfg.max_strings {
-                return None;
-            }
-            buf.clear();
-            buf.extend(indices.iter().map(|&i| reps[i]));
-            let want = reference.match_ends(&buf);
-            let got = compiled_match_ends(image, &buf);
+    let ref_end = reference.anchored_end();
+    let img_end = image.anchored_end();
+
+    let mut nodes = vec![Node {
+        reference: reference.start(),
+        image: ImageRun::start(image),
+        parent: usize::MAX,
+        byte: 0,
+    }];
+    // Joint-configuration dedup. The position-zero flag is part of the
+    // key: `^`-anchored runs arm their initial states only at offset 0,
+    // so an offset-0 configuration and a bit-identical later one are not
+    // interchangeable.
+    let mut visited: HashSet<(bool, BitVec, Vec<BitVec>)> = HashSet::new();
+    visited.insert((
+        true,
+        nodes[0].reference.active_bits().clone(),
+        nodes[0].image.fingerprint(),
+    ));
+
+    let mut i = 0;
+    while i < nodes.len() {
+        for &b in &reps {
+            let mut ref_run = nodes[i].reference.clone();
+            let mut img_run = nodes[i].image.clone();
+            let want = ref_run.step(b);
+            let got = img_run.step(b);
             if want != got {
-                return Some(format!(
-                    "input {:?} (len {len}): reference match ends {want:?}, compiled image reports {got:?}",
-                    String::from_utf8_lossy(&buf)
-                ));
+                // The string leading here is itself a diverging input:
+                // every input's final position reports the raw signal.
+                let input = witness(&nodes, i, b, None);
+                return Some(divergence(image, &reference, &input));
             }
-            checked += 1;
-            // Advance the odometer; carry out means this length is done.
-            let mut pos = 0;
-            loop {
-                if pos == len {
-                    break;
-                }
-                indices[pos] += 1;
-                if indices[pos] < reps.len() {
-                    break;
-                }
-                indices[pos] = 0;
-                pos += 1;
+            if want && ref_end != img_end {
+                // The raw signals agree, but exactly one side suppresses
+                // the match mid-stream — any one-byte extension turns
+                // this position into a mid-input divergence.
+                let input = witness(&nodes, i, b, Some(reps[0]));
+                return Some(divergence(image, &reference, &input));
             }
-            if pos == len {
-                break;
+            let key = (false, ref_run.active_bits().clone(), img_run.fingerprint());
+            if !visited.contains(&key) {
+                if visited.len() >= cfg.max_configs {
+                    // Budget exhausted before the space closed:
+                    // inconclusive, like the old string cap.
+                    return None;
+                }
+                visited.insert(key);
+                nodes.push(Node {
+                    reference: ref_run,
+                    image: img_run,
+                    parent: i,
+                    byte: b,
+                });
             }
         }
+        i += 1;
     }
     None
 }
@@ -215,16 +338,79 @@ mod tests {
     }
 
     #[test]
-    fn string_cap_is_respected() {
-        // With a cap of 0 nothing is enumerated, so even the broken image
-        // above would pass — the cap trades confidence for time.
-        let parsed = parse_pattern("a.b").expect("parses");
+    fn divergence_beyond_any_fixed_depth_is_caught() {
+        // A chain for `abcdefgh` that accepts one byte early (after
+        // "abcdefg"). The old depth-5 bounded model check could never see
+        // this; the product construction finds it at whatever depth the
+        // configuration space demands.
+        let source = b"abcdefgh";
+        let states: Vec<NfaState> = source
+            .iter()
+            .enumerate()
+            .map(|(i, &byte)| NfaState {
+                cc: rap_regex::CharClass::single(byte),
+                succ: if i + 1 < source.len() {
+                    vec![(i + 1) as u32]
+                } else {
+                    vec![]
+                },
+                is_final: i == 6, // wrong: should be i == 7
+            })
+            .collect();
+        let nfa = Nfa::from_parts(states, vec![0], false);
+        let image = Compiled::Nfa(CompiledNfa {
+            nfa,
+            state_columns: vec![1; source.len()],
+        });
+        let parsed = parse_pattern("abcdefgh").expect("parses");
+        let mismatch = check(&image, &parsed, &SoundnessConfig::default());
+        let description = mismatch.expect("early-accept divergence found");
+        assert!(description.contains("abcdefg"), "{description}");
+    }
+
+    #[test]
+    fn dropped_end_anchor_is_caught() {
+        // A correct image for `ab` checked against `ab$`: the raw match
+        // signals agree everywhere, but the unanchored image reports
+        // mid-stream matches the anchored reference suppresses.
         let compiler = Compiler::new(CompilerConfig::default());
-        let image = compiler.compile_anchored(&parsed).expect("compiles");
-        let cfg = SoundnessConfig {
-            max_len: 3,
-            max_strings: 0,
-        };
+        let unanchored = parse_pattern("ab").expect("parses");
+        let image = compiler
+            .compile_anchored(&unanchored)
+            .expect("compiles")
+            .with_anchors(false, false);
+        let anchored = parse_pattern("ab$").expect("parses");
+        let mismatch = check(&image, &anchored, &SoundnessConfig::default());
+        assert!(mismatch.is_some(), "anchor mismatch must be caught");
+    }
+
+    #[test]
+    fn budget_cap_is_respected() {
+        // With a zero budget nothing is explored, so even a broken image
+        // passes — the budget trades confidence for time.
+        let states = vec![NfaState {
+            cc: rap_regex::CharClass::single(b'a'),
+            succ: vec![],
+            is_final: true, // wrong for pattern `ab`
+        }];
+        let nfa = Nfa::from_parts(states, vec![0], false);
+        let image = Compiled::Nfa(CompiledNfa {
+            nfa,
+            state_columns: vec![1],
+        });
+        let parsed = parse_pattern("ab").expect("parses");
+        let cfg = SoundnessConfig { max_configs: 0 };
         assert_eq!(check(&image, &parsed, &cfg), None);
+        assert!(check(&image, &parsed, &SoundnessConfig::default()).is_some());
+    }
+
+    #[test]
+    fn representatives_cover_all_blocks() {
+        let ccs = vec![CharClass::single(b'a'), CharClass::from_bytes([b'a', b'b'])];
+        let reps = representatives(&ccs);
+        // Blocks: {a}, {b}, everything else.
+        assert_eq!(reps.len(), 3);
+        assert!(reps.contains(&b'a'));
+        assert!(reps.contains(&b'b'));
     }
 }

@@ -7,10 +7,13 @@
 //! common, so the rewriting path is genuinely exercised.
 
 use proptest::prelude::*;
-use rap_analyze::{analyze, compiled_match_ends, prune_image, AnalyzeOptions};
+use rap_analyze::{
+    analyze, check_soundness, compiled_match_ends, prune_image, representatives, AnalyzeOptions,
+    SoundnessConfig,
+};
 use rap_automata::nfa::Nfa;
 use rap_compiler::{Compiler, CompilerConfig, Mode};
-use rap_regex::{CharClass, Regex};
+use rap_regex::{CharClass, Pattern, Regex};
 
 /// Random patterns that exercise all three RAP modes.
 fn arb_pattern() -> impl Strategy<Value = Regex> {
@@ -30,6 +33,27 @@ fn arb_pattern() -> impl Strategy<Value = Regex> {
         ]
     })
     .prop_filter("needs at least one state", |re| re.unfolded_size() > 0)
+}
+
+/// Character classes biased toward partition-boundary shapes: ranges that
+/// start at 0x00 or end at 0xFF, adjacent ranges sharing an edge, and
+/// singletons next to a range edge — the cases where an off-by-one in
+/// mintermization would merge bytes a class distinguishes.
+fn arb_class() -> impl Strategy<Value = CharClass> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| CharClass::range(a.min(b), a.max(b))),
+        any::<u8>().prop_map(|hi| CharClass::range(0x00, hi)),
+        any::<u8>().prop_map(|lo| CharClass::range(lo, 0xFF)),
+        any::<u8>().prop_map(CharClass::single),
+        // An edge pair: [lo..=split] and its right neighbour starting at
+        // split+1, exercising adjacent-range boundaries.
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            CharClass::range(lo, lo.max(hi.saturating_sub(1)))
+        }),
+        Just(CharClass::single(0x00)),
+        Just(CharClass::single(0xFF)),
+    ]
 }
 
 fn arb_input() -> impl Strategy<Value = Vec<u8>> {
@@ -94,6 +118,77 @@ proptest! {
                 compiled_match_ends(orig, &input),
                 "pruned image of {} changed semantics", orig.state_count()
             );
+        }
+    }
+
+    /// The exact product-construction equivalence checker agrees with the
+    /// reference matcher on every compiled (and pruned) image: a faithful
+    /// image is never reported divergent, at any input length, with no
+    /// depth parameter involved.
+    #[test]
+    fn exact_equivalence_accepts_faithful_images(re in arb_pattern()) {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let pattern = Pattern {
+            regex: re.clone(),
+            anchored_start: false,
+            anchored_end: false,
+        };
+        let cfg = SoundnessConfig::default();
+        for mode in [Mode::Nfa, Mode::Nbva, Mode::Lnfa] {
+            if mode == Mode::Lnfa && compiler.decide(&re) != Mode::Lnfa {
+                continue;
+            }
+            let Ok(image) = compiler.compile_with_mode(&re, mode) else {
+                continue;
+            };
+            prop_assert_eq!(
+                check_soundness(&image, &pattern, &cfg),
+                None,
+                "{mode:?} image of {re} flagged divergent"
+            );
+            let (pruned, _) = prune_image(&image);
+            prop_assert_eq!(
+                check_soundness(&pruned, &pattern, &cfg),
+                None,
+                "pruned {mode:?} image of {re} flagged divergent"
+            );
+        }
+    }
+
+    /// Mintermization is a true alphabet partition: every byte — including
+    /// the boundary bytes 0x00 and 0xFF and bytes flanking range edges —
+    /// shares its full class-membership signature with exactly one
+    /// representative, and no two representatives share a signature.
+    #[test]
+    fn representatives_partition_the_alphabet(
+        ccs in prop::collection::vec(arb_class(), 0..6),
+    ) {
+        let reps = representatives(&ccs);
+        let signature =
+            |b: u8| ccs.iter().map(|cc| cc.contains(b)).collect::<Vec<bool>>();
+        for b in 0..=255u8 {
+            let matching = reps
+                .iter()
+                .filter(|&&r| signature(r) == signature(b))
+                .count();
+            prop_assert_eq!(matching, 1, "byte {b:#04x} matches {matching} reps");
+        }
+        // Each block's representative is its smallest member, so the
+        // extreme bytes are themselves representatives of their blocks.
+        prop_assert_eq!(reps[0], 0x00);
+        prop_assert!(reps.iter().any(|&r| signature(r) == signature(0xFF)));
+        // Bytes flanking every range edge land in different blocks when a
+        // class distinguishes them.
+        for cc in &ccs {
+            for b in 0..255u8 {
+                if cc.contains(b) != cc.contains(b + 1) {
+                    prop_assert!(
+                        signature(b) != signature(b + 1),
+                        "edge {b:#04x}/{:#04x} merged",
+                        b + 1
+                    );
+                }
+            }
         }
     }
 }

@@ -1,0 +1,103 @@
+//! Static bounds sweep — the rap-bound worst-case analyzer over every
+//! benchmark suite for the RAP decision mix and the force-NFA CA
+//! baseline. Prints one row per (suite, machine) cell and writes
+//! `results/bounds.csv`; exits non-zero if any cell reports an
+//! Error-severity finding.
+//!
+//! Scale knobs: `RAP_BENCH_PATTERNS` / `RAP_BENCH_SEED` (input length is
+//! irrelevant — the analyzer never executes the automata).
+
+use rap_bench::{config_from_env, tables::Table};
+use rap_bound::{analyze_bounds, BoundOptions};
+use rap_circuit::Machine;
+use rap_sim::Simulator;
+use rap_workloads::Suite;
+
+fn main() {
+    let cfg = config_from_env();
+    let options = BoundOptions::bounds_only();
+
+    println!(
+        "static bounds: {} patterns per suite, seed {}\n",
+        cfg.patterns_per_suite, cfg.seed
+    );
+    let mut table = Table::new([
+        "Suite",
+        "Machine",
+        "Arrays",
+        "Placed",
+        "PeakActive",
+        "Reporters",
+        "PeakFanin",
+        "FifoBytes",
+        "OutRecords",
+        "MaxSkew",
+        "Counters",
+        "DeadReads",
+        "Span",
+        "Findings",
+        "Errors",
+    ]);
+    let mut total_errors = 0u64;
+    for suite in Suite::all() {
+        for machine in [Machine::Rap, Machine::Ca] {
+            let sim = Simulator::new(machine)
+                .with_bv_depth(suite.chosen_bv_depth())
+                .with_bin_size(suite.chosen_bin_size());
+            let sources = rap_workloads::generate_patterns(suite, cfg.patterns_per_suite, cfg.seed);
+            let patterns: Vec<_> = sources
+                .iter()
+                .map(|s| rap_regex::parse_pattern(s).expect("suite patterns parse"))
+                .collect();
+            let images = sim.compile_parsed(&patterns).expect("suite compiles");
+            let mapping = sim.map(&images);
+            let b = analyze_bounds(&images, &patterns, &mapping, &options);
+            let errors = b.report.errors().count() as u64;
+            total_errors += errors;
+            table.row([
+                suite.name().to_string(),
+                machine.name().to_string(),
+                b.arrays.len().to_string(),
+                b.arrays
+                    .iter()
+                    .map(|a| a.placed_states)
+                    .sum::<u64>()
+                    .to_string(),
+                b.total_peak_active().to_string(),
+                b.arrays
+                    .iter()
+                    .map(|a| a.reporters)
+                    .sum::<u64>()
+                    .to_string(),
+                b.arrays
+                    .iter()
+                    .map(|a| a.peak_fanin)
+                    .max()
+                    .unwrap_or(0)
+                    .to_string(),
+                b.bank.input_fifo_bytes.to_string(),
+                b.bank.output_fifo_records.to_string(),
+                b.bank.max_skew.to_string(),
+                b.counters.len().to_string(),
+                b.counters
+                    .iter()
+                    .filter(|c| !c.read_feasible)
+                    .count()
+                    .to_string(),
+                b.replication
+                    .max_match_span
+                    .map_or_else(|| "unbounded".to_string(), |s| s.to_string()),
+                b.report.len().to_string(),
+                errors.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    table.write_csv("bounds");
+
+    if total_errors > 0 {
+        eprintln!("bounds failed: {total_errors} error-severity finding(s)");
+        std::process::exit(2);
+    }
+    println!("\nbounds clean: no error-severity findings");
+}

@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["help", "h", "json", "prune", "soundness"];
+const SWITCHES: &[&str] = &["help", "h", "json", "prune", "soundness", "equivalence"];
 
 impl Args {
     /// Parses an argv slice.

@@ -33,9 +33,10 @@ FLAGS:
     --depth N       BV depth for NBVA mode       (default 8)
     --threshold N   bounded-repetition unfolding threshold (default 4)
     --prune         report against the pruned (reduced) images
-    --soundness     bounded-model-check every image against the reference
-                    NFA (slow; emits A010 on mismatch)
-    --max-len N     soundness: longest input enumerated (default 5)
+    --soundness     prove every image equivalent to the reference NFA by
+                    exact product construction (emits A010 on divergence)
+    --budget N      soundness: joint configurations explored before the
+                    check returns inconclusively (default 8192)
     --json          emit the report as JSON on stdout (the shared rap-diag
                     schema, identical to `rap lint --json`)";
 
@@ -78,8 +79,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }
     if args.switch("soundness") {
         options = options.with_soundness(SoundnessConfig {
-            max_len: args.flag_num("max-len", 5)?,
-            ..SoundnessConfig::default()
+            max_configs: args.flag_num("budget", SoundnessConfig::default().max_configs)?,
         });
     }
     let mut analysis = analyze(&images, &compiled_patterns, &options);
@@ -119,12 +119,27 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             stats.mergeable_states
         );
         if options.prune {
+            // Per-IR reduction: each summary is index-aligned with the
+            // (pruned) output image, so the per-image delta attributes
+            // every removed state to its IR.
+            let mut by_mode = [(Mode::Nfa, 0u64), (Mode::Nbva, 0u64), (Mode::Lnfa, 0u64)];
+            for (summary, image) in analysis.summaries.iter().zip(&analysis.images) {
+                let removed = summary.states.saturating_sub(image.state_count());
+                for entry in &mut by_mode {
+                    if entry.0 == summary.mode {
+                        entry.1 += removed;
+                    }
+                }
+            }
             outln!(
                 out,
-                "prune   : {} -> {} state(s) ({} pruned)",
+                "prune   : {} -> {} state(s) ({} pruned: {} NFA, {} NBVA, {} LNFA)",
                 stats.states_before,
                 stats.states_after,
-                stats.pruned_states
+                stats.pruned_states,
+                by_mode[0].1,
+                by_mode[1].1,
+                by_mode[2].1
             );
         }
         if analysis.report.is_empty() {
@@ -188,10 +203,27 @@ mod tests {
     }
 
     #[test]
-    fn prune_reports_reduction_line() {
+    fn prune_reports_reduction_per_ir() {
         let s = run_ok(&["regexlib", "--patterns", "120", "--prune"]);
-        assert!(s.contains("prune   :"), "{s}");
-        assert!(s.contains("pruned)"), "{s}");
+        let line = s
+            .lines()
+            .find(|l| l.starts_with("prune   :"))
+            .expect("prune line");
+        // The aggregate and the per-IR attribution are both present.
+        assert!(line.contains("pruned:"), "{line}");
+        for ir in ["NFA", "NBVA", "LNFA"] {
+            assert!(line.contains(ir), "{line}");
+        }
+        // The per-IR counts sum to the aggregate.
+        let nums: Vec<u64> = line
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().expect("number"))
+            .collect();
+        // before, after, pruned, nfa, nbva, lnfa
+        assert_eq!(nums.len(), 6, "{line}");
+        assert_eq!(nums[2], nums[3] + nums[4] + nums[5], "{line}");
+        assert_eq!(nums[0] - nums[1], nums[2], "{line}");
     }
 
     #[test]
@@ -201,8 +233,8 @@ mod tests {
             "--patterns",
             "4",
             "--soundness",
-            "--max-len",
-            "3",
+            "--budget",
+            "500",
         ]);
         assert!(!s.contains("A010"), "{s}");
     }

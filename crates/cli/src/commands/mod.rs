@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 pub mod analyze;
+pub mod bound;
 pub mod compare;
 pub mod compile;
 pub mod dot;

@@ -10,6 +10,7 @@
 //! rap compare <patterns.txt> <input-file>
 //! rap lint    <patterns.txt> [--machine rap|cama|bvap|ca] [--json]
 //! rap analyze <suite> [--machine M] [--patterns N] [--prune] [--json]
+//! rap bound   <suite> [--machine M] [--patterns N] [--equivalence] [--json]
 //! rap trace   <suite> [--machine M] [--sample N] [--top N] [--out FILE]
 //! ```
 //!
@@ -70,6 +71,7 @@ COMMANDS:
     layout     Show per-array tile occupancy after mapping
     lint       Statically verify the mapping plan for a pattern file
     analyze    Run the dataflow static analyzer over a suite's automata
+    bound      Compute certified worst-case bounds for a suite's mapped plan
     trace      Profile one suite with cycle-level telemetry attached
     help       Show this message
 
@@ -96,6 +98,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "layout" => commands::layout::run(rest, out),
         "lint" => commands::lint::run(rest, out),
         "analyze" => commands::analyze::run(rest, out),
+        "bound" => commands::bound::run(rest, out),
         "trace" => commands::trace::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| CliError::Runtime(e.to_string()))

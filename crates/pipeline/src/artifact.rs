@@ -323,6 +323,7 @@ impl MappedPlan {
                 compiled: self.compiled,
                 mapping: self.mapping,
                 advisories: report,
+                bounds: None,
             })
         } else {
             Err(EvalError::IllegalMapping {
@@ -343,6 +344,7 @@ pub struct VerifiedPlan {
     compiled: CompiledSet,
     mapping: Mapping,
     advisories: rap_verify::Report,
+    bounds: Option<rap_bound::BoundAnalysis>,
 }
 
 impl VerifiedPlan {
@@ -359,6 +361,31 @@ impl VerifiedPlan {
     /// Non-fatal findings (warnings/infos) from verification.
     pub fn advisories(&self) -> &rap_verify::Report {
         &self.advisories
+    }
+
+    /// Stage transition (opt-in): runs the static worst-case bound
+    /// analyzer over the plan and attaches its result, retrievable through
+    /// [`VerifiedPlan::bounds`]. `patterns` provides each image's source
+    /// for the optional B008 equivalence verdicts (same indexing as the
+    /// images; `&[]` is fine when that check is off).
+    #[must_use]
+    pub fn bound(
+        mut self,
+        patterns: &[Pattern],
+        options: &rap_bound::BoundOptions,
+    ) -> VerifiedPlan {
+        self.bounds = Some(rap_bound::analyze_bounds(
+            &self.compiled.images,
+            patterns,
+            &self.mapping,
+            options,
+        ));
+        self
+    }
+
+    /// The attached worst-case bound analysis, when the Bound stage ran.
+    pub fn bounds(&self) -> Option<&rap_bound::BoundAnalysis> {
+        self.bounds.as_ref()
     }
 
     /// Stage transition: runs the cycle-accurate simulator over `input`.

@@ -143,8 +143,24 @@ pub(crate) fn analysis_key(base: CacheKey, options: &rap_analyze::AnalyzeOptions
         None => h.write(&[0]),
         Some(cfg) => {
             h.write(&[1]);
-            h.write_u64(cfg.max_len as u64);
-            h.write_u64(cfg.max_strings as u64);
+            h.write_u64(cfg.max_configs as u64);
+        }
+    }
+    h.finish()
+}
+
+/// Derives the content address of a *bounded* plan from the verified
+/// plan's key: the bound options determine the attached bound analysis,
+/// so they are part of the artifact's identity.
+pub(crate) fn bounds_key(base: CacheKey, options: &rap_bound::BoundOptions) -> CacheKey {
+    let mut h = StableHasher::new();
+    h.write(&base.0.to_le_bytes());
+    h.write_str("bound");
+    match options.equivalence {
+        None => h.write(&[0]),
+        Some(cfg) => {
+            h.write(&[1]);
+            h.write_u64(cfg.max_configs as u64);
         }
     }
     h.finish()

@@ -89,6 +89,7 @@ pub struct Pipeline {
     metrics: Metrics,
     telemetry: Option<Arc<Telemetry>>,
     analysis: Option<rap_analyze::AnalyzeOptions>,
+    bounds: Option<rap_bound::BoundOptions>,
 }
 
 impl Pipeline {
@@ -102,6 +103,7 @@ impl Pipeline {
             metrics: Metrics::default(),
             telemetry: None,
             analysis: None,
+            bounds: None,
         }
     }
 
@@ -144,6 +146,23 @@ impl Pipeline {
     /// The Analyze stage configuration, if enabled.
     pub fn analysis(&self) -> Option<&rap_analyze::AnalyzeOptions> {
         self.analysis.as_ref()
+    }
+
+    /// Enables the Bound stage: every plan build runs the static
+    /// worst-case bound analyzer after verification and attaches the
+    /// result to the plan ([`VerifiedPlan::bounds`]). The options are part
+    /// of the plan cache key, so bounded and plain plans never collide;
+    /// per-plan totals land in the report
+    /// ([`PipelineReport::arrays_bounded`]).
+    #[must_use]
+    pub fn with_bounds(mut self, options: rap_bound::BoundOptions) -> Pipeline {
+        self.bounds = Some(options);
+        self
+    }
+
+    /// The Bound stage configuration, if enabled.
+    pub fn bounds(&self) -> Option<&rap_bound::BoundOptions> {
+        self.bounds.as_ref()
     }
 
     /// The workload scale knobs.
@@ -189,6 +208,9 @@ impl Pipeline {
         if let Some(options) = &self.analysis {
             key = crate::cache::analysis_key(key, options);
         }
+        if let Some(options) = &self.bounds {
+            key = crate::cache::bounds_key(key, options);
+        }
         self.plans.get_or_build(key, || {
             let compiled = self
                 .metrics
@@ -210,7 +232,19 @@ impl Pipeline {
                 None => compiled,
             };
             let mapped = self.metrics.timed(Stage::Map, || compiled.map(sim));
-            self.metrics.timed(Stage::Verify, || mapped.verify())
+            let plan = self.metrics.timed(Stage::Verify, || mapped.verify())?;
+            match &self.bounds {
+                Some(options) => {
+                    let plan = self
+                        .metrics
+                        .timed(Stage::Bound, || plan.bound(patterns.parsed(), options));
+                    let bounds = plan.bounds().expect("bound stage attaches bounds");
+                    self.metrics
+                        .record_bounds(bounds.arrays.len() as u64, bounds.total_peak_active());
+                    Ok(plan)
+                }
+                None => Ok(plan),
+            }
         })
     }
 
@@ -429,6 +463,37 @@ mod tests {
         assert!(report.states_pruned > 0, "{report}");
         assert!(report.stage_secs(Stage::Analyze) > 0.0);
         assert_eq!(plain_pipe.report().states_pruned, 0);
+    }
+
+    #[test]
+    fn bound_stage_attaches_bounds_and_reports() {
+        let spec = BenchConfig {
+            patterns_per_suite: 6,
+            input_len: 256,
+            match_rate: 0.02,
+            seed: 3,
+        };
+        let pipe = Pipeline::new(spec).with_bounds(rap_bound::BoundOptions::bounds_only());
+        let corpus = pipe.corpus(Suite::Snort);
+        let sim = pipe.simulator_for(Machine::Rap, Suite::Snort);
+        let plan = pipe.plan(&sim, corpus.patterns(), None).expect("plans");
+        let bounds = plan.bounds().expect("bound stage ran");
+        assert_eq!(bounds.arrays.len(), plan.mapping().arrays.len());
+        let report = pipe.report();
+        assert_eq!(report.arrays_bounded, bounds.arrays.len() as u64);
+        assert_eq!(report.peak_active_bound, bounds.total_peak_active());
+        assert!(report.stage_secs(Stage::Bound) > 0.0);
+
+        // A pipeline without the stage must not collide in the cache.
+        let plain = Pipeline::new(spec);
+        let corpus = plain.corpus(Suite::Snort);
+        let plan = plain.plan(&sim, corpus.patterns(), None).expect("plans");
+        assert!(plan.bounds().is_none());
+        let base = corpus.patterns().cache_key(&sim, None);
+        assert_ne!(
+            base,
+            crate::cache::bounds_key(base, &rap_bound::BoundOptions::bounds_only())
+        );
     }
 
     #[test]

@@ -30,17 +30,20 @@ pub enum Stage {
     Map,
     /// Static legality verification.
     Verify,
+    /// Static worst-case bound analysis (opt-in).
+    Bound,
     /// Cycle-accurate simulation.
     Simulate,
 }
 
 /// All stages in execution order.
-pub const STAGES: [Stage; 6] = [
+pub const STAGES: [Stage; 7] = [
     Stage::Generate,
     Stage::Compile,
     Stage::Analyze,
     Stage::Map,
     Stage::Verify,
+    Stage::Bound,
     Stage::Simulate,
 ];
 
@@ -60,6 +63,7 @@ impl Stage {
             Stage::Analyze => "analyze",
             Stage::Map => "map",
             Stage::Verify => "verify",
+            Stage::Bound => "bound",
             Stage::Simulate => "simulate",
         }
     }
@@ -71,7 +75,8 @@ impl Stage {
             Stage::Analyze => 2,
             Stage::Map => 3,
             Stage::Verify => 4,
-            Stage::Simulate => 5,
+            Stage::Bound => 5,
+            Stage::Simulate => 6,
         }
     }
 }
@@ -86,7 +91,9 @@ impl fmt::Display for Stage {
 /// a telemetry registry, registered once at pipeline construction.
 #[derive(Debug)]
 pub(crate) struct Metrics {
-    stage_ns: [Histogram; 6],
+    stage_ns: [Histogram; 7],
+    bound_arrays: Counter,
+    bound_peak_active: Gauge,
     patterns: Counter,
     states: Counter,
     pruned: Counter,
@@ -113,6 +120,8 @@ impl Metrics {
             stage_ns: STAGES.map(|stage| {
                 registry.histogram("rap_pipeline_stage_ns", &[("stage", stage.name())])
             }),
+            bound_arrays: registry.counter("rap_pipeline_bound_arrays_total", &[]),
+            bound_peak_active: registry.gauge("rap_pipeline_bound_peak_active_states", &[]),
             patterns: registry.counter("rap_pipeline_patterns_compiled_total", &[]),
             states: registry.counter("rap_pipeline_states_compiled_total", &[]),
             pruned: registry.counter("rap_pipeline_states_pruned_total", &[]),
@@ -147,6 +156,13 @@ impl Metrics {
         self.pruned.add(states);
     }
 
+    /// Charges one Bound-stage run: arrays bounded and the plan's total
+    /// worst-case active-state bound (kept as a high-water mark).
+    pub fn record_bounds(&self, arrays: u64, peak_active: u64) {
+        self.bound_arrays.add(arrays);
+        self.bound_peak_active.set_max(peak_active);
+    }
+
     pub fn record_grid(&self, workers: u64, ns: u64) {
         self.workers.set_max(workers);
         self.grid_ns.add(ns);
@@ -159,7 +175,7 @@ impl Metrics {
         self.plan_cache_misses.set(plan_cache.misses);
         self.corpus_cache_hits.set(corpus_cache.hits);
         self.corpus_cache_misses.set(corpus_cache.misses);
-        let mut stage_ns = [0u64; 6];
+        let mut stage_ns = [0u64; 7];
         for (out, hist) in stage_ns.iter_mut().zip(&self.stage_ns) {
             *out = hist.sum();
         }
@@ -170,6 +186,8 @@ impl Metrics {
             patterns_compiled: self.patterns.get(),
             states_compiled: self.states.get(),
             states_pruned: self.pruned.get(),
+            arrays_bounded: self.bound_arrays.get(),
+            peak_active_bound: self.bound_peak_active.get(),
             cells_evaluated: self.cells.get(),
             max_workers: self.workers.get(),
             grid_ns: self.grid_ns.get(),
@@ -182,7 +200,7 @@ impl Metrics {
 pub struct PipelineReport {
     /// Cumulative wall-clock nanoseconds per stage, summed across workers
     /// (parallel stage time can exceed elapsed real time).
-    pub stage_ns: [u64; 6],
+    pub stage_ns: [u64; 7],
     /// Verified-plan cache hits/misses (misses = distinct compiles run).
     pub plan_cache: CacheStats,
     /// Process-wide workload memo hits/misses.
@@ -193,6 +211,11 @@ pub struct PipelineReport {
     pub states_compiled: u64,
     /// States the Analyze stage's pruning removed from those compiles.
     pub states_pruned: u64,
+    /// Arrays the Bound stage computed worst-case bounds for (0 when the
+    /// stage is not enabled).
+    pub arrays_bounded: u64,
+    /// Largest per-plan total worst-case active-state bound seen.
+    pub peak_active_bound: u64,
     /// (machine × suite) cells simulated.
     pub cells_evaluated: u64,
     /// Largest worker count used by a grid fan-out.
@@ -235,6 +258,13 @@ impl fmt::Display for PipelineReport {
             "  compiled     : {} patterns -> {} states ({} pruned by analysis)",
             self.patterns_compiled, self.states_compiled, self.states_pruned
         )?;
+        if self.arrays_bounded > 0 {
+            writeln!(
+                f,
+                "  bounds       : {} arrays bounded (peak active-state bound {})",
+                self.arrays_bounded, self.peak_active_bound
+            )?;
+        }
         writeln!(
             f,
             "  simulated    : {} cells (grid workers <= {}, {:.3} s in fan-outs)",

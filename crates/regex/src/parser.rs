@@ -127,7 +127,7 @@ struct Parser<'a> {
     base: usize,
 }
 
-impl<'a> Parser<'a> {
+impl Parser<'_> {
     fn error(&self, message: &str) -> ParseError {
         ParseError {
             offset: self.base + self.pos,
@@ -299,8 +299,8 @@ impl<'a> Parser<'a> {
                 let cc = self.parse_escape()?;
                 Ok(Regex::Class(cc))
             }
-            Some(b'*') | Some(b'+') | Some(b'?') => Err(self.error("quantifier with no atom")),
-            Some(b'^') | Some(b'$') => Err(self.error("anchors only supported at pattern edges")),
+            Some(b'*' | b'+' | b'?') => Err(self.error("quantifier with no atom")),
+            Some(b'^' | b'$') => Err(self.error("anchors only supported at pattern edges")),
             Some(b) => {
                 self.pos += 1;
                 Ok(Regex::literal_byte(b))

@@ -33,7 +33,7 @@ mod result;
 
 pub use bank::{simulate_streaming, BankStats};
 pub use cost::CostModel;
-pub use replicate::{simulate_replicated, ReplicatedRun};
+pub use replicate::{max_match_span, simulate_replicated, ReplicatedRun};
 pub use result::{MatchEvent, RunResult};
 
 use rap_circuit::energy::Category;
@@ -587,7 +587,7 @@ mod tests {
             .expect_err("second pattern is malformed");
         match err {
             SimError::Compile { pattern, .. } => assert_eq!(pattern, 1),
-            other => panic!("unexpected error {other:?}"),
+            other @ SimError::IllegalMapping { .. } => panic!("unexpected error {other:?}"),
         }
     }
 

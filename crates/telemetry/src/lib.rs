@@ -87,9 +87,7 @@ impl Telemetry {
     /// enables it; `RAP_TRACE_SAMPLE` overrides the sampling period and
     /// `RAP_TRACE_RING` the ring capacity.
     pub fn from_env() -> Option<Arc<Telemetry>> {
-        let on = std::env::var("RAP_TRACE")
-            .map(|v| !v.is_empty() && v != "0")
-            .unwrap_or(false);
+        let on = std::env::var("RAP_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
         if !on {
             return None;
         }
@@ -142,7 +140,7 @@ impl Telemetry {
 
     /// Number of completed run traces waiting in the journal.
     pub fn trace_count(&self) -> usize {
-        self.journal.lock().map(|j| j.len()).unwrap_or(0)
+        self.journal.lock().map_or(0, |j| j.len())
     }
 
     /// Drains the journal and renders it as a JSONL trace (see

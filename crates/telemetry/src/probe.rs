@@ -97,6 +97,80 @@ pub struct RunTrace {
     pub dropped: u64,
 }
 
+impl RunTrace {
+    /// Peak sampled `active_states` per array, as `(array, peak)` pairs in
+    /// array order. Used to cross-validate the static worst-case bounds:
+    /// every observed peak must stay at or below its array's bound.
+    pub fn peak_active_states(&self) -> Vec<(u32, u64)> {
+        let mut peaks: Vec<(u32, u64)> = Vec::new();
+        for event in &self.events {
+            if let ProbeEvent::Array {
+                array,
+                active_states,
+                ..
+            } = event
+            {
+                match peaks.iter_mut().find(|(a, _)| a == array) {
+                    Some((_, peak)) => *peak = (*peak).max(*active_states),
+                    None => peaks.push((*array, *active_states)),
+                }
+            }
+        }
+        peaks.sort_unstable_by_key(|&(a, _)| a);
+        peaks
+    }
+
+    /// Largest sampled bank-level input-FIFO occupancy, in bytes.
+    pub fn peak_input_fifo_bytes(&self) -> u64 {
+        self.bank_peak(|e| {
+            if let ProbeEvent::Bank {
+                input_fifo_bytes, ..
+            } = e
+            {
+                Some(*input_fifo_bytes)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Largest sampled output-buffer occupancy, in match records.
+    pub fn peak_output_fifo_records(&self) -> u64 {
+        self.bank_peak(|e| {
+            if let ProbeEvent::Bank {
+                output_fifo_records,
+                ..
+            } = e
+            {
+                Some(*output_fifo_records)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Largest sampled consumed-byte skew between the fastest and slowest
+    /// lane.
+    pub fn peak_skew(&self) -> u64 {
+        self.bank_peak(|e| {
+            if let ProbeEvent::Bank {
+                min_consumed,
+                max_consumed,
+                ..
+            } = e
+            {
+                Some(max_consumed - min_consumed)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn bank_peak(&self, field: impl Fn(&ProbeEvent) -> Option<u64>) -> u64 {
+        self.events.iter().filter_map(field).max().unwrap_or(0)
+    }
+}
+
 /// The shared journal completed run traces are flushed into.
 pub(crate) type Journal = Arc<Mutex<Vec<RunTrace>>>;
 

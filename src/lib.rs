@@ -42,6 +42,7 @@
 //! | [`diag`] | shared diagnostic vocabulary (severity, location, report, JSON) |
 //! | [`verify`] | static legality verifier for plans (rules V001–V012) |
 //! | [`analyze`] | dataflow static analyzer over compiled IRs (rules A001–A011) + pruning |
+//! | [`bound`] | abstract-interpretation worst-case bounds over mapped plans (rules B001–B008) |
 //! | [`telemetry`] | metrics registry, span timing, cycle-sampled simulator probes, JSONL/Prometheus export |
 //! | [`pipeline`] | typed parse → compile → map → verify → simulate stages, plan cache, grid driver |
 //! | [`workloads`] | synthetic stand-ins for the seven benchmark suites (§5.1) |
@@ -50,6 +51,7 @@
 pub use rap_analyze as analyze;
 pub use rap_arch as arch;
 pub use rap_automata as automata;
+pub use rap_bound as bound;
 pub use rap_circuit as circuit;
 pub use rap_compiler as compiler;
 pub use rap_diag as diag;

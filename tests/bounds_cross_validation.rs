@@ -1,0 +1,103 @@
+//! Cross-validates the rap-bound static analyzer against the simulator:
+//! on every benchmark suite, the probe-observed peaks (active states per
+//! array, bank-buffer occupancy, page skew) must never exceed the
+//! certified static bounds. The bounds are computed without ever running
+//! the automata, so any violation here is a soundness bug in rap-bound.
+
+use rap::bound::{analyze_bounds, BoundAnalysis, BoundOptions};
+use rap::telemetry::{Telemetry, TelemetryConfig};
+use rap::workloads::{generate_input, generate_patterns, Suite};
+use rap::{Machine, Simulator};
+use std::sync::Arc;
+
+const PATTERNS: usize = 24;
+const INPUT_LEN: usize = 4_000;
+const SEED: u64 = 7;
+
+/// Builds the suite's plan, computes its static bounds, and runs one
+/// densely-sampled traced streaming simulation, returning the bounds and
+/// the observing telemetry context.
+fn bound_and_run(suite: Suite, machine: Machine) -> (BoundAnalysis, Arc<Telemetry>) {
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
+        sample_every: 1,
+        ring_capacity: 1 << 20,
+    }));
+    let sim = Simulator::new(machine)
+        .with_bv_depth(suite.chosen_bv_depth())
+        .with_bin_size(suite.chosen_bin_size())
+        .with_telemetry(Arc::clone(&telemetry));
+    let sources = generate_patterns(suite, PATTERNS, SEED);
+    let patterns: Vec<_> = sources
+        .iter()
+        .map(|s| rap::regex::parse_pattern(s).expect("suite patterns parse"))
+        .collect();
+    let images = sim.compile_parsed(&patterns).expect("suite compiles");
+    let mapping = sim.map_verified(&images).expect("suite maps legally");
+    let bounds = analyze_bounds(&images, &patterns, &mapping, &BoundOptions::bounds_only());
+
+    let input = generate_input(&sources, INPUT_LEN, 0.05, SEED);
+    let (_result, _stats) = sim.simulate_streaming(&images, &mapping, &input);
+    (bounds, telemetry)
+}
+
+#[test]
+fn observed_peaks_never_exceed_static_bounds() {
+    for suite in Suite::all() {
+        for machine in [Machine::Rap, Machine::Ca] {
+            let (bounds, telemetry) = bound_and_run(suite, machine);
+            let traces = telemetry.drain_traces();
+            assert!(!traces.is_empty(), "{suite:?}/{machine:?}: no trace");
+            for trace in &traces {
+                for (array, observed) in trace.peak_active_states() {
+                    let bound = bounds
+                        .arrays
+                        .iter()
+                        .find(|a| a.array == array as usize)
+                        .unwrap_or_else(|| {
+                            panic!("{suite:?}/{machine:?}: no bound for array {array}")
+                        });
+                    assert!(
+                        observed <= bound.peak_active_states,
+                        "{suite:?}/{machine:?} array {array}: observed {observed} active \
+                         states > static bound {}",
+                        bound.peak_active_states
+                    );
+                }
+                assert!(
+                    trace.peak_input_fifo_bytes() <= bounds.bank.input_fifo_bytes,
+                    "{suite:?}/{machine:?}: input FIFO {} > bound {}",
+                    trace.peak_input_fifo_bytes(),
+                    bounds.bank.input_fifo_bytes
+                );
+                assert!(
+                    trace.peak_output_fifo_records() <= bounds.bank.output_fifo_records,
+                    "{suite:?}/{machine:?}: output records {} > bound {}",
+                    trace.peak_output_fifo_records(),
+                    bounds.bank.output_fifo_records
+                );
+                assert!(
+                    trace.peak_skew() <= bounds.bank.max_skew,
+                    "{suite:?}/{machine:?}: skew {} > bound {}",
+                    trace.peak_skew(),
+                    bounds.bank.max_skew
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bounds_stay_clean_on_every_suite() {
+    // No suite should trip an Error-severity bound finding (dead counter
+    // reads or failed equivalence) — the compiler's output is supposed to
+    // be well-formed for every generated workload.
+    for suite in Suite::all() {
+        let (bounds, _telemetry) = bound_and_run(suite, Machine::Rap);
+        assert!(
+            bounds.report.is_legal(),
+            "{suite:?}: error-severity bound findings:\n{}",
+            bounds.report
+        );
+        assert!(!bounds.arrays.is_empty(), "{suite:?}: no arrays bounded");
+    }
+}
