@@ -1,0 +1,132 @@
+//! Warm-start benchmark for the persistent artifact store: runs every
+//! suite on RAP and CA twice against the same store directory — once
+//! cold (empty store, every plan compiled and written through) and once
+//! warm (fresh pipeline, every plan recalled from disk) — and writes the
+//! per-cell wall-clock comparison to `results/warmstart.csv`.
+//!
+//! The warm pass is asserted, not just measured: zero compile-stage
+//! invocations (`patterns_compiled == 0`, no time booked to Compile),
+//! one disk hit per plan, zero corrupt entries, and bit-identical match
+//! counts against the cold pass. `RAP_STORE_DIR` picks the directory
+//! (default: a fresh temp dir, removed afterwards); the usual
+//! `RAP_BENCH_*` knobs set the workload scale.
+
+use rap_bench::{config_from_env, store_from_env, tables::Table, Pipeline, StoreConfig};
+use rap_circuit::Machine;
+use rap_pipeline::Stage;
+use rap_workloads::Suite;
+use std::time::Instant;
+
+/// The machines compared per suite (the paper's subject vs the CA
+/// baseline; the intermediate design points add nothing to a cache
+/// benchmark).
+const MACHINES: [Machine; 2] = [Machine::Rap, Machine::Ca];
+
+/// One evaluated cell: wall-clock and the summary's match count (the
+/// cold/warm equivalence witness).
+struct Cell {
+    machine: Machine,
+    suite: Suite,
+    secs: f64,
+    matches: u64,
+}
+
+/// Runs every (machine, suite) cell through one fresh pipeline attached
+/// to `store`, timing each evaluation.
+fn run_pass(store: &StoreConfig, label: &str) -> (Vec<Cell>, rap_pipeline::PipelineReport) {
+    let pipe = Pipeline::new(config_from_env())
+        .with_store(store.clone())
+        .unwrap_or_else(|e| panic!("open artifact store at {}: {e}", store.dir.display()));
+    let mut cells = Vec::new();
+    for suite in Suite::all() {
+        let corpus = pipe.corpus(suite);
+        for machine in MACHINES {
+            let started = Instant::now();
+            let summary = pipe
+                .eval(machine, suite, corpus.patterns(), corpus.input(), None)
+                .unwrap_or_else(|e| panic!("{label}: {machine}/{} failed: {e}", suite.name()));
+            cells.push(Cell {
+                machine,
+                suite,
+                secs: started.elapsed().as_secs_f64(),
+                matches: summary.matches,
+            });
+        }
+    }
+    (cells, pipe.report())
+}
+
+fn main() {
+    let (store, ephemeral) = match store_from_env() {
+        Some(config) => (config, false),
+        None => {
+            let dir = std::env::temp_dir().join(format!("rap-warmstart-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            (StoreConfig::at(dir), true)
+        }
+    };
+    println!("warmstart: store at {}", store.dir.display());
+
+    let (cold, cold_report) = run_pass(&store, "cold");
+    let (warm, warm_report) = run_pass(&store, "warm");
+
+    // The warm pass must be a pure recall: nothing compiled, no time
+    // booked to the compile stage, one disk hit per plan, nothing
+    // corrupt, and the same matches the cold pass produced.
+    assert_eq!(
+        warm_report.patterns_compiled, 0,
+        "warm pass compiled patterns: {warm_report}"
+    );
+    assert_eq!(
+        warm_report.stage_secs(Stage::Compile),
+        0.0,
+        "warm pass booked compile time: {warm_report}"
+    );
+    let disk = warm_report
+        .disk_store
+        .expect("warm pipeline has a disk store attached");
+    assert_eq!(
+        disk.hits as usize,
+        cold.len(),
+        "expected one disk hit per plan: {warm_report}"
+    );
+    assert_eq!(disk.corrupt, 0, "warm pass hit corrupt entries");
+    for (c, w) in cold.iter().zip(warm.iter()) {
+        assert_eq!(
+            c.matches,
+            w.matches,
+            "{}/{}: warm matches diverge from cold",
+            c.machine,
+            c.suite.name()
+        );
+    }
+
+    let mut table = Table::new(["machine", "suite", "cold_secs", "warm_secs", "speedup"]);
+    for (c, w) in cold.iter().zip(warm.iter()) {
+        let speedup = if w.secs > 0.0 {
+            c.secs / w.secs
+        } else {
+            f64::INFINITY
+        };
+        table.row([
+            c.machine.name().to_string(),
+            c.suite.name().to_string(),
+            format!("{:.4}", c.secs),
+            format!("{:.4}", w.secs),
+            format!("{speedup:.2}"),
+        ]);
+    }
+    println!("\n{}", table.render());
+    table.write_csv("warmstart");
+
+    println!("cold pass:\n{cold_report}");
+    println!("warm pass:\n{warm_report}");
+    println!(
+        "warmstart: OK — warm pass compiled nothing ({} disk hits)",
+        disk.hits
+    );
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&store.dir);
+    }
+}

@@ -8,7 +8,11 @@ pub const VDD_V: f64 = 0.9;
 
 /// A circuit component model: access energy (as a min–max range scaled by
 /// activity), critical-path delay, layout area, and leakage current.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is deliberately absent: the `&'static str` name only
+/// exists as a compile-time table entry, so models are serialized (for
+/// reports) but never read back from bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct ComponentModel {
     /// Human-readable name (matches Table 1).
     pub name: &'static str,

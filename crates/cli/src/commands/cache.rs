@@ -1,0 +1,356 @@
+//! `rap cache` — inspect and manage the persistent artifact store.
+//!
+//! Pipeline runs with a store attached (`--store-dir` on `rap bound` /
+//! `rap trace`, `RAP_STORE_DIR` for the bench harness) write verified
+//! plans into a content-addressed directory; this command is the
+//! operator surface over that directory: occupancy and lifetime hit
+//! rates (`stats`), size-budgeted LRU eviction (`gc`), and full wipe
+//! (`clear`).
+
+use super::outln;
+use crate::args::Args;
+use crate::CliError;
+use rap_diag::{Location, Report, RuleCode, Severity};
+use rap_pipeline::{DiskStore, StoreConfig, TierStats};
+use std::io::Write;
+
+const HELP: &str = "\
+rap cache — inspect and manage the persistent artifact store
+
+The store is a content-addressed directory of verified plans, keyed by
+the pipeline's stable FNV-1a/128 cache keys. Entries carry a versioned
+header and payload checksum; loads re-verify through the V-rules, so a
+corrupt entry is discarded and rebuilt, never trusted.
+
+USAGE:
+    rap cache <ACTION> [FLAGS]
+
+ACTIONS:
+    stats    Entry count, bytes on disk, and lifetime hit/miss/corrupt
+             counters with the disk-tier hit rate
+    gc       Evict least-recently-used entries until the store fits
+             --max-bytes
+    clear    Remove every entry (and the lifetime counters)
+
+FLAGS:
+    --store-dir DIR   store directory (default $XDG_CACHE_HOME/rap/store
+                      or ~/.cache/rap/store)
+    --max-bytes N     gc: size budget in bytes (required for gc)
+    --json            emit a JSON object; findings use the shared
+                      rap-diag schema under \"report\"";
+
+/// Store-health findings `rap cache` can raise (shared rap-diag codes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheRule {
+    /// C001: entries failed integrity or re-verification and were
+    /// discarded over the store's lifetime.
+    Corrupt,
+    /// C002: entries written by a different store-format version were
+    /// skipped (rebuilt, file left in place).
+    Stale,
+}
+
+impl RuleCode for CacheRule {
+    fn code(&self) -> &'static str {
+        match self {
+            CacheRule::Corrupt => "C001-corrupt-entries",
+            CacheRule::Stale => "C002-stale-version",
+        }
+    }
+}
+
+/// Health findings derived from the lifetime counters. Corruption is a
+/// warning (the store self-healed by rebuilding, but bit rot or tampering
+/// happened); stale versions are informational (expected across upgrades).
+fn health_report(stats: &TierStats) -> Report<CacheRule> {
+    let mut report = Report::default();
+    if stats.corrupt > 0 {
+        report.push(
+            CacheRule::Corrupt,
+            Severity::Warning,
+            Location::default(),
+            format!(
+                "{} corrupt entr{} discarded and rebuilt over the store's lifetime",
+                stats.corrupt,
+                if stats.corrupt == 1 { "y" } else { "ies" }
+            ),
+        );
+    }
+    if stats.stale > 0 {
+        report.push(
+            CacheRule::Stale,
+            Severity::Info,
+            Location::default(),
+            format!(
+                "{} load(s) skipped entries from a different store-format version",
+                stats.stale
+            ),
+        );
+    }
+    report
+}
+
+/// Resolves the store directory from `--store-dir` or the user default.
+fn resolve_dir(args: &Args) -> Result<StoreConfig, CliError> {
+    match args.flag("store-dir") {
+        Some(dir) => Ok(StoreConfig::at(dir)),
+        None => StoreConfig::default_dir()
+            .map(StoreConfig::at)
+            .ok_or_else(|| {
+                CliError::Usage(
+                    "no --store-dir given and neither $XDG_CACHE_HOME nor $HOME is set".to_string(),
+                )
+            }),
+    }
+}
+
+/// Runs the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        outln!(out, "{HELP}");
+        return Ok(());
+    }
+    let action = args.positional(0, "action")?.to_string();
+    let config = resolve_dir(&args)?;
+    let dir = config.dir.clone();
+    let store =
+        DiskStore::open(config).map_err(|e| CliError::Runtime(format!("open {dir:?}: {e}")))?;
+    let json = args.switch("json");
+
+    match action.as_str() {
+        "stats" => {
+            let entries = store.entries();
+            let bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+            let stats = store.cumulative_stats();
+            let report = health_report(&stats);
+            if json {
+                outln!(
+                    out,
+                    "{{\"dir\": \"{}\", \"entries\": {}, \"bytes\": {}, \
+                     \"tiers\": {{\"disk\": {{\"hits\": {}, \"misses\": {}, \
+                     \"writes\": {}, \"corrupt\": {}, \"stale\": {}, \
+                     \"evictions\": {}, \"hit_rate\": {:.4}}}}}, \"report\": {}}}",
+                    rap_diag::json_escape(&dir.display().to_string()),
+                    entries.len(),
+                    bytes,
+                    stats.hits,
+                    stats.misses,
+                    stats.writes,
+                    stats.corrupt,
+                    stats.stale,
+                    stats.evictions,
+                    stats.hit_rate(),
+                    report.to_json()
+                );
+            } else {
+                outln!(out, "store   : {}", dir.display());
+                outln!(out, "entries : {} ({bytes} bytes)", entries.len());
+                outln!(
+                    out,
+                    "disk    : {} hits, {} misses ({:.1}% hit rate), {} writes",
+                    stats.hits,
+                    stats.misses,
+                    stats.hit_rate() * 100.0,
+                    stats.writes
+                );
+                outln!(
+                    out,
+                    "health  : {} corrupt, {} stale, {} evicted",
+                    stats.corrupt,
+                    stats.stale,
+                    stats.evictions
+                );
+                if !report.is_empty() {
+                    out.write_all(report.to_string().as_bytes())
+                        .map_err(|e| CliError::Runtime(e.to_string()))?;
+                }
+            }
+        }
+        "gc" => {
+            let max_bytes: u64 =
+                args.flag_num("max-bytes", u64::MAX).and_then(|v: u64| {
+                    match args.flag("max-bytes") {
+                        Some(_) => Ok(v),
+                        None => Err(CliError::Usage(
+                            "gc needs --max-bytes <n> (the size budget)".to_string(),
+                        )),
+                    }
+                })?;
+            let evicted = store.evict_to(max_bytes);
+            let remaining = store.total_bytes();
+            if json {
+                outln!(
+                    out,
+                    "{{\"evicted\": {evicted}, \"remaining_bytes\": {remaining}, \
+                     \"max_bytes\": {max_bytes}, \"report\": {}}}",
+                    Report::<CacheRule>::default().to_json()
+                );
+            } else {
+                outln!(
+                    out,
+                    "gc: evicted {evicted} entr{}, {remaining} bytes remain (budget {max_bytes})",
+                    if evicted == 1 { "y" } else { "ies" }
+                );
+            }
+        }
+        "clear" => {
+            let removed = store.clear();
+            if json {
+                outln!(
+                    out,
+                    "{{\"removed\": {removed}, \"report\": {}}}",
+                    Report::<CacheRule>::default().to_json()
+                );
+            } else {
+                outln!(
+                    out,
+                    "clear: removed {removed} entr{}",
+                    if removed == 1 { "y" } else { "ies" }
+                );
+            }
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown cache action {other:?} (expected stats, gc, or clear)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_pipeline::CacheKey;
+
+    fn run_ok(argv: &[&str]) -> String {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&argv, &mut out).expect("cache command succeeds");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rap-cli-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stats_reports_entries_and_rates() {
+        let dir = temp_store("stats");
+        {
+            let store = DiskStore::open(StoreConfig::at(&dir)).expect("opens");
+            store.store(CacheKey(1), b"abc");
+            assert!(store.load(CacheKey(1)).is_some());
+        }
+        let s = run_ok(&["stats", "--store-dir", dir.to_str().expect("utf8")]);
+        assert!(s.contains("entries : 1"), "{s}");
+        assert!(
+            s.contains("1 hits, 0 misses (100.0% hit rate), 1 writes"),
+            "{s}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_json_carries_tiers_and_diag_report() {
+        let dir = temp_store("stats-json");
+        {
+            let store = DiskStore::open(StoreConfig::at(&dir)).expect("opens");
+            store.store(CacheKey(7), b"payload");
+        }
+        let s = run_ok(&[
+            "stats",
+            "--store-dir",
+            dir.to_str().expect("utf8"),
+            "--json",
+        ]);
+        assert!(s.contains("\"entries\": 1"), "{s}");
+        assert!(s.contains("\"hit_rate\""), "{s}");
+        assert!(s.contains("\"legal\": true"), "{s}");
+        assert!(s.contains("\"findings\": []"), "{s}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_surfaces_as_diag_finding() {
+        let dir = temp_store("corrupt");
+        {
+            let store = DiskStore::open(StoreConfig::at(&dir)).expect("opens");
+            store.store(CacheKey(9), b"to-be-damaged");
+            let path = store.path_for(CacheKey(9));
+            let mut bytes = std::fs::read(&path).expect("entry exists");
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0x40;
+            std::fs::write(&path, &bytes).expect("rewrites");
+            assert!(store.load(CacheKey(9)).is_none(), "checksum rejects");
+        }
+        let s = run_ok(&[
+            "stats",
+            "--store-dir",
+            dir.to_str().expect("utf8"),
+            "--json",
+        ]);
+        assert!(s.contains("C001-corrupt-entries"), "{s}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_enforces_budget_and_clear_wipes() {
+        let dir = temp_store("gc");
+        {
+            let store = DiskStore::open(StoreConfig::at(&dir)).expect("opens");
+            for i in 0..3u128 {
+                store.store(CacheKey(i), &[0u8; 64]);
+                std::thread::sleep(std::time::Duration::from_millis(15));
+            }
+        }
+        let dir_s = dir.to_str().expect("utf8");
+        let s = run_ok(&["gc", "--store-dir", dir_s, "--max-bytes", "150", "--json"]);
+        assert!(s.contains("\"evicted\": 2"), "{s}");
+        let s = run_ok(&["clear", "--store-dir", dir_s]);
+        assert!(s.contains("removed 1 entry"), "{s}");
+        let s = run_ok(&["stats", "--store-dir", dir_s]);
+        assert!(s.contains("entries : 0"), "{s}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_without_budget_is_usage_error() {
+        let dir = temp_store("gc-usage");
+        let argv = vec![
+            "gc".to_string(),
+            "--store-dir".to_string(),
+            dir.to_str().expect("utf8").to_string(),
+        ];
+        let mut out = Vec::new();
+        assert!(matches!(run(&argv, &mut out), Err(CliError::Usage(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_action_is_usage_error() {
+        let dir = temp_store("action");
+        let argv = vec![
+            "frob".to_string(),
+            "--store-dir".to_string(),
+            dir.to_str().expect("utf8").to_string(),
+        ];
+        let mut out = Vec::new();
+        assert!(matches!(run(&argv, &mut out), Err(CliError::Usage(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn help_prints_actions() {
+        let s = run_ok(&["--help"]);
+        assert!(s.contains("stats"), "{s}");
+        assert!(s.contains("--max-bytes"), "{s}");
+    }
+}

@@ -30,7 +30,9 @@ FLAGS:
     --seed S        RNG seed                     (default 42)
     --sample N      probe sampling period, cycles (default 16)
     --top N         hottest arrays to list       (default 5)
-    --out FILE      also write the raw JSONL trace to FILE";
+    --out FILE      also write the raw JSONL trace to FILE
+    --store-dir D   persistent artifact store directory: recall the plan
+                    from an earlier run instead of recompiling";
 
 /// Width of the activity profile's bar column.
 const BAR_WIDTH: usize = 40;
@@ -58,7 +60,10 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     }));
     let top: usize = args.flag_num("top", 5)?;
 
-    let pipe = Pipeline::new(spec).with_telemetry(Arc::clone(&telemetry));
+    let pipe = super::attach_store(
+        Pipeline::new(spec).with_telemetry(Arc::clone(&telemetry)),
+        &args,
+    )?;
     let corpus = pipe.corpus(suite);
     let summary = pipe
         .eval(machine, suite, corpus.patterns(), corpus.input(), None)

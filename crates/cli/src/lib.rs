@@ -12,6 +12,7 @@
 //! rap analyze <suite> [--machine M] [--patterns N] [--prune] [--json]
 //! rap bound   <suite> [--machine M] [--patterns N] [--equivalence] [--json]
 //! rap trace   <suite> [--machine M] [--sample N] [--top N] [--out FILE]
+//! rap cache   stats|gc|clear [--store-dir DIR] [--max-bytes N] [--json]
 //! ```
 //!
 //! Pattern files contain one PCRE-style pattern per line; blank lines and
@@ -73,6 +74,7 @@ COMMANDS:
     analyze    Run the dataflow static analyzer over a suite's automata
     bound      Compute certified worst-case bounds for a suite's mapped plan
     trace      Profile one suite with cycle-level telemetry attached
+    cache      Inspect or manage the persistent artifact store
     help       Show this message
 
 Run `rap <COMMAND> --help` for command-specific flags.";
@@ -100,6 +102,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "analyze" => commands::analyze::run(rest, out),
         "bound" => commands::bound::run(rest, out),
         "trace" => commands::trace::run(rest, out),
+        "cache" => commands::cache::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| CliError::Runtime(e.to_string()))
         }

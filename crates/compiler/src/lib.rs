@@ -158,7 +158,7 @@ impl From<rap_arch::config::BvDepthError> for CompileError {
 }
 
 /// A regex compiled for one of the three modes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum Compiled {
     /// Basic NFA image.
     Nfa(CompiledNfa),

@@ -20,7 +20,7 @@ pub enum MatchPath {
 }
 
 /// One linear chain plus its matching path.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LnfaUnit {
     /// The chain.
     pub lnfa: Lnfa,
@@ -41,7 +41,7 @@ impl LnfaUnit {
 }
 
 /// A regex compiled for LNFA mode: a union of chains.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CompiledLnfa {
     /// The chains; the regex matches when any chain matches.
     pub units: Vec<LnfaUnit>,

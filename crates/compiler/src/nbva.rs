@@ -23,7 +23,7 @@ pub struct BvAlloc {
 }
 
 /// A regex compiled for NBVA mode.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CompiledNbva {
     /// The automaton (bit-vector semantics included).
     pub nbva: Nbva,

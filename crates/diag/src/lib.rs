@@ -14,6 +14,7 @@
 //! The rule enums themselves stay in their home crates (they document the
 //! checks); this crate is generic over any type implementing [`RuleCode`].
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A rule identifier with a stable, append-only diagnostic code such as
@@ -24,7 +25,7 @@ pub trait RuleCode: Copy + Eq + fmt::Debug {
 }
 
 /// How bad a finding is.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Severity {
     /// Advisory only; the artifact is legal.
     Info,
@@ -47,7 +48,7 @@ impl fmt::Display for Severity {
 /// Where a finding points: any subset of array / pattern / state / tile /
 /// bin indices. The mapping verifier fills array/tile/bin; the automata
 /// analyzer fills pattern/state.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Location {
     /// Array index in `Mapping::arrays`.
     pub array: Option<usize>,
@@ -130,7 +131,7 @@ impl fmt::Display for Location {
 }
 
 /// One finding.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic<R> {
     /// The violated (or advisory) rule.
     pub rule: R,
@@ -156,7 +157,7 @@ impl<R: RuleCode> fmt::Display for Diagnostic<R> {
 }
 
 /// A lint run's output: every finding, in check order.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Report<R> {
     /// The findings.
     pub diagnostics: Vec<Diagnostic<R>>,

@@ -1,4 +1,4 @@
-//! Content-addressed artifact cache.
+//! Content addressing for compile artifacts: keys and stable hashing.
 //!
 //! Compile products are keyed by a *stable* hash of everything that
 //! determines them: the pattern sources, the target machine, the forced
@@ -7,25 +7,34 @@
 //! serialization — independent of `std::hash::Hash` (whose output is not
 //! guaranteed stable across releases) and of struct layout.
 //!
-//! The cache itself is a two-level map: an outer lock resolves the key to
-//! a per-key build cell, and the cell's own lock serializes construction,
-//! so two workers racing on the *same* key build the artifact exactly once
-//! while workers on *different* keys build concurrently.
+//! The storage side — the in-memory build-once map and the persistent
+//! on-disk tier addressed by these keys — lives in [`crate::store`].
 
 use rap_compiler::CompilerConfig;
 use rap_mapper::MapperConfig;
-use std::collections::HashMap;
+use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::str::FromStr;
 
 /// A 128-bit content address identifying one compile product.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Its canonical text form — [`fmt::Display`] and [`FromStr`] — is 32
+/// lowercase hex digits, used verbatim as the disk-tier filename stem so
+/// keys look identical in reports, `rap cache` output, and `ls`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CacheKey(pub u128);
 
 impl fmt::Display for CacheKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for CacheKey {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<CacheKey, Self::Err> {
+        u128::from_str_radix(s, 16).map(CacheKey)
     }
 }
 
@@ -175,89 +184,6 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-/// A content-addressed map from [`CacheKey`] to a shared artifact.
-///
-/// Generic over the artifact type so the same machinery caches verified
-/// plans today and could cache, e.g., serialized images later.
-#[derive(Debug, Default)]
-pub struct ArtifactCache<T> {
-    cells: Mutex<HashMap<CacheKey, Arc<Cell<T>>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-}
-
-#[derive(Debug)]
-struct Cell<T> {
-    slot: Mutex<Option<Arc<T>>>,
-}
-
-impl<T> ArtifactCache<T> {
-    /// An empty cache.
-    pub fn new() -> ArtifactCache<T> {
-        ArtifactCache {
-            cells: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
-    }
-
-    /// Returns the artifact for `key`, building it with `build` on a miss.
-    ///
-    /// Concurrent callers with the same key build once (the losers wait and
-    /// receive the winner's artifact, counted as hits); failed builds are
-    /// not cached, so a later retry runs `build` again.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the error returned by `build`.
-    pub fn get_or_build<E>(
-        &self,
-        key: CacheKey,
-        build: impl FnOnce() -> Result<T, E>,
-    ) -> Result<Arc<T>, E> {
-        let cell = {
-            let mut cells = self.cells.lock().expect("cache lock poisoned");
-            Arc::clone(cells.entry(key).or_insert_with(|| {
-                Arc::new(Cell {
-                    slot: Mutex::new(None),
-                })
-            }))
-        };
-        let mut slot = cell.slot.lock().expect("cache cell lock poisoned");
-        if let Some(artifact) = slot.as_ref() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(artifact));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let artifact = Arc::new(build()?);
-        *slot = Some(Arc::clone(&artifact));
-        Ok(artifact)
-    }
-
-    /// Current hit/miss totals.
-    pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Number of distinct keys holding a built artifact.
-    pub fn len(&self) -> usize {
-        self.cells
-            .lock()
-            .expect("cache lock poisoned")
-            .values()
-            .filter(|c| c.slot.lock().expect("cell lock poisoned").is_some())
-            .count()
-    }
-
-    /// Whether no artifact has been cached yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,25 +211,11 @@ mod tests {
     }
 
     #[test]
-    fn cache_builds_once_per_key() {
-        let cache: ArtifactCache<u32> = ArtifactCache::new();
-        let key = CacheKey(7);
-        let a = cache.get_or_build(key, || Ok::<_, ()>(41)).expect("builds");
-        let b = cache
-            .get_or_build(key, || -> Result<u32, ()> { panic!("must not rebuild") })
-            .expect("cached");
-        assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
-        assert_eq!(cache.len(), 1);
-    }
-
-    #[test]
-    fn failed_builds_are_retried() {
-        let cache: ArtifactCache<u32> = ArtifactCache::new();
-        let key = CacheKey(9);
-        assert!(cache.get_or_build(key, || Err::<u32, _>("boom")).is_err());
-        let v = cache.get_or_build(key, || Ok::<_, ()>(5)).expect("builds");
-        assert_eq!(*v, 5);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+    fn cache_key_text_form_round_trips() {
+        let key = CacheKey(0x0123_4567_89ab_cdef_0011_2233_4455_6677);
+        let text = key.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(text.parse::<CacheKey>().unwrap(), key);
+        assert!("not-hex".parse::<CacheKey>().is_err());
     }
 }

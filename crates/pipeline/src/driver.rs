@@ -7,9 +7,9 @@
 //! charging wall-clock and work counters to a [`PipelineReport`].
 
 use crate::artifact::{PatternSet, VerifiedPlan};
-use crate::cache::ArtifactCache;
 use crate::error::EvalError;
 use crate::report::{Metrics, PipelineReport, Stage};
+use crate::store::{DiskTier, StoreConfig, TierStats, TieredStore};
 use crate::summary::RunSummary;
 use crate::workload::{self, BenchConfig, SuiteCorpus};
 use rap_circuit::Machine;
@@ -85,7 +85,7 @@ where
 pub struct Pipeline {
     spec: BenchConfig,
     workers: usize,
-    plans: ArtifactCache<VerifiedPlan>,
+    plans: TieredStore<VerifiedPlan>,
     metrics: Metrics,
     telemetry: Option<Arc<Telemetry>>,
     analysis: Option<rap_analyze::AnalyzeOptions>,
@@ -99,7 +99,7 @@ impl Pipeline {
         Pipeline {
             spec,
             workers: default_workers(),
-            plans: ArtifactCache::new(),
+            plans: TieredStore::new(),
             metrics: Metrics::default(),
             telemetry: None,
             analysis: None,
@@ -112,6 +112,35 @@ impl Pipeline {
     pub fn with_workers(mut self, workers: usize) -> Pipeline {
         self.workers = workers.max(1);
         self
+    }
+
+    /// Attaches a persistent disk tier behind the in-memory plan cache:
+    /// plans built in this process are written through to `config.dir`,
+    /// and later processes sharing the directory load them back instead
+    /// of compiling — a warm run of the full evaluation compiles nothing.
+    ///
+    /// Loaded plans are untrusted: they re-enter through the full
+    /// [`crate::MappedPlan::verify`] path (with the Bound stage re-run
+    /// when enabled), so a corrupt or tampered file is rejected, counted
+    /// ([`TierStats::corrupt`]), and rebuilt from source.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the store directory cannot be created.
+    pub fn with_store(mut self, config: StoreConfig) -> std::io::Result<Pipeline> {
+        let tier = DiskTier::<VerifiedPlan>::open(config)?;
+        self.plans = std::mem::take(&mut self.plans).with_disk(Box::new(tier));
+        Ok(self)
+    }
+
+    /// Whether a persistent disk tier is attached.
+    pub fn has_store(&self) -> bool {
+        self.plans.has_disk()
+    }
+
+    /// Disk-tier counters, when a store is attached.
+    pub fn store_stats(&self) -> Option<TierStats> {
+        self.plans.disk_stats()
     }
 
     /// Attaches an observability context: per-stage spans and cache
@@ -193,7 +222,10 @@ impl Pipeline {
 
     /// Returns the verified plan for `(patterns, machine, configs)`,
     /// compiling/mapping/verifying on a cache miss and recalling the
-    /// shared artifact on a hit.
+    /// shared artifact on a hit. With a disk store attached, a miss first
+    /// probes the store: a disk hit re-verifies the loaded plan (and
+    /// re-runs the Bound stage when enabled — bound analyses are derived,
+    /// not persisted) instead of compiling.
     ///
     /// # Errors
     ///
@@ -211,7 +243,19 @@ impl Pipeline {
         if let Some(options) = &self.bounds {
             key = crate::cache::bounds_key(key, options);
         }
-        self.plans.get_or_build(key, || {
+        let rehydrate = |plan: Arc<VerifiedPlan>| match &self.bounds {
+            Some(options) => {
+                let plan = self.metrics.timed(Stage::Bound, || {
+                    Arc::unwrap_or_clone(plan).bound(patterns.parsed(), options)
+                });
+                let bounds = plan.bounds().expect("bound stage attaches bounds");
+                self.metrics
+                    .record_bounds(bounds.arrays.len() as u64, bounds.total_peak_active());
+                Arc::new(plan)
+            }
+            None => plan,
+        };
+        self.plans.get_or_build(key, rehydrate, || {
             let compiled = self
                 .metrics
                 .timed(Stage::Compile, || patterns.compile(sim, forced))?;
@@ -335,8 +379,11 @@ impl Pipeline {
 
     /// Snapshots the instrumentation accumulated so far.
     pub fn report(&self) -> PipelineReport {
-        self.metrics
-            .snapshot(self.plans.stats(), workload::corpus_stats())
+        self.metrics.snapshot(
+            self.plans.stats(),
+            self.plans.disk_stats(),
+            workload::corpus_stats(),
+        )
     }
 }
 
@@ -515,6 +562,95 @@ mod tests {
         let without = crate::cache::analysis_key(base, &rap_analyze::AnalyzeOptions::report_only());
         assert_ne!(base, with_prune);
         assert_ne!(with_prune, without);
+    }
+
+    #[test]
+    fn warm_pipeline_loads_plans_from_disk_without_compiling() {
+        let dir = std::env::temp_dir().join(format!(
+            "rap-pipe-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = BenchConfig {
+            patterns_per_suite: 4,
+            input_len: 256,
+            match_rate: 0.02,
+            seed: 3,
+        };
+
+        // Cold: compiles and writes through to disk.
+        let cold = Pipeline::new(spec)
+            .with_store(StoreConfig::at(&dir))
+            .expect("store opens");
+        let corpus = cold.corpus(Suite::Snort);
+        let sim = cold.simulator_for(Machine::Rap, Suite::Snort);
+        let cold_plan = cold.plan(&sim, corpus.patterns(), None).expect("plans");
+        let report = cold.report();
+        assert_eq!(report.patterns_compiled, 4);
+        let disk = report.disk_store.expect("disk tier attached");
+        assert_eq!((disk.hits, disk.misses, disk.writes), (0, 1, 1));
+
+        // Warm (fresh pipeline = fresh process-alike): loads from disk,
+        // re-verifies, compiles nothing.
+        let warm = Pipeline::new(spec)
+            .with_store(StoreConfig::at(&dir))
+            .expect("store opens");
+        let warm_plan = warm.plan(&sim, corpus.patterns(), None).expect("plans");
+        let report = warm.report();
+        assert_eq!(report.patterns_compiled, 0, "warm run must not compile");
+        assert_eq!(report.stage_secs(Stage::Compile), 0.0);
+        let disk = report.disk_store.expect("disk tier attached");
+        assert_eq!((disk.hits, disk.misses, disk.corrupt), (1, 0, 0));
+        // The loaded plan is behaviourally identical to the built one.
+        assert_eq!(
+            warm_plan.compiled().state_count(),
+            cold_plan.compiled().state_count()
+        );
+        let input = corpus.input();
+        assert_eq!(
+            warm_plan.simulate(input).matches,
+            cold_plan.simulate(input).matches
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_hit_reruns_bound_stage_when_enabled() {
+        let dir = std::env::temp_dir().join(format!(
+            "rap-pipe-store-bound-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = BenchConfig {
+            patterns_per_suite: 4,
+            input_len: 256,
+            match_rate: 0.02,
+            seed: 3,
+        };
+        let make = || {
+            Pipeline::new(spec)
+                .with_bounds(rap_bound::BoundOptions::bounds_only())
+                .with_store(StoreConfig::at(&dir))
+                .expect("store opens")
+        };
+
+        let cold = make();
+        let corpus = cold.corpus(Suite::Snort);
+        let sim = cold.simulator_for(Machine::Rap, Suite::Snort);
+        cold.plan(&sim, corpus.patterns(), None).expect("plans");
+
+        // Bound analyses are derived, not persisted: a disk hit must
+        // re-attach them by re-running the Bound stage.
+        let warm = make();
+        let plan = warm.plan(&sim, corpus.patterns(), None).expect("plans");
+        assert!(plan.bounds().is_some(), "bounds re-attached on disk hit");
+        let report = warm.report();
+        assert_eq!(report.patterns_compiled, 0);
+        assert!(report.arrays_bounded > 0);
+        assert!(report.stage_secs(Stage::Bound) > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

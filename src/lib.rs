@@ -121,6 +121,29 @@ impl Rap {
         Ok(Rap { plan })
     }
 
+    /// Compiles through a shared [`pipeline::Pipeline`], so the plan
+    /// lands in (and can be recalled from) its caches — including the
+    /// persistent disk store when one is attached
+    /// ([`pipeline::Pipeline::with_store`]): a pattern set compiled by an
+    /// earlier process loads from disk instead of recompiling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Compile`] when a pattern fails to parse or
+    /// compile, and [`SimError::IllegalMapping`] when the placement
+    /// violates a hardware legality rule.
+    pub fn with_pipeline(
+        pipe: &pipeline::Pipeline,
+        simulator: &Simulator,
+        patterns: &[String],
+    ) -> Result<Rap, SimError> {
+        let pats = PatternSet::parse(patterns).map_err(SimError::from)?;
+        let plan = pipe.plan(simulator, &pats, None).map_err(SimError::from)?;
+        Ok(Rap {
+            plan: std::sync::Arc::unwrap_or_clone(plan),
+        })
+    }
+
     /// The verified plan (compile product + placement + advisories).
     pub fn plan(&self) -> &VerifiedPlan {
         &self.plan
@@ -210,5 +233,43 @@ mod tests {
     fn facade_propagates_errors() {
         let err = Rap::compile(&["(oops".to_string()]).expect_err("parse error");
         assert!(matches!(err, SimError::Compile { pattern: 0, .. }));
+    }
+
+    #[test]
+    fn facade_compiles_through_shared_pipeline_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "rap-facade-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = pipeline::BenchConfig {
+            patterns_per_suite: 2,
+            input_len: 64,
+            match_rate: 0.02,
+            seed: 1,
+        };
+        let patterns = vec!["hello world".to_string(), "x.*yz".to_string()];
+        let sim = Simulator::new(Machine::Rap);
+
+        let cold_pipe = pipeline::Pipeline::new(spec)
+            .with_store(pipeline::StoreConfig::at(&dir))
+            .expect("store opens");
+        let cold = Rap::with_pipeline(&cold_pipe, &sim, &patterns).expect("compiles");
+
+        // A fresh pipeline over the same directory recalls the plan from
+        // disk: zero compiles, identical scan results.
+        let warm_pipe = pipeline::Pipeline::new(spec)
+            .with_store(pipeline::StoreConfig::at(&dir))
+            .expect("store opens");
+        let warm = Rap::with_pipeline(&warm_pipe, &sim, &patterns).expect("loads");
+        assert_eq!(warm_pipe.report().patterns_compiled, 0);
+        let input = b"hello world xqqyz";
+        assert_eq!(
+            warm.scan(input).matches,
+            cold.scan(input).matches,
+            "disk-loaded plan must scan identically"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

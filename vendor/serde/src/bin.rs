@@ -1,0 +1,723 @@
+//! The binary codec behind [`Serialize`](crate::Serialize) and
+//! [`Deserialize`](crate::Deserialize).
+//!
+//! Format rules:
+//!
+//! - integers and floats: fixed-width little-endian (`usize` travels as
+//!   `u64`, floats as their IEEE-754 bit patterns, so round-trips are
+//!   bit-identical even for NaN payloads);
+//! - `bool`: one byte, `0` or `1` (anything else is a decode error);
+//! - `char`: its `u32` scalar value (validated on decode);
+//! - strings / `Vec` / `VecDeque` / maps: `u64` element count followed
+//!   by the elements;
+//! - `Option<T>`: one tag byte (`0` = `None`, `1` = `Some`) then the
+//!   payload;
+//! - `[T; N]`: the `N` elements with no prefix (the length is in the
+//!   type);
+//! - derived enums: `u32` variant tag (declaration order) then the
+//!   variant's fields.
+//!
+//! Decoding is total: every primitive read checks the remaining length,
+//! and [`Decoder::read_len`] rejects any length prefix that promises
+//! more elements than the remaining bytes could possibly hold, so a
+//! flipped byte in a length field fails fast instead of allocating.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use crate::{Deserialize, Serialize};
+
+/// Error produced when decoding malformed or truncated input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before a value could be fully read.
+    Eof {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that were actually left.
+        remaining: usize,
+    },
+    /// Input bytes remained after the outermost value was decoded.
+    Trailing {
+        /// Number of undecoded bytes left over.
+        remaining: usize,
+    },
+    /// An enum variant tag did not match any known variant.
+    BadVariant {
+        /// Name of the enum being decoded.
+        type_name: &'static str,
+        /// The unrecognised tag value.
+        tag: u32,
+    },
+    /// A length prefix promised more data than the input holds.
+    BadLength {
+        /// The claimed element count.
+        len: u64,
+        /// Bytes actually remaining in the input.
+        remaining: usize,
+    },
+    /// A string's bytes were not valid UTF-8.
+    Utf8,
+    /// A `bool` byte was neither 0 nor 1, or a `char` was not a valid
+    /// Unicode scalar value.
+    BadValue(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Eof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} left"
+                )
+            }
+            Self::Trailing { remaining } => {
+                write!(f, "{remaining} trailing bytes after value")
+            }
+            Self::BadVariant { type_name, tag } => {
+                write!(f, "unknown variant tag {tag} for enum {type_name}")
+            }
+            Self::BadLength { len, remaining } => {
+                write!(
+                    f,
+                    "length prefix {len} exceeds remaining input ({remaining} bytes)"
+                )
+            }
+            Self::Utf8 => write!(f, "invalid UTF-8 in string"),
+            Self::BadValue(what) => write!(f, "invalid encoding for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// Convenience constructor used by derived enum impls.
+    #[must_use]
+    pub fn bad_variant(type_name: &'static str, tag: u32) -> Self {
+        Self::BadVariant { type_name, tag }
+    }
+}
+
+/// Append-only byte sink for encoding.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Create an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the encoder, returning the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes encoded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been encoded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes verbatim (no length prefix).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u128`.
+    pub fn write_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a little-endian `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Append a `u64` length prefix.
+    pub fn write_len(&mut self, len: usize) {
+        self.write_u64(len as u64);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over an input buffer for decoding.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wrap an input buffer.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every input byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fail unless the input was consumed exactly.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Trailing`] if undecoded bytes remain.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::Trailing {
+                remaining: self.remaining(),
+            })
+        }
+    }
+
+    /// Consume and return the next `n` bytes.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Eof`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Eof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Eof`] on truncated input.
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.array::<1>()?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Eof`] on truncated input.
+    pub fn read_u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.array()?))
+    }
+
+    /// Read a little-endian `u32`.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Eof`] on truncated input.
+    pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.array()?))
+    }
+
+    /// Read a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Eof`] on truncated input.
+    pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    /// Read a little-endian `u128`.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Eof`] on truncated input.
+    pub fn read_u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_le_bytes(self.array()?))
+    }
+
+    /// Read a `usize` encoded as a little-endian `u64`.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Eof`] on truncated input or
+    /// [`DecodeError::BadLength`] if the value overflows `usize`.
+    pub fn read_usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.read_u64()?;
+        usize::try_from(v).map_err(|_| DecodeError::BadLength {
+            len: v,
+            remaining: self.remaining(),
+        })
+    }
+
+    /// Read a length prefix and validate it against the remaining input.
+    ///
+    /// `min_element_bytes` is the smallest possible encoded size of one
+    /// element; a prefix claiming more elements than
+    /// `remaining / min_element_bytes` is rejected before any
+    /// allocation happens.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError::Eof`] on truncated input or
+    /// [`DecodeError::BadLength`] for an impossible count.
+    pub fn read_len(&mut self, min_element_bytes: usize) -> Result<usize, DecodeError> {
+        let raw = self.read_u64()?;
+        let len = usize::try_from(raw).map_err(|_| DecodeError::BadLength {
+            len: raw,
+            remaining: self.remaining(),
+        })?;
+        let floor = min_element_bytes.max(1);
+        if len > self.remaining() / floor {
+            return Err(DecodeError::BadLength {
+                len: raw,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    /// Returns [`DecodeError`] on truncation, a bad length, or invalid
+    /// UTF-8.
+    pub fn read_string(&mut self) -> Result<String, DecodeError> {
+        let len = self.read_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Utf8)
+    }
+}
+
+/// Encode a value to a fresh byte vector.
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Vec<u8> {
+    let mut encoder = Encoder::new();
+    value.serialize(&mut encoder);
+    encoder.into_bytes()
+}
+
+/// Decode a value from a byte slice, requiring the input to be consumed
+/// exactly.
+///
+/// # Errors
+/// Returns [`DecodeError`] on truncated, malformed, or oversized input.
+pub fn from_bytes<T: Deserialize>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut decoder = Decoder::new(bytes);
+    let value = T::deserialize(&mut decoder)?;
+    decoder.finish()?;
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($ty:ty => $write:ident / $read:ident),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize(&self, encoder: &mut Encoder) {
+                    encoder.$write(*self);
+                }
+            }
+            impl Deserialize for $ty {
+                fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                    decoder.$read()
+                }
+            }
+        )*
+    };
+}
+
+impl_int! {
+    u8 => write_u8 / read_u8,
+    u16 => write_u16 / read_u16,
+    u32 => write_u32 / read_u32,
+    u64 => write_u64 / read_u64,
+    u128 => write_u128 / read_u128,
+    usize => write_usize / read_usize,
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty as $uty:ty),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                #[allow(clippy::cast_sign_loss)]
+                fn serialize(&self, encoder: &mut Encoder) {
+                    (*self as $uty).serialize(encoder);
+                }
+            }
+            impl Deserialize for $ty {
+                #[allow(clippy::cast_possible_wrap)]
+                fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                    Ok(<$uty>::deserialize(decoder)? as $ty)
+                }
+            }
+        )*
+    };
+}
+
+impl_signed! {
+    i8 as u8,
+    i16 as u16,
+    i32 as u32,
+    i64 as u64,
+    i128 as u128,
+    isize as usize,
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_u32(self.to_bits());
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self::from_bits(decoder.read_u32()?))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_u64(self.to_bits());
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self::from_bits(decoder.read_u64()?))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_u8(u8::from(*self));
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match decoder.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::BadValue("bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_u32(*self as u32);
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Self::from_u32(decoder.read_u32()?).ok_or(DecodeError::BadValue("char"))
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self, _encoder: &mut Encoder) {}
+}
+
+impl Deserialize for () {
+    fn deserialize(_decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+impl Serialize for str {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_str(self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        decoder.read_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, encoder: &mut Encoder) {
+        (**self).serialize(encoder);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self, encoder: &mut Encoder) {
+        (**self).serialize(encoder);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Self::new(T::deserialize(decoder)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, encoder: &mut Encoder) {
+        match self {
+            None => encoder.write_u8(0),
+            Some(v) => {
+                encoder.write_u8(1);
+                v.serialize(encoder);
+            }
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match decoder.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(decoder)?)),
+            _ => Err(DecodeError::BadValue("Option tag")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_len(self.len());
+        for item in self {
+            item.serialize(encoder);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, encoder: &mut Encoder) {
+        self.as_slice().serialize(encoder);
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = decoder.read_len(1)?;
+        let mut out = Self::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::deserialize(decoder)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_len(self.len());
+        for item in self {
+            item.serialize(encoder);
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = decoder.read_len(1)?;
+        let mut out = Self::with_capacity(len);
+        for _ in 0..len {
+            out.push_back(T::deserialize(decoder)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, encoder: &mut Encoder) {
+        encoder.write_len(self.len());
+        for (key, value) in self {
+            key.serialize(encoder);
+            value.serialize(encoder);
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let len = decoder.read_len(2)?;
+        let mut out = Self::new();
+        for _ in 0..len {
+            let key = K::deserialize(decoder)?;
+            let value = V::deserialize(decoder)?;
+            out.insert(key, value);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, encoder: &mut Encoder) {
+        for item in self {
+            item.serialize(encoder);
+        }
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let mut out = [T::default(); N];
+        for slot in &mut out {
+            *slot = T::deserialize(decoder)?;
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize(&self, encoder: &mut Encoder) {
+                    $(self.$idx.serialize(encoder);)+
+                }
+            }
+            impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+                fn deserialize(decoder: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+                    Ok(($($name::deserialize(decoder)?,)+))
+                }
+            }
+        )*
+    };
+}
+
+impl_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value);
+        let back: T = from_bytes(&bytes).expect("round trip decodes");
+        assert_eq!(back, value);
+        assert_eq!(to_bytes(&back), bytes, "re-encoding must be bit-identical");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u16::MAX);
+        round_trip(0xdead_beefu32);
+        round_trip(u64::MAX - 1);
+        round_trip(u128::MAX);
+        round_trip(usize::MAX);
+        round_trip(-42i64);
+        round_trip(f64::NAN.to_bits()); // NaN itself is not PartialEq
+        round_trip(3.5f64);
+        round_trip(true);
+        round_trip('é');
+        round_trip(String::from("patterns"));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Option::<u32>::None);
+        round_trip(Some(vec![String::from("a"), String::new()]));
+        round_trip(VecDeque::from(vec![7u64, 8]));
+        round_trip(BTreeMap::from([(1u32, 2.0f64), (3, 4.0)]));
+        round_trip([0u64; 4]);
+        round_trip((1u32, String::from("x"), false));
+        round_trip(Box::new(99u32));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let bytes = to_bytes(&vec![1u32, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Vec<u32>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = to_bytes(&vec![1u8, 2, 3]);
+        bytes[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            from_bytes::<Vec<u8>>(&bytes),
+            Err(DecodeError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0);
+        assert!(matches!(
+            from_bytes::<u32>(&bytes),
+            Err(DecodeError::Trailing { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_are_rejected() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[9, 0]).is_err());
+    }
+}

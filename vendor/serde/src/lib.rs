@@ -1,14 +1,45 @@
-//! Offline stub of the `serde` facade.
+//! Offline, dependency-free implementation of the `serde` facade.
 //!
-//! Re-exports the no-op `Serialize`/`Deserialize` derives from the stub
-//! `serde_derive` and declares empty marker traits of the same names so
-//! that trait bounds written against them still compile. No serialization
-//! machinery exists here — see `vendor/serde_derive` for the rationale.
+//! This began life as a no-op stub (empty marker traits, derives that
+//! expanded to nothing) because the build container has no access to
+//! crates.io. The persistent artifact store made a real wire format
+//! necessary, so the stub grew into a small but genuine serialization
+//! framework:
+//!
+//! - [`Serialize`] / [`Deserialize`] are real traits with methods, but
+//!   they target one concrete binary codec ([`bin`]) instead of serde's
+//!   generic `Serializer`/`Deserializer` visitors. Every type in this
+//!   workspace that derives them gets a compact little-endian encoding.
+//! - `#[derive(Serialize, Deserialize)]` (re-exported from
+//!   `serde_derive`) generates field-by-field codec impls for structs
+//!   and tagged-union impls for enums.
+//!
+//! The encoding is deliberately boring: fixed-width little-endian
+//! primitives, `u64` length prefixes for strings and sequences, and
+//! `u32` variant tags for enums. Decoding never panics: every read is
+//! bounds-checked and returns [`bin::DecodeError`], and length prefixes
+//! are validated against the remaining input before any allocation so a
+//! corrupt prefix cannot trigger an OOM.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker stand-in for `serde::Serialize` (no methods).
-pub trait Serialize {}
+pub mod bin;
 
-/// Marker stand-in for `serde::Deserialize` (no methods, no lifetime).
-pub trait Deserialize {}
+/// A type that can encode itself into the [`bin`] binary format.
+pub trait Serialize {
+    /// Append this value's encoding to `encoder`.
+    fn serialize(&self, encoder: &mut bin::Encoder);
+}
+
+/// A type that can decode itself from the [`bin`] binary format.
+///
+/// Unlike upstream serde there is no deserializer lifetime: decoding
+/// always copies out of the input buffer into owned values.
+pub trait Deserialize: Sized {
+    /// Decode one value from the front of `decoder`.
+    ///
+    /// # Errors
+    /// Returns [`bin::DecodeError`] if the input is truncated or
+    /// malformed; implementations must never panic on bad input.
+    fn deserialize(decoder: &mut bin::Decoder<'_>) -> Result<Self, bin::DecodeError>;
+}

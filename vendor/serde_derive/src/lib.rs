@@ -1,22 +1,618 @@
-//! Offline stub of `serde_derive`.
+//! Offline implementation of `serde_derive` for the workspace's
+//! vendored `serde`.
 //!
-//! The build container has no access to crates.io, and nothing in this
-//! workspace actually serializes data yet — the `#[derive(Serialize,
-//! Deserialize)]` attributes on the plan/config types only reserve the
-//! ability to. These derives therefore expand to nothing; swap the real
-//! `serde`/`serde_derive` back in (delete `vendor/` and restore the
-//! versioned workspace dependencies) when a wire format is needed.
+//! The build container has no access to crates.io, so this derive is
+//! written against bare `proc_macro` — no `syn`, no `quote`. A small
+//! hand-rolled parser walks the derive input's token trees just far
+//! enough to recover what codegen needs (type name, generic parameters,
+//! field names / arities, enum variants), and the impls are emitted as
+//! formatted source text parsed back into a `TokenStream`.
+//!
+//! Supported input shapes — everything this workspace derives on:
+//!
+//! - structs with named fields, tuple structs, unit structs;
+//! - enums whose variants are unit, tuple, or struct-like (encoded as a
+//!   `u32` tag in declaration order followed by the variant's fields);
+//! - type generics with optional bounds (each parameter additionally
+//!   gets a `serde::Serialize` / `serde::Deserialize` bound).
+//!
+//! Lifetimes, const generics, and `where` clauses are rejected with a
+//! `compile_error!` naming the offending item rather than silently
+//! generating wrong code.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Stub `Serialize` derive: expands to nothing.
+/// Derive `serde::Serialize`: field-by-field encoding via the `bin`
+/// codec, with a `u32` declaration-order tag for enum variants.
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(&input, Trait::Serialize)
 }
 
-/// Stub `Deserialize` derive: expands to nothing.
+/// Derive `serde::Deserialize`: the mirror image of the `Serialize`
+/// derive; unknown enum tags surface as `DecodeError::BadVariant`.
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(&input, Trait::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: &TokenStream, which: Trait) -> TokenStream {
+    let parsed = match parse_input(input.clone()) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            let escaped = msg.replace('\\', "\\\\").replace('"', "\\\"");
+            return format!("compile_error!(\"{escaped}\");")
+                .parse()
+                .expect("compile_error literal parses");
+        }
+    };
+    let body = match which {
+        Trait::Serialize => gen_serialize(&parsed),
+        Trait::Deserialize => gen_deserialize(&parsed),
+    };
+    let source = format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         #[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic, clippy::nursery, unused_variables)]\n\
+         {body}\n\
+         }};"
+    );
+    source.parse().unwrap_or_else(|e| {
+        panic!(
+            "serde_derive generated invalid Rust for `{}`: {e}\n{source}",
+            parsed.name
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Input {
+    name: String,
+    /// Generic type parameters as `(ident, existing bounds)` pairs.
+    generics: Vec<(String, String)>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+impl Input {
+    /// `<T: Bound + _serde::Serialize>` / empty when non-generic.
+    fn impl_generics(&self, which: Trait) -> String {
+        if self.generics.is_empty() {
+            return String::new();
+        }
+        let added = match which {
+            Trait::Serialize => "_serde::Serialize",
+            Trait::Deserialize => "_serde::Deserialize",
+        };
+        let params: Vec<String> = self
+            .generics
+            .iter()
+            .map(|(name, bounds)| {
+                if bounds.is_empty() {
+                    format!("{name}: {added}")
+                } else {
+                    format!("{name}: {bounds} + {added}")
+                }
+            })
+            .collect();
+        format!("<{}>", params.join(", "))
+    }
+
+    /// `<T>` / empty when non-generic.
+    fn ty_generics(&self) -> String {
+        if self.generics.is_empty() {
+            return String::new();
+        }
+        let names: Vec<&str> = self
+            .generics
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect();
+        format!("<{}>", names.join(", "))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token cursor
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.at_punct(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word)
+    }
+
+    /// Skip any number of outer attributes (`#[...]`).
+    fn skip_attrs(&mut self) {
+        while self.at_punct('#') {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+    fn skip_vis(&mut self) {
+        if self.at_ident("pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skip one type (or expression), stopping at a top-level comma.
+    /// Returns `true` if a comma was consumed, `false` at end of input.
+    fn skip_type(&mut self) -> bool {
+        let mut depth: usize = 0;
+        while let Some(tok) = self.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    ',' if depth == 0 => {
+                        self.pos += 1;
+                        return true;
+                    }
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    '-' => {
+                        // `->` in fn-pointer types: don't let its '>'
+                        // unbalance the angle-bracket depth.
+                        self.pos += 1;
+                        if self.at_punct('>') {
+                            self.pos += 1;
+                        }
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(stream: TokenStream) -> Result<Input, String> {
+    let mut c = Cursor::new(stream);
+    c.skip_attrs();
+    c.skip_vis();
+
+    let keyword = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!("serde derive: `{keyword}` items are not supported"));
+    }
+
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+
+    let generics = parse_generics(&mut c, &name)?;
+
+    if c.at_ident("where") {
+        return Err(format!(
+            "serde derive: `where` clauses are not supported (on `{name}`)"
+        ));
+    }
+
+    let kind = if keyword == "enum" {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream(), &name)?)
+            }
+            other => {
+                return Err(format!(
+                    "serde derive: expected enum body for `{name}`, got {other:?}"
+                ))
+            }
+        }
+    } else {
+        match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream(), &name)?;
+                Kind::NamedStruct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                Kind::TupleStruct(arity)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => {
+                return Err(format!(
+                    "serde derive: expected struct body for `{name}`, got {other:?}"
+                ))
+            }
+        }
+    };
+
+    Ok(Input {
+        name,
+        generics,
+        kind,
+    })
+}
+
+/// Parse `<...>` after the type name into `(ident, bounds)` pairs.
+fn parse_generics(c: &mut Cursor, type_name: &str) -> Result<Vec<(String, String)>, String> {
+    if !c.eat_punct('<') {
+        return Ok(Vec::new());
+    }
+    // Collect the balanced interior of the angle brackets.
+    let mut inner: Vec<TokenTree> = Vec::new();
+    let mut depth = 1usize;
+    loop {
+        let tok = c
+            .next()
+            .ok_or_else(|| format!("serde derive: unbalanced generics on `{type_name}`"))?;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(tok);
+    }
+
+    // Split the interior on top-level commas.
+    let mut params: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut inner_depth = 0usize;
+    for tok in inner {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => inner_depth += 1,
+                '>' => inner_depth = inner_depth.saturating_sub(1),
+                ',' if inner_depth == 0 => {
+                    params.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        params.last_mut().expect("non-empty").push(tok);
+    }
+
+    let mut out = Vec::new();
+    for param in params.into_iter().filter(|p| !p.is_empty()) {
+        match &param[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                return Err(format!(
+                    "serde derive: lifetime parameters are not supported (on `{type_name}`)"
+                ));
+            }
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                return Err(format!(
+                    "serde derive: const generics are not supported (on `{type_name}`)"
+                ));
+            }
+            TokenTree::Ident(id) => {
+                let ident = id.to_string();
+                let mut bounds = Vec::new();
+                if param.len() > 1 {
+                    match &param[1] {
+                        TokenTree::Punct(p) if p.as_char() == ':' => {
+                            // Bounds run until a top-level `=` (default).
+                            let mut depth = 0usize;
+                            for tok in &param[2..] {
+                                if let TokenTree::Punct(p) = tok {
+                                    match p.as_char() {
+                                        '<' => depth += 1,
+                                        '>' => depth = depth.saturating_sub(1),
+                                        '=' if depth == 0 => break,
+                                        _ => {}
+                                    }
+                                }
+                                bounds.push(tok.clone());
+                            }
+                        }
+                        _ => {
+                            return Err(format!(
+                                "serde derive: unsupported generic parameter on `{type_name}`"
+                            ));
+                        }
+                    }
+                }
+                let bounds = TokenStream::from_iter(bounds).to_string();
+                out.push((ident, bounds));
+            }
+            other => {
+                return Err(format!(
+                    "serde derive: unsupported generic parameter {other:?} on `{type_name}`"
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_named_fields(stream: TokenStream, type_name: &str) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        let Some(tok) = c.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!(
+                "serde derive: expected field name in `{type_name}`, got {tok:?}"
+            ));
+        };
+        names.push(id.to_string());
+        if !c.eat_punct(':') {
+            return Err(format!(
+                "serde derive: expected `:` after field `{id}` in `{type_name}`"
+            ));
+        }
+        if !c.skip_type() {
+            break;
+        }
+    }
+    Ok(names)
+}
+
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut arity = 0usize;
+    loop {
+        c.skip_attrs();
+        c.skip_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        arity += 1;
+        if !c.skip_type() {
+            break;
+        }
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream, type_name: &str) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        let Some(tok) = c.next() else { break };
+        let TokenTree::Ident(id) = tok else {
+            return Err(format!(
+                "serde derive: expected variant name in `{type_name}`, got {tok:?}"
+            ));
+        };
+        let name = id.to_string();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body = g.stream();
+                c.pos += 1;
+                VariantFields::Named(parse_named_fields(body, type_name)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body = g.stream();
+                c.pos += 1;
+                VariantFields::Tuple(tuple_arity(body))
+            }
+            _ => VariantFields::Unit,
+        };
+        if c.eat_punct('=') {
+            // Explicit discriminant: skip the expression.
+            c.skip_type();
+        } else {
+            c.eat_punct(',');
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let impl_generics = input.impl_generics(Trait::Serialize);
+    let ty_generics = input.ty_generics();
+    let body = match &input.kind {
+        Kind::UnitStruct => String::new(),
+        Kind::NamedStruct(fields) => fields
+            .iter()
+            .map(|f| format!("_serde::Serialize::serialize(&self.{f}, _e);"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        Kind::TupleStruct(arity) => (0..*arity)
+            .map(|i| format!("_serde::Serialize::serialize(&self.{i}, _e);"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("Self::{vname} => {{ _e.write_u32({tag}u32); }}")
+                        }
+                        VariantFields::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("_f{i}")).collect();
+                            let writes: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("_serde::Serialize::serialize({b}, _e);"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({binds}) => {{ _e.write_u32({tag}u32); {writes} }}",
+                                binds = binds.join(", "),
+                                writes = writes.join("\n"),
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .enumerate()
+                                .map(|(i, f)| format!("{f}: _f{i}"))
+                                .collect();
+                            let writes: Vec<String> = (0..fields.len())
+                                .map(|i| format!("_serde::Serialize::serialize(_f{i}, _e);"))
+                                .collect();
+                            format!(
+                                "Self::{vname} {{ {binds} }} => {{ _e.write_u32({tag}u32); {writes} }}",
+                                binds = binds.join(", "),
+                                writes = writes.join("\n"),
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "impl{impl_generics} _serde::Serialize for {name}{ty_generics} {{\n\
+         fn serialize(&self, _e: &mut _serde::bin::Encoder) {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let impl_generics = input.impl_generics(Trait::Deserialize);
+    let ty_generics = input.ty_generics();
+    let read = "_serde::Deserialize::deserialize(_d)?";
+    let body = match &input.kind {
+        Kind::UnitStruct => "::core::result::Result::Ok(Self)".to_string(),
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| format!("{f}: {read}")).collect();
+            format!(
+                "::core::result::Result::Ok(Self {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(arity) => {
+            let inits: Vec<String> = (0..*arity).map(|_| read.to_string()).collect();
+            format!("::core::result::Result::Ok(Self({}))", inits.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .enumerate()
+                .map(|(tag, v)| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("{tag}u32 => ::core::result::Result::Ok(Self::{vname}),")
+                        }
+                        VariantFields::Tuple(arity) => {
+                            let inits: Vec<String> =
+                                (0..*arity).map(|_| read.to_string()).collect();
+                            format!(
+                                "{tag}u32 => ::core::result::Result::Ok(Self::{vname}({})),",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| format!("{f}: {read}")).collect();
+                            format!(
+                                "{tag}u32 => ::core::result::Result::Ok(Self::{vname} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match _serde::bin::Decoder::read_u32(_d)? {{\n{arms}\n\
+                 _tag => ::core::result::Result::Err(_serde::bin::DecodeError::bad_variant(\"{name}\", _tag)),\n\
+                 }}",
+                arms = arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} _serde::Deserialize for {name}{ty_generics} {{\n\
+         fn deserialize(_d: &mut _serde::bin::Decoder<'_>) \
+         -> ::core::result::Result<Self, _serde::bin::DecodeError> {{\n{body}\n}}\n\
+         }}"
+    )
 }
