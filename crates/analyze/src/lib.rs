@@ -37,7 +37,8 @@ pub mod soundness;
 pub use dataflow::Facts;
 pub use prune::{prune_all, prune_image, PruneStats};
 pub use soundness::{
-    check as check_soundness, compiled_match_ends, representatives, SoundnessConfig,
+    check as check_soundness, check_overlap, compiled_match_ends, representatives, Overlap,
+    SoundnessConfig,
 };
 
 use rap_compiler::{CompileError, Compiled, Mode};

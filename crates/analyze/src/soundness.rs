@@ -75,6 +75,12 @@ pub fn compiled_match_ends(image: &Compiled, input: &[u8]) -> Vec<usize> {
 /// Every character class either machine consults.
 fn all_classes(image: &Compiled, reference: &Nfa) -> Vec<CharClass> {
     let mut ccs: Vec<CharClass> = reference.states().iter().map(|s| s.cc).collect();
+    image_classes(image, &mut ccs);
+    ccs
+}
+
+/// Appends every character class one compiled image consults.
+fn image_classes(image: &Compiled, ccs: &mut Vec<CharClass>) {
     match image {
         Compiled::Nfa(c) => ccs.extend(c.nfa.states().iter().map(|s| s.cc)),
         Compiled::Nbva(c) => ccs.extend(c.nbva.states().iter().map(|s| s.cc)),
@@ -84,7 +90,6 @@ fn all_classes(image: &Compiled, reference: &Nfa) -> Vec<CharClass> {
             }
         }
     }
-    ccs
 }
 
 /// One representative byte per alphabet-partition block: two bytes are
@@ -266,6 +271,123 @@ pub fn check(image: &Compiled, pattern: &Pattern, cfg: &SoundnessConfig) -> Opti
     None
 }
 
+/// Outcome of the cross-image overlap probe ([`check_overlap`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Overlap {
+    /// Exploration closed: no input makes both images raise their raw
+    /// match signal at the same position, on any input of any length.
+    Disjoint {
+        /// Joint configurations explored before the space closed.
+        explored: usize,
+    },
+    /// Both images report a match ending at the final byte of `input` —
+    /// a stream that ends there makes both tenants report, whatever
+    /// their end anchoring.
+    Simultaneous {
+        /// A concrete witness stream.
+        input: Vec<u8>,
+        /// Joint configurations explored before the witness surfaced.
+        explored: usize,
+    },
+    /// The budget ran out before the joint space closed; nothing can be
+    /// concluded either way.
+    Inconclusive {
+        /// Joint configurations explored (the exhausted budget).
+        explored: usize,
+    },
+}
+
+impl Overlap {
+    /// Joint configurations explored, whatever the outcome.
+    #[must_use]
+    pub fn explored(&self) -> usize {
+        match self {
+            Overlap::Disjoint { explored }
+            | Overlap::Simultaneous { explored, .. }
+            | Overlap::Inconclusive { explored } => *explored,
+        }
+    }
+}
+
+/// Probes whether two compiled images can ever report a match at the
+/// same input position, by the same product construction as [`check`]
+/// but paired image-against-image instead of image-against-reference.
+/// The raw (pre-anchor-filter) signal is the right one to compare: a
+/// simultaneous raw report at position `p` is realised by any stream
+/// ending at `p`, where even end-anchored images surface the match.
+/// The mintermized alphabet is rebuilt over *both* images' classes, so
+/// one representative per block stays exhaustive for the pair.
+pub fn check_overlap(a: &Compiled, b: &Compiled, cfg: &SoundnessConfig) -> Overlap {
+    if cfg.max_configs == 0 {
+        return Overlap::Inconclusive { explored: 0 };
+    }
+    let mut ccs = Vec::new();
+    image_classes(a, &mut ccs);
+    image_classes(b, &mut ccs);
+    let reps = representatives(&ccs);
+
+    /// One visited joint node: both runs plus the witness back-pointer.
+    struct Joint<'x> {
+        a: ImageRun<'x>,
+        b: ImageRun<'x>,
+        parent: usize,
+        byte: u8,
+    }
+    let mut nodes = vec![Joint {
+        a: ImageRun::start(a),
+        b: ImageRun::start(b),
+        parent: usize::MAX,
+        byte: 0,
+    }];
+    // Same offset-zero caveat as `check`: `^`-anchored images arm their
+    // start states only at position 0, so the root is keyed apart.
+    let mut visited: HashSet<(bool, Vec<BitVec>, Vec<BitVec>)> = HashSet::new();
+    visited.insert((true, nodes[0].a.fingerprint(), nodes[0].b.fingerprint()));
+
+    let mut i = 0;
+    while i < nodes.len() {
+        for &byte in &reps {
+            let mut run_a = nodes[i].a.clone();
+            let mut run_b = nodes[i].b.clone();
+            let hit_a = run_a.step(byte);
+            let hit_b = run_b.step(byte);
+            if hit_a && hit_b {
+                let mut input = Vec::new();
+                let mut j = i;
+                while nodes[j].parent != usize::MAX {
+                    input.push(nodes[j].byte);
+                    j = nodes[j].parent;
+                }
+                input.reverse();
+                input.push(byte);
+                return Overlap::Simultaneous {
+                    input,
+                    explored: visited.len(),
+                };
+            }
+            let key = (false, run_a.fingerprint(), run_b.fingerprint());
+            if !visited.contains(&key) {
+                if visited.len() >= cfg.max_configs {
+                    return Overlap::Inconclusive {
+                        explored: visited.len(),
+                    };
+                }
+                visited.insert(key);
+                nodes.push(Joint {
+                    a: run_a,
+                    b: run_b,
+                    parent: i,
+                    byte,
+                });
+            }
+        }
+        i += 1;
+    }
+    Overlap::Disjoint {
+        explored: visited.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -402,6 +524,49 @@ mod tests {
         let cfg = SoundnessConfig { max_configs: 0 };
         assert_eq!(check(&image, &parsed, &cfg), None);
         assert!(check(&image, &parsed, &SoundnessConfig::default()).is_some());
+    }
+
+    fn compile(pattern: &str) -> Compiled {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let parsed = parse_pattern(pattern).expect("parses");
+        compiler.compile_anchored(&parsed).expect("compiles")
+    }
+
+    #[test]
+    fn overlapping_literals_yield_a_simultaneous_witness() {
+        let a = compile("abc");
+        let b = compile("bc");
+        let overlap = check_overlap(&a, &b, &SoundnessConfig::default());
+        let Overlap::Simultaneous { input, .. } = overlap else {
+            panic!("expected a witness, got {overlap:?}");
+        };
+        // The witness really makes both images report at its end.
+        let end = input.len();
+        assert!(compiled_match_ends(&a, &input).contains(&end), "{input:?}");
+        assert!(compiled_match_ends(&b, &input).contains(&end), "{input:?}");
+    }
+
+    #[test]
+    fn disjoint_literals_close_without_a_witness() {
+        // Every match of `aaa` ends in `a`, every match of `bbb` in `b`:
+        // no position can report both.
+        let a = compile("aaa");
+        let b = compile("bbb");
+        assert!(matches!(
+            check_overlap(&a, &b, &SoundnessConfig::default()),
+            Overlap::Disjoint { .. }
+        ));
+    }
+
+    #[test]
+    fn overlap_budget_zero_is_inconclusive() {
+        let a = compile("abc");
+        let b = compile("bc");
+        let cfg = SoundnessConfig { max_configs: 0 };
+        assert_eq!(
+            check_overlap(&a, &b, &cfg),
+            Overlap::Inconclusive { explored: 0 }
+        );
     }
 
     #[test]

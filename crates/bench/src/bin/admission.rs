@@ -1,0 +1,120 @@
+//! Multi-tenant admission sweep — the rap-admit static interference
+//! analyzer over growing tenant sets, for the RAP decision mix and the
+//! force-NFA CA baseline. Each tenant is one benchmark suite with its
+//! own verified solo plan; the sweep admits the first k suites
+//! (k = 1..=7) onto an auto-sized shared fabric, then deliberately
+//! over-subscribes a single-bank fabric with all seven tenants to show a
+//! certified rejection. Prints one row per composition and writes
+//! `results/admission.csv`; exits non-zero if a *single-tenant*
+//! auto-sized composition reports an Error-severity finding (a lone
+//! verified plan must always fit a fabric sized for it), or if the
+//! over-subscribed control row is *not* rejected. Larger tenant sets may
+//! legitimately be rejected — the CA baseline's one-array-per-tenant
+//! NFAs burst the shared bank buffers well before RAP's decomposed
+//! plans do, and that divergence is the point of the sweep.
+//!
+//! Scale knobs: `RAP_BENCH_PATTERNS` / `RAP_BENCH_SEED`. Unlike the
+//! other harness binaries this sweep defaults to 24 patterns per suite —
+//! co-residency stresses shared bank buffers, so the interesting regime
+//! is many small tenants, not one huge one.
+
+use rap_bench::{config_from_env, tables::Table};
+use rap_circuit::Machine;
+use rap_pipeline::{AdmitOptions, PatternSet, Pipeline};
+use rap_sim::Simulator;
+use rap_workloads::Suite;
+
+fn main() {
+    let mut cfg = config_from_env();
+    if std::env::var_os("RAP_BENCH_PATTERNS").is_none() {
+        cfg.patterns_per_suite = 24;
+    }
+    cfg.input_len = 256; // admission is input-independent; keep corpora tiny
+    println!(
+        "admission sweep: {} patterns per tenant suite, seed {}\n",
+        cfg.patterns_per_suite, cfg.seed
+    );
+
+    let pipe = Pipeline::new(cfg);
+    let mut table = Table::new([
+        "Machine",
+        "Tenants",
+        "Fabric",
+        "Patterns",
+        "Arrays",
+        "Banks",
+        "Slots",
+        "BvColumns",
+        "Warnings",
+        "Errors",
+        "Admitted",
+    ]);
+    let mut auto_errors = 0u64;
+    let mut control_failures = 0u64;
+    for machine in [Machine::Rap, Machine::Ca] {
+        let suites = Suite::all();
+        let corpora: Vec<_> = suites.iter().map(|&s| pipe.corpus(s)).collect();
+        let sims: Vec<Simulator> = suites
+            .iter()
+            .map(|&s| pipe.simulator_for(machine, s))
+            .collect();
+        let cells: Vec<(usize, AdmitOptions, &str)> = (1..=suites.len())
+            .map(|k| (k, AdmitOptions::default(), "auto"))
+            .chain(std::iter::once((
+                suites.len(),
+                AdmitOptions {
+                    banks: Some(1),
+                    ..AdmitOptions::default()
+                },
+                "1-bank",
+            )))
+            .collect();
+        for (k, options, fabric) in cells {
+            let tenants: Vec<(&str, &Simulator, &PatternSet)> = suites[..k]
+                .iter()
+                .zip(&sims)
+                .zip(&corpora)
+                .map(|((s, sim), corpus)| (s.name(), sim, corpus.patterns()))
+                .collect();
+            let admission = pipe.admit(&tenants, &options).expect("tenant plans build");
+            let a = &admission.analysis;
+            let errors = a.report.errors().count() as u64;
+            let warnings = a.report.len() as u64 - errors;
+            if fabric == "auto" && k == 1 {
+                auto_errors += errors;
+            } else if fabric != "auto" && admission.admitted() {
+                control_failures += 1;
+            }
+            table.row([
+                machine.name().to_string(),
+                k.to_string(),
+                fabric.to_string(),
+                a.tenants
+                    .iter()
+                    .map(|t| t.patterns)
+                    .sum::<usize>()
+                    .to_string(),
+                a.total_arrays.to_string(),
+                a.banks.to_string(),
+                a.slots.to_string(),
+                a.bv_columns.to_string(),
+                warnings.to_string(),
+                errors.to_string(),
+                admission.admitted().to_string(),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    table.write_csv("admission");
+    println!("\n{}", pipe.report());
+
+    if auto_errors > 0 {
+        eprintln!("admission failed: {auto_errors} error(s) on single-tenant auto-sized fabrics");
+        std::process::exit(2);
+    }
+    if control_failures > 0 {
+        eprintln!("admission failed: {control_failures} over-subscribed control row(s) admitted");
+        std::process::exit(2);
+    }
+    println!("\nadmission clean: single tenants certified, control rows rejected");
+}

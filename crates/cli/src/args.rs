@@ -13,7 +13,15 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["help", "h", "json", "prune", "soundness", "equivalence"];
+const SWITCHES: &[&str] = &[
+    "help",
+    "h",
+    "json",
+    "prune",
+    "soundness",
+    "equivalence",
+    "overlap",
+];
 
 impl Args {
     /// Parses an argv slice.

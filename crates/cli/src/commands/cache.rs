@@ -50,6 +50,13 @@ pub enum CacheRule {
     Stale,
 }
 
+impl CacheRule {
+    /// Every rule, in code order (append-only, like the other families).
+    pub fn all() -> [CacheRule; 2] {
+        [CacheRule::Corrupt, CacheRule::Stale]
+    }
+}
+
 impl RuleCode for CacheRule {
     fn code(&self) -> &'static str {
         match self {

@@ -1,5 +1,6 @@
 //! The CLI subcommands.
 
+pub mod admit;
 pub mod analyze;
 pub mod bound;
 pub mod cache;

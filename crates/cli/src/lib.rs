@@ -11,6 +11,7 @@
 //! rap lint    <patterns.txt> [--machine rap|cama|bvap|ca] [--json]
 //! rap analyze <suite> [--machine M] [--patterns N] [--prune] [--json]
 //! rap bound   <suite> [--machine M] [--patterns N] [--equivalence] [--json]
+//! rap admit   <suite> [<suite>...] [--machine M] [--banks N] [--overlap] [--json]
 //! rap trace   <suite> [--machine M] [--sample N] [--top N] [--out FILE]
 //! rap cache   stats|gc|clear [--store-dir DIR] [--max-bytes N] [--json]
 //! ```
@@ -73,6 +74,7 @@ COMMANDS:
     lint       Statically verify the mapping plan for a pattern file
     analyze    Run the dataflow static analyzer over a suite's automata
     bound      Compute certified worst-case bounds for a suite's mapped plan
+    admit      Decide whether suites can share one fabric without interference
     trace      Profile one suite with cycle-level telemetry attached
     cache      Inspect or manage the persistent artifact store
     help       Show this message
@@ -99,6 +101,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "dot" => commands::dot::run(rest, out),
         "layout" => commands::layout::run(rest, out),
         "lint" => commands::lint::run(rest, out),
+        "admit" => commands::admit::run(rest, out),
         "analyze" => commands::analyze::run(rest, out),
         "bound" => commands::bound::run(rest, out),
         "trace" => commands::trace::run(rest, out),

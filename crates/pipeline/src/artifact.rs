@@ -164,6 +164,20 @@ pub struct CompiledSet {
 }
 
 impl CompiledSet {
+    /// Assembles a compile product from already-compiled images under an
+    /// externally derived content address. This is the composition path's
+    /// re-entry into the typed chain: the pipeline's Admit stage merges
+    /// tenant images under a `compose_key` and the merged plan must still
+    /// earn [`VerifiedPlan`] status through [`MappedPlan::verify`].
+    pub(crate) fn assemble(machine: Machine, key: CacheKey, images: Vec<Compiled>) -> CompiledSet {
+        CompiledSet {
+            machine,
+            forced: None,
+            key,
+            images,
+        }
+    }
+
     /// The machine the images target.
     pub fn machine(&self) -> Machine {
         self.machine

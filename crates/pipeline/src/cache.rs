@@ -175,6 +175,25 @@ pub(crate) fn bounds_key(base: CacheKey, options: &rap_bound::BoundOptions) -> C
     h.finish()
 }
 
+/// Derives the content address of a *composed* (multi-tenant) plan from
+/// the tenants' verified-plan keys. The pairs are hashed sorted by
+/// tenant name — admission canonicalizes the same way, so any
+/// permutation of one tenant set addresses one artifact. The admission
+/// options are deliberately absent: they decide the verdict, not the
+/// merged artifact's content.
+pub(crate) fn compose_key(parts: &[(&str, CacheKey)]) -> CacheKey {
+    let mut sorted: Vec<&(&str, CacheKey)> = parts.iter().collect();
+    sorted.sort();
+    let mut h = StableHasher::new();
+    h.write_str("admit");
+    h.write_u64(sorted.len() as u64);
+    for (name, key) in sorted {
+        h.write_str(name);
+        h.write(&key.0.to_le_bytes());
+    }
+    h.finish()
+}
+
 /// Running hit/miss totals for one cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -208,6 +227,23 @@ mod tests {
         b.write_str("a");
         b.write_str("bc");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn compose_key_is_order_insensitive() {
+        let fwd = compose_key(&[("alpha", CacheKey(1)), ("bravo", CacheKey(2))]);
+        let rev = compose_key(&[("bravo", CacheKey(2)), ("alpha", CacheKey(1))]);
+        assert_eq!(fwd, rev);
+        // ...but sensitive to the actual tenants and their plans.
+        assert_ne!(fwd, compose_key(&[("alpha", CacheKey(1))]));
+        assert_ne!(
+            fwd,
+            compose_key(&[("alpha", CacheKey(3)), ("bravo", CacheKey(2))])
+        );
+        assert_ne!(
+            fwd,
+            compose_key(&[("alpha", CacheKey(1)), ("charlie", CacheKey(2))])
+        );
     }
 
     #[test]

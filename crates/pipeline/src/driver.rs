@@ -6,7 +6,7 @@
 //! (machine × suite) cells out over scoped worker threads — all while
 //! charging wall-clock and work counters to a [`PipelineReport`].
 
-use crate::artifact::{PatternSet, VerifiedPlan};
+use crate::artifact::{CompiledSet, MappedPlan, PatternSet, VerifiedPlan};
 use crate::error::EvalError;
 use crate::report::{Metrics, PipelineReport, Stage};
 use crate::store::{DiskTier, StoreConfig, TierStats, TieredStore};
@@ -74,6 +74,31 @@ where
                 .expect("every slot filled")
         })
         .collect()
+}
+
+/// The outcome of one multi-tenant admission request.
+///
+/// `analysis` always carries the full S-rule report and per-tenant
+/// decisions; `plan` is the certified composed plan, present exactly
+/// when admission succeeded. The composed plan re-entered the typed
+/// artifact chain through [`crate::MappedPlan::verify`], so a certified
+/// composition is also a structurally verified plan — and it lives in
+/// the same tiered plan store as solo plans, addressed by a key derived
+/// from the tenants' plan keys (order-insensitive).
+#[derive(Clone, Debug)]
+pub struct Admission {
+    /// The static interference analysis (S001–S008 findings, fabric
+    /// sizing, per-bank loads, per-tenant summaries).
+    pub analysis: rap_admit::AdmissionAnalysis,
+    /// The certified, verified composed plan — `None` when rejected.
+    pub plan: Option<Arc<VerifiedPlan>>,
+}
+
+impl Admission {
+    /// Whether the composition was certified.
+    pub fn admitted(&self) -> bool {
+        self.plan.is_some()
+    }
 }
 
 /// The staged evaluation engine.
@@ -359,6 +384,79 @@ impl Pipeline {
             });
         self.metrics.add_cell();
         Ok(RunSummary::of(&result, plan.compiled().state_count()))
+    }
+
+    /// Runs the multi-tenant admission analyzer over named tenants,
+    /// each `(name, simulator knobs, patterns)`. Every tenant's solo
+    /// plan is built (or recalled) through the ordinary cached plan
+    /// path first, then [`rap_admit::admit`] decides co-residency under
+    /// the fabric architecture of the *first* tenant's simulator. On
+    /// certification the composed plan re-enters the typed chain
+    /// (assemble → map-from-parts → verify) and is cached/persisted
+    /// under an order-insensitive composition key, so re-admitting the
+    /// same tenant set — in any order — recalls the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-tenant compile/verify failures, and verification
+    /// failure of the composed plan itself (which would indicate an
+    /// admission soundness bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `tenants` is empty or mixes target machines.
+    pub fn admit(
+        &self,
+        tenants: &[(&str, &Simulator, &PatternSet)],
+        options: &rap_admit::AdmitOptions,
+    ) -> Result<Admission, EvalError> {
+        assert!(!tenants.is_empty(), "admission needs at least one tenant");
+        let machine = tenants[0].1.machine;
+        assert!(
+            tenants.iter().all(|(_, sim, _)| sim.machine == machine),
+            "admission tenants must target one machine"
+        );
+        let arch = tenants[0].1.mapper.arch;
+        let mut plans = Vec::with_capacity(tenants.len());
+        for (name, sim, patterns) in tenants {
+            plans.push((*name, self.plan(sim, patterns, None)?, *patterns));
+        }
+        let views: Vec<rap_admit::Tenant<'_>> = plans
+            .iter()
+            .map(|(name, plan, patterns)| rap_admit::Tenant {
+                name,
+                images: plan.compiled().images(),
+                patterns: patterns.parsed(),
+                mapping: plan.mapping(),
+                match_base: None,
+                slot: None,
+            })
+            .collect();
+        let analysis = self
+            .metrics
+            .timed(Stage::Admit, || rap_admit::admit(&views, &arch, options));
+        self.metrics.record_admission(analysis.admitted());
+        let plan = match &analysis.composed {
+            Some(composed) => {
+                let pairs: Vec<(&str, crate::cache::CacheKey)> = plans
+                    .iter()
+                    .map(|(name, plan, _)| (*name, plan.compiled().key()))
+                    .collect();
+                let key = crate::cache::compose_key(&pairs);
+                Some(self.plans.get_or_build(
+                    key,
+                    |p| p,
+                    || {
+                        let compiled = CompiledSet::assemble(machine, key, composed.images.clone());
+                        self.metrics.timed(Stage::Verify, || {
+                            MappedPlan::from_parts(compiled, composed.mapping.clone()).verify()
+                        })
+                    },
+                )?)
+            }
+            None => None,
+        };
+        Ok(Admission { analysis, plan })
     }
 
     /// Fans independent grid cells out over this pipeline's worker pool,
@@ -650,6 +748,146 @@ mod tests {
         assert_eq!(report.patterns_compiled, 0);
         assert!(report.arrays_bounded > 0);
         assert!(report.stage_secs(Stage::Bound) > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_certifies_and_caches_composed_plans() {
+        let pipe = Pipeline::new(BenchConfig {
+            patterns_per_suite: 4,
+            input_len: 512,
+            match_rate: 0.02,
+            seed: 5,
+        });
+        let snort = pipe.corpus(Suite::Snort);
+        let yara = pipe.corpus(Suite::Yara);
+        let sim = pipe.simulator_for(Machine::Rap, Suite::Snort);
+        let tenants = [
+            ("snort", &sim, snort.patterns()),
+            ("yara", &sim, yara.patterns()),
+        ];
+        let first = pipe
+            .admit(&tenants, &rap_admit::AdmitOptions::default())
+            .expect("admits");
+        assert!(first.admitted(), "{}", first.analysis.report);
+        let plan = first.plan.as_ref().expect("certified plan");
+        assert_eq!(
+            plan.mapping().arrays.len(),
+            first.analysis.total_arrays as usize
+        );
+
+        // Re-admitting the same tenants in the other order recalls the
+        // composed artifact from the plan cache (order-insensitive key).
+        let misses = pipe.report().plan_cache.misses;
+        let swapped = [tenants[1], tenants[0]];
+        let second = pipe
+            .admit(&swapped, &rap_admit::AdmitOptions::default())
+            .expect("admits");
+        assert!(Arc::ptr_eq(plan, second.plan.as_ref().expect("cached")));
+        assert_eq!(pipe.report().plan_cache.misses, misses);
+        let report = pipe.report();
+        assert_eq!(report.compositions_admitted, 2);
+        assert_eq!(report.compositions_rejected, 0);
+        assert!(report.stage_secs(Stage::Admit) > 0.0);
+
+        // The composed run demultiplexes back to each tenant's solo run.
+        let input = snort.input();
+        let composed = first.analysis.composed.as_ref().expect("certified");
+        let merged = plan.simulate(input);
+        for (i, (name, sim, patterns)) in tenants.iter().enumerate() {
+            let solo = pipe.plan(sim, patterns, None).expect("plans");
+            let solo_run = solo.simulate(input);
+            let mine = composed.tenant_matches(
+                composed
+                    .tenants
+                    .iter()
+                    .position(|t| t.name == *name)
+                    .expect("tenant present"),
+                &merged.matches,
+            );
+            assert_eq!(mine, solo_run.matches, "tenant {i} diverges");
+        }
+    }
+
+    #[test]
+    fn rejected_admission_reports_without_a_plan() {
+        let pipe = Pipeline::new(BenchConfig {
+            patterns_per_suite: 4,
+            input_len: 256,
+            match_rate: 0.02,
+            seed: 5,
+        });
+        let sim = pipe.simulator_for(Machine::Rap, Suite::Snort);
+        let corpora: Vec<_> = [Suite::Snort, Suite::Yara, Suite::ClamAv, Suite::Prosite]
+            .iter()
+            .map(|&s| pipe.corpus(s))
+            .collect();
+        let tenants: Vec<(&str, &Simulator, &PatternSet)> = corpora
+            .iter()
+            .map(|c| (c.suite().name(), &sim, c.patterns()))
+            .collect();
+        // One bank cannot host four tenants' arrays.
+        let options = rap_admit::AdmitOptions {
+            banks: Some(1),
+            ..rap_admit::AdmitOptions::default()
+        };
+        let rejected = pipe.admit(&tenants, &options).expect("analyzes");
+        assert!(!rejected.admitted());
+        assert!(rejected.plan.is_none());
+        assert!(!rejected.analysis.report.is_legal());
+        let report = pipe.report();
+        assert_eq!(report.compositions_rejected, 1);
+    }
+
+    #[test]
+    fn composed_plans_persist_and_reload_from_the_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "rap-pipe-store-admit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = BenchConfig {
+            patterns_per_suite: 4,
+            input_len: 256,
+            match_rate: 0.02,
+            seed: 5,
+        };
+        let make = || {
+            Pipeline::new(spec)
+                .with_store(StoreConfig::at(&dir))
+                .expect("store opens")
+        };
+
+        let cold = make();
+        let snort = cold.corpus(Suite::Snort);
+        let yara = cold.corpus(Suite::Yara);
+        let sim = cold.simulator_for(Machine::Rap, Suite::Snort);
+        let tenants = [
+            ("snort", &sim, snort.patterns()),
+            ("yara", &sim, yara.patterns()),
+        ];
+        let first = cold
+            .admit(&tenants, &rap_admit::AdmitOptions::default())
+            .expect("admits");
+        assert!(first.admitted());
+        // Two solo plans + one composed plan written through.
+        assert_eq!(cold.report().disk_store.expect("disk").writes, 3);
+
+        // A warm pipeline recalls all three; the composed plan still
+        // re-enters through verification.
+        let warm = make();
+        let second = warm
+            .admit(&tenants, &rap_admit::AdmitOptions::default())
+            .expect("admits");
+        assert!(second.admitted());
+        let report = warm.report();
+        assert_eq!(
+            report.patterns_compiled, 0,
+            "warm admission compiles nothing"
+        );
+        let disk = report.disk_store.expect("disk");
+        assert_eq!((disk.hits, disk.misses, disk.corrupt), (3, 0, 0));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

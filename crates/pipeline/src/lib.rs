@@ -23,7 +23,9 @@
 //!    second run compiles nothing. Disk artifacts are untrusted: they
 //!    re-enter through [`MappedPlan::verify`], so corruption is rejected,
 //!    never simulated. Workload corpora are memoized process-wide
-//!    ([`suite_corpus`]).
+//!    ([`suite_corpus`]). Certified multi-tenant compositions
+//!    ([`Pipeline::admit`]) live in the same store, addressed by an
+//!    order-insensitive key over the tenants' plan keys.
 //! 3. **Parallel fan-out with instrumentation.** Independent
 //!    (machine × suite) cells run on scoped worker threads
 //!    ([`Pipeline::grid`]), and every stage's wall-clock plus cache
@@ -67,7 +69,7 @@ pub use artifact::{
     build_plan, build_plan_sim, AnalyzedSet, CompiledSet, MappedPlan, PatternSet, VerifiedPlan,
 };
 pub use cache::{CacheKey, CacheStats, StableHasher};
-pub use driver::{default_workers, par_map, Pipeline};
+pub use driver::{default_workers, par_map, Admission, Pipeline};
 pub use error::EvalError;
 pub use report::{PipelineReport, Stage, STAGES};
 pub use store::{
@@ -77,4 +79,5 @@ pub use store::{
 pub use summary::RunSummary;
 pub use workload::{corpus_stats, suite_corpus, BenchConfig, SuiteCorpus};
 
+pub use rap_admit::AdmitOptions;
 pub use rap_analyze::{AnalyzeOptions, SoundnessConfig};

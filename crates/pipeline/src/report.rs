@@ -33,18 +33,21 @@ pub enum Stage {
     Verify,
     /// Static worst-case bound analysis (opt-in).
     Bound,
+    /// Multi-tenant admission analysis (opt-in).
+    Admit,
     /// Cycle-accurate simulation.
     Simulate,
 }
 
 /// All stages in execution order.
-pub const STAGES: [Stage; 7] = [
+pub const STAGES: [Stage; 8] = [
     Stage::Generate,
     Stage::Compile,
     Stage::Analyze,
     Stage::Map,
     Stage::Verify,
     Stage::Bound,
+    Stage::Admit,
     Stage::Simulate,
 ];
 
@@ -65,6 +68,7 @@ impl Stage {
             Stage::Map => "map",
             Stage::Verify => "verify",
             Stage::Bound => "bound",
+            Stage::Admit => "admit",
             Stage::Simulate => "simulate",
         }
     }
@@ -77,7 +81,8 @@ impl Stage {
             Stage::Map => 3,
             Stage::Verify => 4,
             Stage::Bound => 5,
-            Stage::Simulate => 6,
+            Stage::Admit => 6,
+            Stage::Simulate => 7,
         }
     }
 }
@@ -92,9 +97,11 @@ impl fmt::Display for Stage {
 /// a telemetry registry, registered once at pipeline construction.
 #[derive(Debug)]
 pub(crate) struct Metrics {
-    stage_ns: [Histogram; 7],
+    stage_ns: [Histogram; 8],
     bound_arrays: Counter,
     bound_peak_active: Gauge,
+    admitted: Counter,
+    rejected: Counter,
     patterns: Counter,
     states: Counter,
     pruned: Counter,
@@ -129,6 +136,14 @@ impl Metrics {
             }),
             bound_arrays: registry.counter("rap_pipeline_bound_arrays_total", &[]),
             bound_peak_active: registry.gauge("rap_pipeline_bound_peak_active_states", &[]),
+            admitted: registry.counter(
+                "rap_pipeline_compositions_total",
+                &[("verdict", "admitted")],
+            ),
+            rejected: registry.counter(
+                "rap_pipeline_compositions_total",
+                &[("verdict", "rejected")],
+            ),
             patterns: registry.counter("rap_pipeline_patterns_compiled_total", &[]),
             states: registry.counter("rap_pipeline_states_compiled_total", &[]),
             pruned: registry.counter("rap_pipeline_states_pruned_total", &[]),
@@ -176,6 +191,15 @@ impl Metrics {
         self.bound_peak_active.set_max(peak_active);
     }
 
+    /// Charges one Admit-stage verdict.
+    pub fn record_admission(&self, admitted: bool) {
+        if admitted {
+            self.admitted.inc();
+        } else {
+            self.rejected.inc();
+        }
+    }
+
     pub fn record_grid(&self, workers: u64, ns: u64) {
         self.workers.set_max(workers);
         self.grid_ns.add(ns);
@@ -201,7 +225,7 @@ impl Metrics {
             self.store_stale.set(disk.stale);
             self.store_evictions.set(disk.evictions);
         }
-        let mut stage_ns = [0u64; 7];
+        let mut stage_ns = [0u64; 8];
         for (out, hist) in stage_ns.iter_mut().zip(&self.stage_ns) {
             *out = hist.sum();
         }
@@ -215,6 +239,8 @@ impl Metrics {
             states_pruned: self.pruned.get(),
             arrays_bounded: self.bound_arrays.get(),
             peak_active_bound: self.bound_peak_active.get(),
+            compositions_admitted: self.admitted.get(),
+            compositions_rejected: self.rejected.get(),
             cells_evaluated: self.cells.get(),
             max_workers: self.workers.get(),
             grid_ns: self.grid_ns.get(),
@@ -227,7 +253,7 @@ impl Metrics {
 pub struct PipelineReport {
     /// Cumulative wall-clock nanoseconds per stage, summed across workers
     /// (parallel stage time can exceed elapsed real time).
-    pub stage_ns: [u64; 7],
+    pub stage_ns: [u64; 8],
     /// Verified-plan memory-tier hits/misses. Without a disk store, a
     /// miss is a distinct compile; with one, disk hits answer some misses
     /// without compiling (see [`PipelineReport::disk_store`]).
@@ -248,6 +274,10 @@ pub struct PipelineReport {
     pub arrays_bounded: u64,
     /// Largest per-plan total worst-case active-state bound seen.
     pub peak_active_bound: u64,
+    /// Multi-tenant compositions the Admit stage certified.
+    pub compositions_admitted: u64,
+    /// Multi-tenant compositions the Admit stage rejected.
+    pub compositions_rejected: u64,
     /// (machine × suite) cells simulated.
     pub cells_evaluated: u64,
     /// Largest worker count used by a grid fan-out.
@@ -302,6 +332,13 @@ impl fmt::Display for PipelineReport {
                 f,
                 "  bounds       : {} arrays bounded (peak active-state bound {})",
                 self.arrays_bounded, self.peak_active_bound
+            )?;
+        }
+        if self.compositions_admitted + self.compositions_rejected > 0 {
+            writeln!(
+                f,
+                "  admission    : {} composition(s) admitted, {} rejected",
+                self.compositions_admitted, self.compositions_rejected
             )?;
         }
         writeln!(

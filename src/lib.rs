@@ -43,11 +43,13 @@
 //! | [`verify`] | static legality verifier for plans (rules V001–V012) |
 //! | [`analyze`] | dataflow static analyzer over compiled IRs (rules A001–A011) + pruning |
 //! | [`bound`] | abstract-interpretation worst-case bounds over mapped plans (rules B001–B008) |
+//! | [`admit`] | static multi-tenant interference analyzer with certified co-residency admission (rules S001–S008) |
 //! | [`telemetry`] | metrics registry, span timing, cycle-sampled simulator probes, JSONL/Prometheus export |
 //! | [`pipeline`] | typed parse → compile → map → verify → simulate stages, plan cache, grid driver |
 //! | [`workloads`] | synthetic stand-ins for the seven benchmark suites (§5.1) |
 //! | [`engines`] | software matcher baselines (Hyperscan/HybridSA stand-ins, §5.5) |
 
+pub use rap_admit as admit;
 pub use rap_analyze as analyze;
 pub use rap_arch as arch;
 pub use rap_automata as automata;

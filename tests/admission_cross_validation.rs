@@ -1,0 +1,223 @@
+//! Cross-validates the rap-admit static interference analyzer against
+//! the simulator: on every benchmark suite, for the RAP decision mix and
+//! the force-NFA CA baseline, every composition the analyzer *admits*
+//! must be behaviour-preserving — each tenant's matches in the composed
+//! run, demultiplexed back to its own namespace, are bit-identical to
+//! its solo run over the same stream, and the traced peaks of the
+//! composed run stay within the static bounds computed for the composed
+//! plan. The analyzer never runs the automata, so any violation here is
+//! a soundness bug in rap-admit's composition certificate.
+//!
+//! The test also exercises the rejection side: a deliberately
+//! over-subscribed single-bank fabric carrying all seven suites must be
+//! refused with the placement-overlap error (S001).
+
+use rap::admit::{admit, AdmitOptions, Rule, Tenant};
+use rap::bound::{analyze_bounds, BoundOptions};
+use rap::telemetry::{Telemetry, TelemetryConfig};
+use rap::workloads::{generate_input, generate_patterns, Suite};
+use rap::{Machine, Simulator};
+use std::sync::Arc;
+
+const PATTERNS: usize = 12;
+const INPUT_LEN: usize = 4_000;
+const SEED: u64 = 7;
+
+/// One suite's independently verified solo plan plus its sources.
+struct Solo {
+    suite: Suite,
+    sources: Vec<String>,
+    patterns: Vec<rap::regex::Pattern>,
+    images: Vec<rap::compiler::Compiled>,
+    mapping: rap::mapper::Mapping,
+}
+
+fn solo(suite: Suite, machine: Machine) -> Solo {
+    let sim = Simulator::new(machine)
+        .with_bv_depth(suite.chosen_bv_depth())
+        .with_bin_size(suite.chosen_bin_size());
+    let sources = generate_patterns(suite, PATTERNS, SEED);
+    let patterns: Vec<_> = sources
+        .iter()
+        .map(|s| rap::regex::parse_pattern(s).expect("suite patterns parse"))
+        .collect();
+    let images = sim.compile_parsed(&patterns).expect("suite compiles");
+    let mapping = sim.map_verified(&images).expect("suite maps legally");
+    Solo {
+        suite,
+        sources,
+        patterns,
+        images,
+        mapping,
+    }
+}
+
+fn view(s: &Solo) -> Tenant<'_> {
+    Tenant {
+        name: s.suite.name(),
+        images: &s.images,
+        patterns: &s.patterns,
+        mapping: &s.mapping,
+        match_base: None,
+        slot: None,
+    }
+}
+
+/// Admits the given tenants on an auto-sized fabric; when the analyzer
+/// certifies the composition, simulates it and checks the certificate's
+/// two claims (per-tenant match equality, peaks within composed static
+/// bounds). Returns whether the composition was admitted.
+fn validate_composition(machine: Machine, solos: &[&Solo], matched: &mut usize) -> bool {
+    let label: Vec<&str> = solos.iter().map(|s| s.suite.name()).collect();
+    let views: Vec<Tenant<'_>> = solos.iter().map(|s| view(s)).collect();
+    let arch = Simulator::new(machine).mapper.arch;
+    let analysis = admit(&views, &arch, &AdmitOptions::default());
+    let Some(composed) = &analysis.composed else {
+        return false;
+    };
+
+    // One shared stream with planted matches for every tenant.
+    let combined: Vec<String> = solos
+        .iter()
+        .flat_map(|s| s.sources.iter().cloned())
+        .collect();
+    let input = generate_input(&combined, INPUT_LEN, 0.05, SEED);
+
+    // The composed run, densely traced.
+    let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
+        sample_every: 1,
+        ring_capacity: 1 << 20,
+    }));
+    let sim = Simulator::new(machine).with_telemetry(Arc::clone(&telemetry));
+    let (merged, _stats) = sim.simulate_streaming(&composed.images, &composed.mapping, &input);
+
+    // Claim 1: demultiplexed matches are bit-identical to solo runs.
+    for (idx, summary) in composed.tenants.iter().enumerate() {
+        let tenant = solos
+            .iter()
+            .find(|s| s.suite.name() == summary.name)
+            .unwrap_or_else(|| panic!("{machine:?} {label:?}: unknown tenant {}", summary.name));
+        let solo_sim = Simulator::new(machine);
+        let (solo_run, _) = solo_sim.simulate_streaming(&tenant.images, &tenant.mapping, &input);
+        let demuxed = composed.tenant_matches(idx, &merged.matches);
+        assert_eq!(
+            demuxed, solo_run.matches,
+            "{machine:?} {label:?}: tenant {} diverges from its solo run",
+            summary.name
+        );
+        *matched += solo_run.matches.len();
+    }
+
+    // Claim 2: observed peaks stay within the composed plan's static
+    // budgets, computed over the merged pattern namespace.
+    let cat_patterns: Vec<rap::regex::Pattern> = composed
+        .tenants
+        .iter()
+        .flat_map(|summary| {
+            let tenant = solos
+                .iter()
+                .find(|s| s.suite.name() == summary.name)
+                .expect("summary names a tenant");
+            assert_eq!(
+                summary.pattern_range.1 - summary.pattern_range.0,
+                tenant.patterns.len(),
+                "{machine:?} {label:?}: pattern range out of step"
+            );
+            tenant.patterns.iter().cloned()
+        })
+        .collect();
+    let bounds = analyze_bounds(
+        &composed.images,
+        &cat_patterns,
+        &composed.mapping,
+        &BoundOptions::bounds_only(),
+    );
+    for trace in &telemetry.drain_traces() {
+        for (array, observed) in trace.peak_active_states() {
+            let bound = bounds
+                .arrays
+                .iter()
+                .find(|a| a.array == array as usize)
+                .unwrap_or_else(|| panic!("{machine:?} {label:?}: no bound for array {array}"));
+            assert!(
+                observed <= bound.peak_active_states,
+                "{machine:?} {label:?} array {array}: observed {observed} active states \
+                 > composed static bound {}",
+                bound.peak_active_states
+            );
+        }
+        assert!(
+            trace.peak_output_fifo_records() <= bounds.bank.output_fifo_records,
+            "{machine:?} {label:?}: output records {} > composed bound {}",
+            trace.peak_output_fifo_records(),
+            bounds.bank.output_fifo_records
+        );
+    }
+    true
+}
+
+#[test]
+fn admitted_compositions_preserve_per_tenant_behaviour() {
+    for machine in [Machine::Rap, Machine::Ca] {
+        let solos: Vec<Solo> = Suite::all().iter().map(|&s| solo(s, machine)).collect();
+
+        // A lone verified plan always fits a fabric sized for it: every
+        // suite must solo-admit, and the composed run must reproduce it.
+        let mut matched = 0usize;
+        for s in &solos {
+            assert!(
+                validate_composition(machine, &[s], &mut matched),
+                "{machine:?}: {} rejected solo",
+                s.suite.name()
+            );
+        }
+
+        // Adjacent suite pairs: validate every admitted composition.
+        let mut admitted = 0usize;
+        for i in 0..solos.len() {
+            let j = (i + 1) % solos.len();
+            if validate_composition(machine, &[&solos[i], &solos[j]], &mut matched) {
+                admitted += 1;
+            }
+        }
+        assert!(
+            matched > 0,
+            "{machine:?}: no composition produced any matches — vacuous equality"
+        );
+        match machine {
+            // RAP's decomposed plans (NBVA counters, binned LNFAs) keep
+            // shared-bank bursts small: every pair co-resides.
+            Machine::Rap => assert_eq!(admitted, 7, "RAP must admit every adjacent pair"),
+            // The CA baseline's force-NFA one-array-per-pattern plans
+            // burst shared banks: some pairs must be refused, but the
+            // analyzer is not vacuous — most still fit.
+            _ => assert!(
+                (4..7).contains(&admitted),
+                "CA admitted {admitted}/7 adjacent pairs; expected interference on some"
+            ),
+        }
+    }
+}
+
+#[test]
+fn over_subscribed_composition_is_rejected_with_s001() {
+    for machine in [Machine::Rap, Machine::Ca] {
+        let solos: Vec<Solo> = Suite::all().iter().map(|&s| solo(s, machine)).collect();
+        let views: Vec<Tenant<'_>> = solos.iter().map(view).collect();
+        let arch = Simulator::new(machine).mapper.arch;
+        let options = AdmitOptions {
+            banks: Some(1),
+            ..AdmitOptions::default()
+        };
+        let analysis = admit(&views, &arch, &options);
+        assert!(
+            !analysis.admitted(),
+            "{machine:?}: seven tenants on one bank must not be admitted"
+        );
+        assert!(
+            !analysis.report.by_rule(Rule::PlacementOverlap).is_empty(),
+            "{machine:?}: expected an S001 placement-overlap finding, got:\n{}",
+            analysis.report
+        );
+    }
+}
