@@ -11,6 +11,7 @@ pub mod gen;
 pub mod layout;
 pub mod lint;
 pub mod scan;
+pub mod serve;
 pub mod trace;
 
 use crate::CliError;

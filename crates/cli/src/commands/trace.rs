@@ -31,6 +31,8 @@ FLAGS:
     --sample N      probe sampling period, cycles (default 16)
     --top N         hottest arrays to list       (default 5)
     --out FILE      also write the raw JSONL trace to FILE
+    --json          emit the raw JSONL trace on stdout instead of the
+                    rendered summary
     --store-dir D   persistent artifact store directory: recall the plan
                     from an earlier run instead of recompiling";
 
@@ -73,7 +75,17 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if let Some(path) = args.flag("out") {
         std::fs::write(path, traces_to_jsonl(&traces))
             .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
-        outln!(out, "[written {path}]");
+        if !args.switch("json") {
+            outln!(out, "[written {path}]");
+        }
+    }
+
+    if args.switch("json") {
+        // Machine-readable mode: the raw probe journal, one JSON object
+        // per line, same schema as --out FILE.
+        out.write_all(traces_to_jsonl(&traces).as_bytes())
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        return Ok(());
     }
 
     outln!(
@@ -297,6 +309,14 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("trace file");
         assert!(text.contains("\"event\":\"run_start\""), "{text}");
         assert!(text.contains("\"event\":\"run_end\""), "{text}");
+    }
+
+    #[test]
+    fn json_streams_the_journal_to_stdout() {
+        let s = run_ok(&["snort", "--patterns", "3", "--input", "1000", "--json"]);
+        assert!(s.contains("\"event\":\"run_start\""), "{s}");
+        assert!(s.contains("\"event\":\"run_end\""), "{s}");
+        assert!(!s.contains("cycle activity"), "no rendered summary: {s}");
     }
 
     #[test]

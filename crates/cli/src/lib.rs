@@ -12,7 +12,8 @@
 //! rap analyze <suite> [--machine M] [--patterns N] [--prune] [--json]
 //! rap bound   <suite> [--machine M] [--patterns N] [--equivalence] [--json]
 //! rap admit   <suite> [<suite>...] [--machine M] [--banks N] [--overlap] [--json]
-//! rap trace   <suite> [--machine M] [--sample N] [--top N] [--out FILE]
+//! rap serve   <suite> [<suite>...] [--shards N] [--queue-pages N] [--listen ADDR] [--json]
+//! rap trace   <suite> [--machine M] [--sample N] [--top N] [--out FILE] [--json]
 //! rap cache   stats|gc|clear [--store-dir DIR] [--max-bytes N] [--json]
 //! ```
 //!
@@ -75,6 +76,7 @@ COMMANDS:
     analyze    Run the dataflow static analyzer over a suite's automata
     bound      Compute certified worst-case bounds for a suite's mapped plan
     admit      Decide whether suites can share one fabric without interference
+    serve      Run the multi-tenant streaming scan service over suite tenants
     trace      Profile one suite with cycle-level telemetry attached
     cache      Inspect or manage the persistent artifact store
     help       Show this message
@@ -102,6 +104,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "layout" => commands::layout::run(rest, out),
         "lint" => commands::lint::run(rest, out),
         "admit" => commands::admit::run(rest, out),
+        "serve" => commands::serve::run(rest, out),
         "analyze" => commands::analyze::run(rest, out),
         "bound" => commands::bound::run(rest, out),
         "trace" => commands::trace::run(rest, out),

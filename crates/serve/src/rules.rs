@@ -1,0 +1,68 @@
+//! The R (runtime service) finding family.
+//!
+//! Where the V/A/B/C/S families judge artifacts before any byte is
+//! scanned, the R family records what actually happened while the
+//! service ran: refused registrations, certified-budget pressure, shed
+//! chunks, and graceful drains. A server accumulates one [`Report`]
+//! over its lifetime; `Server::findings` snapshots it.
+
+use rap_diag::{RuleCode, Severity};
+
+/// Runtime verdicts emitted by the streaming scan service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// R001: a tenant's registration was refused — the admission
+    /// analyzer could not certify the proposed co-residency (the
+    /// refusing S-rule findings travel in the returned analysis).
+    AdmissionRejected,
+    /// R002: a session crossed half of a certified queue budget; the
+    /// producer was told to slow down before anything was lost.
+    SessionBackpressure,
+    /// R003: a chunk was rejected because accepting it would exceed the
+    /// session's certified intake budget. The chunk was not queued; no
+    /// partial scan happened.
+    ChunkShed,
+    /// R004: a session disconnected, its queue was drained to the last
+    /// accepted byte, and its arrays were released by recomposition.
+    SessionDrained,
+}
+
+impl Rule {
+    /// The stable diagnostic code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::AdmissionRejected => "R001-admission-rejected",
+            Rule::SessionBackpressure => "R002-session-backpressure",
+            Rule::ChunkShed => "R003-chunk-shed",
+            Rule::SessionDrained => "R004-session-drained",
+        }
+    }
+
+    /// The fixed severity of this rule's findings.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::AdmissionRejected | Rule::ChunkShed => Severity::Error,
+            Rule::SessionBackpressure => Severity::Warning,
+            Rule::SessionDrained => Severity::Info,
+        }
+    }
+
+    /// Every rule, in code order.
+    pub fn all() -> [Rule; 4] {
+        [
+            Rule::AdmissionRejected,
+            Rule::SessionBackpressure,
+            Rule::ChunkShed,
+            Rule::SessionDrained,
+        ]
+    }
+}
+
+impl RuleCode for Rule {
+    fn code(&self) -> &'static str {
+        Rule::code(*self)
+    }
+}
+
+/// A report of R-rule findings accumulated by a running server.
+pub type Report = rap_diag::Report<Rule>;

@@ -1,0 +1,706 @@
+//! The sharded scan service: registration through the pipeline's admit
+//! stage, thread-per-shard scan workers, and certified backpressure.
+//!
+//! Each shard owns one certified [`ComposedPlan`] covering its resident
+//! tenants. Registration re-runs admission over the residents plus the
+//! newcomer (warm-started from the pipeline's caches and persistent
+//! store, so a known pattern set performs zero compile-stage work); a
+//! refusal leaves the previous composition untouched. Scan jobs re-run
+//! `simulate_streaming` over each session's retained window and demux
+//! per-tenant events through [`ComposedPlan::tenant_matches`].
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rap_admit::{AdmissionAnalysis, AdmitOptions, ComposedPlan};
+use rap_bound::BoundOptions;
+use rap_diag::Location;
+use rap_pipeline::{PatternSet, Pipeline, VerifiedPlan};
+use rap_sim::{max_match_span, MatchEvent, Simulator};
+use rap_telemetry::Telemetry;
+
+use crate::config::ServeConfig;
+use crate::metrics::ServeMetrics;
+use crate::rules::{Report, Rule};
+use crate::session::{Session, SessionInner};
+
+/// A service failure surfaced to the caller.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The admission analyzer refused the proposed composition; the
+    /// analysis carries the refusing S-rule findings.
+    Rejected(Box<AdmissionAnalysis>),
+    /// A tenant with this name is already resident.
+    DuplicateTenant(String),
+    /// The session was already finished or drained.
+    SessionClosed,
+    /// A pipeline stage failed while building the tenant's plan.
+    Pipeline(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected(analysis) => write!(
+                f,
+                "admission rejected the composition ({} finding(s))",
+                analysis.report.len()
+            ),
+            ServeError::DuplicateTenant(name) => {
+                write!(f, "tenant {name:?} is already registered")
+            }
+            ServeError::SessionClosed => write!(f, "session already finished"),
+            ServeError::Pipeline(message) => write!(f, "pipeline failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One shard's current certified composition and its derived budgets.
+pub(crate) struct Tenancy {
+    /// The verified composed plan the scan plane executes.
+    pub plan: Arc<VerifiedPlan>,
+    /// The demux certificate (per-tenant pattern ranges).
+    pub composed: ComposedPlan,
+    /// Per-session intake budget in bytes: `queue_pages` ping-pong bank
+    /// input windows per fabric bank.
+    pub input_budget: u64,
+    /// Per-session event-queue budget in records: `queue_pages` times
+    /// the B002 worst-case output-records occupancy.
+    pub events_budget: u64,
+}
+
+/// A tenant resident on a shard (control-plane view).
+pub(crate) struct ResidentTenant {
+    pub name: String,
+    pub patterns: PatternSet,
+}
+
+/// The control-plane state of one shard, guarded by its mutex.
+pub(crate) struct Residency {
+    pub tenants: Vec<ResidentTenant>,
+    pub tenancy: Option<Arc<Tenancy>>,
+}
+
+/// Work items for a shard's scan thread.
+pub(crate) enum Job {
+    /// Re-scan a session's window (coalesced if already caught up).
+    Scan(Arc<SessionInner>),
+    /// Final scan, then release the tenant's slot and recompose.
+    Finish(Arc<SessionInner>),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// One shard: a job queue plus the residency it scans for.
+pub(crate) struct ShardInner {
+    pub id: usize,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    pub residency: Mutex<Residency>,
+}
+
+impl ShardInner {
+    fn new(id: usize) -> ShardInner {
+        ShardInner {
+            id,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            residency: Mutex::new(Residency {
+                tenants: Vec::new(),
+                tenancy: None,
+            }),
+        }
+    }
+
+    pub fn enqueue(&self, job: Job) {
+        self.queue
+            .lock()
+            .expect("shard queue poisoned")
+            .push_back(job);
+        self.ready.notify_one();
+    }
+
+    fn next_job(&self) -> Job {
+        let mut queue = self.queue.lock().expect("shard queue poisoned");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                return job;
+            }
+            queue = self.ready.wait(queue).expect("shard queue poisoned");
+        }
+    }
+
+    /// Snapshot of the current certified tenancy (momentary lock; never
+    /// held together with a session lock).
+    pub fn tenancy(&self) -> Option<Arc<Tenancy>> {
+        self.residency
+            .lock()
+            .expect("shard residency poisoned")
+            .tenancy
+            .clone()
+    }
+}
+
+/// State shared between the server handle, sessions, and workers.
+pub(crate) struct Shared {
+    pub pipeline: Arc<Pipeline>,
+    pub config: ServeConfig,
+    pub telemetry: Arc<Telemetry>,
+    pub metrics: ServeMetrics,
+    pub findings: Mutex<Report>,
+    pub shards: Vec<Arc<ShardInner>>,
+    pub active: AtomicU64,
+    pub stopping: AtomicBool,
+    /// Serializes registrations so duplicate-name checks and shard
+    /// selection never need to hold two residency locks at once.
+    registration: Mutex<()>,
+}
+
+impl Shared {
+    pub fn finding(&self, rule: Rule, message: String) {
+        self.findings.lock().expect("findings lock poisoned").push(
+            rule,
+            rule.severity(),
+            Location::default(),
+            message,
+        );
+    }
+
+    fn simulator(&self) -> Simulator {
+        Simulator::new(self.config.machine)
+    }
+
+    /// The least-loaded shard by resident tenant count.
+    fn shard_for_new_session(&self) -> Arc<ShardInner> {
+        Arc::clone(
+            self.shards
+                .iter()
+                .min_by_key(|shard| {
+                    shard
+                        .residency
+                        .lock()
+                        .expect("shard residency poisoned")
+                        .tenants
+                        .len()
+                })
+                .expect("server has at least one shard"),
+        )
+    }
+
+    /// Re-runs admission over a shard's residents. Replaces the tenancy
+    /// only on success; a refusal or stage failure leaves the previous
+    /// certified composition (and its running sessions) untouched.
+    fn recompose(&self, residency: &mut Residency) -> Result<(), ServeError> {
+        if residency.tenants.is_empty() {
+            residency.tenancy = None;
+            return Ok(());
+        }
+        let sim = self.simulator();
+        let tenants: Vec<(&str, &Simulator, &PatternSet)> = residency
+            .tenants
+            .iter()
+            .map(|t| (t.name.as_str(), &sim, &t.patterns))
+            .collect();
+        let admission = self
+            .pipeline
+            .admit(&tenants, &AdmitOptions::default())
+            .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+        let Some(plan) = admission.plan.clone() else {
+            return Err(ServeError::Rejected(Box::new(admission.analysis)));
+        };
+        let composed = admission
+            .analysis
+            .composed
+            .clone()
+            .expect("admitted composition carries a certificate");
+        // Certified budgets, not ad-hoc constants: the intake side is
+        // sized in ping-pong bank input windows (§3.3 geometry), the
+        // event side in B002 worst-case output-records occupancy.
+        let patterns: Vec<rap_regex::Pattern> = composed
+            .tenants
+            .iter()
+            .flat_map(|summary| {
+                residency
+                    .tenants
+                    .iter()
+                    .find(|t| t.name == summary.name)
+                    .expect("composed tenant is resident")
+                    .patterns
+                    .parsed()
+                    .iter()
+                    .cloned()
+            })
+            .collect();
+        let bounds = rap_bound::analyze_bounds(
+            plan.compiled().images(),
+            &patterns,
+            plan.mapping(),
+            &BoundOptions::bounds_only(),
+        );
+        let window = 2 * u64::from(plan.mapping().config.arch.bank_input_entries);
+        let input_budget =
+            (self.config.queue_pages * u64::from(admission.analysis.banks) * window).max(1);
+        let events_budget = (self.config.queue_pages * bounds.bank.output_fifo_records).max(1);
+        residency.tenancy = Some(Arc::new(Tenancy {
+            plan,
+            composed,
+            input_budget,
+            events_budget,
+        }));
+        Ok(())
+    }
+
+    /// Whether any shard hosts a tenant under `name` (momentary
+    /// single-shard locks; callers must not hold a residency lock).
+    fn name_taken(&self, name: &str) -> bool {
+        self.shards.iter().any(|shard| {
+            shard
+                .residency
+                .lock()
+                .expect("shard residency poisoned")
+                .tenants
+                .iter()
+                .any(|t| t.name == name)
+        })
+    }
+
+    /// Registers a tenant on the least-loaded shard.
+    pub(crate) fn register(
+        self: &Arc<Shared>,
+        name: &str,
+        patterns: &PatternSet,
+    ) -> Result<Session, ServeError> {
+        let start = Instant::now();
+        if patterns.is_empty() {
+            self.metrics.sessions_rejected.inc();
+            return Err(ServeError::Pipeline("empty pattern set".to_string()));
+        }
+        let _serial = self
+            .registration
+            .lock()
+            .expect("registration lock poisoned");
+        if self.name_taken(name) {
+            self.metrics.sessions_rejected.inc();
+            return Err(ServeError::DuplicateTenant(name.to_string()));
+        }
+        let shard = self.shard_for_new_session();
+        let resident_count = {
+            let mut residency = shard.residency.lock().expect("shard residency poisoned");
+            residency.tenants.push(ResidentTenant {
+                name: name.to_string(),
+                patterns: patterns.clone(),
+            });
+            if let Err(error) = self.recompose(&mut residency) {
+                residency.tenants.pop();
+                self.metrics.sessions_rejected.inc();
+                if let ServeError::Rejected(analysis) = &error {
+                    self.finding(
+                        Rule::AdmissionRejected,
+                        format!(
+                            "tenant {name:?} refused on shard {}: {} error finding(s)",
+                            shard.id,
+                            analysis.report.errors().count()
+                        ),
+                    );
+                }
+                return Err(error);
+            }
+            residency.tenants.len()
+        };
+        // Solo plan (cache-shared with the admission run above) for the
+        // session's anchoring flags and certified match span.
+        let sim = self.simulator();
+        let solo = self
+            .pipeline
+            .plan(&sim, patterns, None)
+            .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+        let images = solo.compiled().images();
+        let anchored_end: Vec<bool> = images.iter().map(|img| img.anchored_end()).collect();
+        let anchored_start = images.iter().any(|img| img.anchored_start());
+        let span = max_match_span(images);
+        let inner = Arc::new(SessionInner::new(
+            name,
+            Arc::clone(&shard),
+            anchored_end,
+            anchored_start,
+            span,
+        ));
+        self.metrics.sessions_admitted.inc();
+        let active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.sessions_active.set(active);
+        self.metrics
+            .shard_sessions(shard.id)
+            .set(resident_count as u64);
+        self.metrics
+            .register_ns
+            .record(start.elapsed().as_nanos() as u64);
+        Ok(Session::new(inner, Arc::clone(self)))
+    }
+}
+
+/// The multi-tenant streaming scan service.
+///
+/// In-process producers use [`Server::register`] and the returned
+/// [`Session`]; network producers use [`Server::listen`] and the framed
+/// protocol in the `net` module. Dropping the server shuts it down
+/// (sessions should be finished first).
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    acceptor: Option<JoinHandle<()>>,
+    stop_accepting: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl Server {
+    /// Spawns the shard workers over `pipeline`. The pipeline's attached
+    /// telemetry (or a fresh default) becomes the ops surface.
+    pub fn new(pipeline: Pipeline, config: ServeConfig) -> Server {
+        let telemetry = pipeline
+            .telemetry()
+            .map_or_else(|| Arc::new(Telemetry::default()), Arc::clone);
+        let metrics = ServeMetrics::on(telemetry.registry());
+        let shards: Vec<Arc<ShardInner>> = (0..config.shards.max(1))
+            .map(|id| Arc::new(ShardInner::new(id)))
+            .collect();
+        let shared = Arc::new(Shared {
+            pipeline: Arc::new(pipeline),
+            config,
+            telemetry,
+            metrics,
+            findings: Mutex::new(Report::default()),
+            shards,
+            active: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            registration: Mutex::new(()),
+        });
+        let workers = shared
+            .shards
+            .iter()
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                let shard = Arc::clone(shard);
+                std::thread::Builder::new()
+                    .name(format!("rap-serve-shard-{}", shard.id))
+                    .spawn(move || worker(&shared, &shard))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Server {
+            shared,
+            workers,
+            acceptor: None,
+            stop_accepting: Arc::new(AtomicBool::new(false)),
+            addr: None,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.config
+    }
+
+    /// The pipeline backing registrations.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.shared.pipeline
+    }
+
+    /// The telemetry hub carrying the `rap_serve_*` registry cells.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.shared.telemetry
+    }
+
+    /// Handles to the service's registry cells.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Snapshot of the R-rule findings accumulated so far.
+    pub fn findings(&self) -> Report {
+        self.shared
+            .findings
+            .lock()
+            .expect("findings lock poisoned")
+            .clone()
+    }
+
+    /// Sessions currently registered.
+    pub fn active_sessions(&self) -> u64 {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Renders the full registry in Prometheus exposition format.
+    pub fn prometheus(&self) -> String {
+        self.shared.telemetry.prometheus()
+    }
+
+    /// Registers a tenant and returns its streaming session.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] when admission cannot certify the
+    /// composition, [`ServeError::DuplicateTenant`] on a name clash,
+    /// [`ServeError::Pipeline`] when a stage fails.
+    pub fn register(&self, name: &str, patterns: &PatternSet) -> Result<Session, ServeError> {
+        self.shared.register(name, patterns)
+    }
+
+    /// Parses `sources` and registers the tenant.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::register`], plus [`ServeError::Pipeline`] on parse
+    /// failure.
+    pub fn register_sources(&self, name: &str, sources: &[String]) -> Result<Session, ServeError> {
+        let patterns =
+            PatternSet::parse(sources).map_err(|e| ServeError::Pipeline(e.to_string()))?;
+        self.register(name, &patterns)
+    }
+
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts accepting framed
+    /// protocol connections; returns the bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    pub fn listen(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let (handle, local) = crate::net::spawn_acceptor(
+            Arc::clone(&self.shared),
+            Arc::clone(&self.stop_accepting),
+            addr,
+        )?;
+        self.acceptor = Some(handle);
+        self.addr = Some(local);
+        Ok(local)
+    }
+
+    /// The bound listen address, when [`Server::listen`] was called.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Stops accepting, drains the shard queues, and joins every
+    /// worker. Called automatically on drop; idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stopping.store(true, Ordering::Relaxed);
+        self.stop_accepting.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for shard in &self.shared.shards {
+            shard.enqueue(Job::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One shard's scan loop.
+fn worker(shared: &Arc<Shared>, shard: &Arc<ShardInner>) {
+    loop {
+        match shard.next_job() {
+            Job::Shutdown => break,
+            Job::Scan(session) => scan(shared, shard, &session, false),
+            Job::Finish(session) => {
+                scan(shared, shard, &session, true);
+                release(shared, shard, &session);
+            }
+        }
+    }
+    // Unblock any session still waiting after shutdown.
+    let mut queue = shard.queue.lock().expect("shard queue poisoned");
+    while let Some(job) = queue.pop_front() {
+        if let Job::Scan(session) | Job::Finish(session) = job {
+            let mut st = session.lock();
+            st.drained = true;
+            session.cv.notify_all();
+        }
+    }
+}
+
+struct Snapshot {
+    window: Vec<u8>,
+    trim: usize,
+    global_len: usize,
+    scanned_len: usize,
+    watermark: usize,
+}
+
+/// Re-scans a session's retained window through the shard's composed
+/// plan and delivers the fresh demuxed events. `fin` runs the final
+/// scan, which additionally delivers `$`-anchored matches.
+fn scan(shared: &Arc<Shared>, shard: &Arc<ShardInner>, session: &Arc<SessionInner>, fin: bool) {
+    let snapshot = {
+        let st = session.lock();
+        if st.drained {
+            return;
+        }
+        let caught_up = st.scanned_len == st.global_len;
+        // Coalesce: a queued scan whose bytes were already covered by a
+        // later batch is a no-op. The final scan still runs when any
+        // pattern is `$`-anchored (those matches only surface at EOS).
+        let has_anchored_end = session.anchored_end.iter().any(|&a| a);
+        if caught_up && !(fin && has_anchored_end && st.global_len > 0) {
+            return;
+        }
+        Snapshot {
+            window: st.history.clone(),
+            trim: st.trim,
+            global_len: st.global_len,
+            scanned_len: st.scanned_len,
+            watermark: st.watermark,
+        }
+    };
+    let Some(tenancy) = shard.tenancy() else {
+        // No certified composition (pathological mid-teardown state):
+        // mark the bytes covered so waiters make progress.
+        let mut st = session.lock();
+        st.scanned_len = st.global_len;
+        session.cv.notify_all();
+        return;
+    };
+    let Some(index) = tenancy
+        .composed
+        .tenants
+        .iter()
+        .position(|t| t.name == session.name)
+    else {
+        let mut st = session.lock();
+        st.scanned_len = st.global_len;
+        session.cv.notify_all();
+        return;
+    };
+    let start = Instant::now();
+    let (result, stats) = tenancy.plan.simulate_streaming(&snapshot.window);
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    // Demux, globalize, and keep only events past the delivery
+    // watermark. `$`-anchored matches survive the simulator only at
+    // window end; they are deferred to the final scan, where the window
+    // end is the true end of stream.
+    let mine = tenancy.composed.tenant_matches(index, &result.matches);
+    let fresh: Vec<MatchEvent> = mine
+        .into_iter()
+        .filter_map(|m| {
+            let end = m.end + snapshot.trim;
+            let anchored = session.anchored_end[m.pattern];
+            let deliver = if fin {
+                end > snapshot.watermark || anchored
+            } else {
+                end > snapshot.watermark && !anchored
+            };
+            deliver.then_some(MatchEvent {
+                pattern: m.pattern,
+                end,
+            })
+        })
+        .collect();
+    let bytes_delta = (snapshot.global_len - snapshot.scanned_len) as u64;
+    let over_events_budget = {
+        let mut st = session.lock();
+        st.events.extend(fresh.iter().copied());
+        st.watermark = snapshot.global_len;
+        st.scanned_len = st.scanned_len.max(snapshot.global_len);
+        st.stats.bytes_scanned += bytes_delta;
+        st.stats.scans += 1;
+        st.stats.matches_delivered += fresh.len() as u64;
+        st.stats.output_interrupts += stats.output_interrupts;
+        // Trim the retained window to the certified match span. Only
+        // sound when the span is finite and no pattern is `^`-anchored
+        // (anchored matches depend on absolute position, not content).
+        if !session.anchored_start {
+            if let Some(span) = session.span {
+                let keep_from = snapshot.global_len.saturating_sub(span);
+                let cut = keep_from.saturating_sub(st.trim);
+                if cut > 0 {
+                    st.history.drain(..cut);
+                    st.trim += cut;
+                }
+            }
+        }
+        let over = st.events.len() as u64 > tenancy.events_budget;
+        let first = over && !st.flagged.backpressure;
+        if over {
+            st.stats.backpressure_events += 1;
+            st.flagged.backpressure = true;
+        }
+        session.cv.notify_all();
+        first
+    };
+    if over_events_budget {
+        shared.metrics.backpressure_events.inc();
+        shared.finding(
+            Rule::SessionBackpressure,
+            format!(
+                "tenant {:?} exceeded its certified event-queue budget ({} records)",
+                session.name, tenancy.events_budget
+            ),
+        );
+    }
+    shared.metrics.bytes_scanned.add(bytes_delta);
+    shared.metrics.shard_bytes(shard.id).add(bytes_delta);
+    shared.metrics.chunks_scanned.inc();
+    shared.metrics.matches_delivered.add(fresh.len() as u64);
+    shared
+        .metrics
+        .tenant_matches(&session.name)
+        .add(fresh.len() as u64);
+    shared.metrics.scan_ns.record(elapsed_ns);
+    rap_sim::record_bank_stats(&shared.telemetry, shared.config.machine, &stats);
+}
+
+/// Releases a drained session's slot and recomposes the remainder.
+/// The slot is released *before* `drained` is signalled, so a producer
+/// unblocked by [`Session::finish`] can immediately re-register the name.
+fn release(shared: &Arc<Shared>, shard: &Arc<ShardInner>, session: &Arc<SessionInner>) {
+    if session.lock().drained {
+        return;
+    }
+    let remaining = {
+        let mut residency = shard.residency.lock().expect("shard residency poisoned");
+        residency.tenants.retain(|t| t.name != session.name);
+        if let Err(error) = shared.recompose(&mut residency) {
+            // Keep the departing composition: the remaining sessions'
+            // demux ranges stay valid, the departed arrays just idle.
+            shared.finding(
+                Rule::AdmissionRejected,
+                format!(
+                    "recomposition after tenant {:?} drained failed on shard {}: {error}",
+                    session.name, shard.id
+                ),
+            );
+        }
+        residency.tenants.len()
+    };
+    let active = shared.active.fetch_sub(1, Ordering::Relaxed) - 1;
+    shared.metrics.sessions_active.set(active);
+    shared
+        .metrics
+        .shard_sessions(shard.id)
+        .set(remaining as u64);
+    {
+        let mut st = session.lock();
+        st.drained = true;
+        session.cv.notify_all();
+    }
+    shared.finding(
+        Rule::SessionDrained,
+        format!(
+            "tenant {:?} drained gracefully from shard {}",
+            session.name, shard.id
+        ),
+    );
+}

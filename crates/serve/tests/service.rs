@@ -1,0 +1,313 @@
+//! End-to-end service tests: demux fidelity against solo streaming runs,
+//! certified backpressure, graceful drain, warm-start registration, and
+//! the framed TCP protocol.
+
+use std::sync::Arc;
+
+use rap_pipeline::{BenchConfig, PatternSet, Pipeline, Stage, StoreConfig};
+use rap_serve::{Client, RegisterReply, SendOutcome, ServeConfig, ServeError, Server};
+use rap_sim::MatchEvent;
+use rap_telemetry::Telemetry;
+
+fn small_spec() -> BenchConfig {
+    BenchConfig {
+        patterns_per_suite: 4,
+        input_len: 512,
+        match_rate: 0.02,
+        seed: 11,
+    }
+}
+
+fn server(shards: usize, queue_pages: u64) -> Server {
+    let config = ServeConfig {
+        shards,
+        queue_pages,
+        ..ServeConfig::default()
+    };
+    Server::new(Pipeline::new(small_spec()), config)
+}
+
+fn patterns(sources: &[&str]) -> PatternSet {
+    let sources: Vec<String> = sources.iter().map(|s| (*s).to_string()).collect();
+    PatternSet::parse(&sources).expect("parses")
+}
+
+/// Reference semantics: one solo whole-input streaming run.
+fn solo_matches(server: &Server, set: &PatternSet, input: &[u8]) -> Vec<MatchEvent> {
+    let sim = rap_sim::Simulator::new(server.config().machine);
+    let plan = server.pipeline().plan(&sim, set, None).expect("plans");
+    plan.simulate_streaming(input).0.matches
+}
+
+#[test]
+fn chunked_sessions_match_solo_streaming_runs() {
+    let server = server(2, 8);
+    let tenants: Vec<(&str, PatternSet, Vec<u8>)> = vec![
+        (
+            "ids",
+            patterns(&["ab{4,8}c", "evil"]),
+            b"xx evil abbbbbc evil yy".repeat(9),
+        ),
+        (
+            "av",
+            patterns(&["virus", "x.?y"]),
+            b"virus xay xy virus zz".repeat(11),
+        ),
+        (
+            "dpi",
+            patterns(&["hel+o", "world"]),
+            b"hello wooo helllo world".repeat(7),
+        ),
+        (
+            "bio",
+            patterns(&["gat+aca"]),
+            b"ggattacagattttacaccc".repeat(13),
+        ),
+    ];
+    let sessions: Vec<_> = tenants
+        .iter()
+        .map(|(name, set, _)| server.register(name, set).expect("admits"))
+        .collect();
+    // Both shards must be exercised.
+    let shards: std::collections::BTreeSet<usize> = sessions.iter().map(|s| s.shard()).collect();
+    assert_eq!(shards.len(), 2, "tenants should spread across shards");
+    // Interleave chunk delivery round-robin with uneven chunk sizes.
+    let mut cursors = vec![0usize; tenants.len()];
+    let sizes = [7usize, 31, 3, 64, 13];
+    let mut round = 0usize;
+    loop {
+        let mut progressed = false;
+        for (i, (_, _, input)) in tenants.iter().enumerate() {
+            let at = cursors[i];
+            if at >= input.len() {
+                continue;
+            }
+            let len = sizes[(round + i) % sizes.len()].min(input.len() - at);
+            let mut outcome = sessions[i].send(&input[at..at + len]).expect("open");
+            while outcome == SendOutcome::Shed {
+                sessions[i].wait_idle();
+                outcome = sessions[i].send(&input[at..at + len]).expect("open");
+            }
+            cursors[i] = at + len;
+            progressed = true;
+        }
+        round += 1;
+        if !progressed {
+            break;
+        }
+    }
+    for (i, (_, set, input)) in tenants.iter().enumerate() {
+        sessions[i].finish();
+        let mut delivered = sessions[i].drain();
+        delivered.sort_unstable_by_key(|m| (m.end, m.pattern));
+        delivered.dedup();
+        let expected = solo_matches(&server, set, input);
+        assert_eq!(delivered, expected, "tenant {} diverged from solo run", i);
+        assert!(!expected.is_empty(), "tenant {} workload must match", i);
+    }
+    assert_eq!(server.active_sessions(), 0);
+}
+
+#[test]
+fn anchored_end_matches_only_surface_at_finish() {
+    let server = server(1, 8);
+    let set = patterns(&["abc$"]);
+    let session = server.register("anchored", &set).expect("admits");
+    session.send(b"zzabc").expect("open");
+    session.wait_idle();
+    assert!(
+        session.drain().is_empty(),
+        "a $-anchored match must not surface mid-stream"
+    );
+    session.send(b"zabc").expect("open");
+    session.finish();
+    let events = session.drain();
+    assert_eq!(
+        events,
+        vec![MatchEvent { pattern: 0, end: 9 }],
+        "only the end-of-stream occurrence survives"
+    );
+}
+
+#[test]
+fn oversized_chunks_shed_with_backpressure_finding_first() {
+    // One page over one bank: the certified intake budget is the bank's
+    // ping-pong window (2 × 128 bytes).
+    let server = server(1, 1);
+    let set = patterns(&["needle"]);
+    let session = server.register("burst", &set).expect("admits");
+    let big = vec![b'x'; 4096];
+    let outcome = session.send(&big).expect("open");
+    assert_eq!(outcome, SendOutcome::Shed, "chunk over budget must shed");
+    let stats = session.stats();
+    assert_eq!(stats.chunks_shed, 1);
+    assert!(stats.backpressure_events >= 1);
+    let findings = server.findings();
+    assert!(
+        !findings
+            .by_rule(rap_serve::Rule::SessionBackpressure)
+            .is_empty(),
+        "shed without a backpressure finding"
+    );
+    assert!(!findings.by_rule(rap_serve::Rule::ChunkShed).is_empty());
+    assert!(server.metrics().chunks_shed.get() >= 1);
+    assert!(server.metrics().backpressure_events.get() >= 1);
+    // Within budget still flows.
+    let ok = session.send(b"say needle twice").expect("open");
+    assert_ne!(ok, SendOutcome::Shed);
+    session.finish();
+    assert_eq!(session.drain().len(), 1);
+}
+
+#[test]
+fn duplicate_tenant_names_are_refused() {
+    let server = server(2, 8);
+    let set = patterns(&["abc"]);
+    let _first = server.register("twin", &set).expect("admits");
+    match server.register("twin", &set) {
+        Err(ServeError::DuplicateTenant(name)) => assert_eq!(name, "twin"),
+        Err(other) => panic!("expected duplicate refusal, got {other:?}"),
+        Ok(_) => panic!("expected duplicate refusal, got an admitted session"),
+    }
+    assert_eq!(server.metrics().sessions_rejected.get(), 1);
+}
+
+#[test]
+fn dropping_a_session_drains_gracefully() {
+    let server = server(1, 8);
+    let set = patterns(&["drop"]);
+    {
+        let session = server.register("ephemeral", &set).expect("admits");
+        session.send(b"xx drop yy").expect("open");
+        // No finish: the handle simply goes away.
+    }
+    // The worker processes the queued finish job shortly.
+    for _ in 0..200 {
+        if server.active_sessions() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(server.active_sessions(), 0, "drop must release the slot");
+    let findings = server.findings();
+    assert!(
+        !findings.by_rule(rap_serve::Rule::SessionDrained).is_empty(),
+        "graceful drain must be recorded"
+    );
+}
+
+#[test]
+fn telemetry_counters_track_the_ops_surface() {
+    let telemetry = Arc::new(Telemetry::default());
+    let pipeline = Pipeline::new(small_spec()).with_telemetry(Arc::clone(&telemetry));
+    let server = Server::new(
+        pipeline,
+        ServeConfig {
+            shards: 1,
+            queue_pages: 8,
+            ..ServeConfig::default()
+        },
+    );
+    let set = patterns(&["tick"]);
+    let session = server.register("ops", &set).expect("admits");
+    assert_eq!(server.metrics().sessions_active.get(), 1);
+    session.send(b"a tick b tick").expect("open");
+    session.finish();
+    let delivered = session.drain().len() as u64;
+    assert_eq!(delivered, 2);
+    assert_eq!(server.metrics().matches_delivered.get(), delivered);
+    assert_eq!(server.metrics().bytes_scanned.get(), 13);
+    assert_eq!(server.metrics().sessions_active.get(), 0);
+    let prom = server.prometheus();
+    for metric in [
+        "rap_serve_sessions_active",
+        "rap_serve_bytes_scanned_total",
+        "rap_serve_matches_delivered_total",
+        "rap_serve_backpressure_events_total",
+        "rap_serve_chunk_scan_ns",
+        "rap_sim_output_fifo_hwm_records",
+    ] {
+        assert!(prom.contains(metric), "{metric} missing from exposition");
+    }
+}
+
+#[test]
+fn warm_registration_compiles_nothing() {
+    let dir = std::env::temp_dir().join(format!(
+        "rap-serve-store-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let set = patterns(&["warm{2,5}start", "again"]);
+    {
+        let pipeline = Pipeline::new(small_spec())
+            .with_store(StoreConfig::at(&dir))
+            .expect("store opens");
+        let cold = Server::new(
+            pipeline,
+            ServeConfig {
+                shards: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let session = cold.register("tenant", &set).expect("admits");
+        session.finish();
+        assert!(cold.pipeline().report().patterns_compiled > 0);
+    }
+    let pipeline = Pipeline::new(small_spec())
+        .with_store(StoreConfig::at(&dir))
+        .expect("store opens");
+    let warm = Server::new(
+        pipeline,
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let session = warm.register("tenant", &set).expect("admits");
+    session.send(b"warmmmstart again").expect("open");
+    session.finish();
+    assert_eq!(session.drain().len(), 2);
+    let report = warm.pipeline().report();
+    assert_eq!(
+        report.patterns_compiled, 0,
+        "warm registration must not compile"
+    );
+    assert_eq!(report.stage_secs(Stage::Compile), 0.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn framed_tcp_protocol_round_trips() {
+    let mut server = server(2, 8);
+    let addr = server.listen("127.0.0.1:0").expect("binds");
+    let mut client = Client::connect(addr).expect("connects");
+    let sources = vec!["ping".to_string(), "pong$".to_string()];
+    match client.register("remote", &sources).expect("io") {
+        RegisterReply::Accepted(reply) => assert!(reply.starts_with("shard=")),
+        RegisterReply::Rejected(body) => panic!("rejected: {body}"),
+    }
+    let (outcome, events) = client.send_chunk(b"a ping b").expect("io");
+    assert_ne!(outcome, SendOutcome::Shed);
+    assert_eq!(events, vec![MatchEvent { pattern: 0, end: 6 }]);
+    let (_, events) = client.send_chunk(b" pong").expect("io");
+    assert!(events.is_empty(), "$-anchored match must wait for FINISH");
+    let final_events = client.finish().expect("io");
+    assert_eq!(
+        final_events,
+        vec![MatchEvent {
+            pattern: 1,
+            end: 13
+        }]
+    );
+    // A second connection with a clashing name is refused at the
+    // protocol level once the first is still... the first finished, so
+    // the name is free again and re-registration succeeds.
+    let mut second = Client::connect(addr).expect("connects");
+    match second.register("remote", &sources).expect("io") {
+        RegisterReply::Accepted(_) => {}
+        RegisterReply::Rejected(body) => panic!("name should be free after drain: {body}"),
+    }
+    server.shutdown();
+}

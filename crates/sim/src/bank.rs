@@ -47,6 +47,12 @@ pub struct BankStats {
     /// Match reports that waited in a full array output FIFO (backpressure
     /// events; the report is delayed, never lost).
     pub output_backpressure: u64,
+    /// High-water mark of bytes resident across all array input FIFOs in
+    /// any one cycle.
+    pub max_input_fifo_bytes: u64,
+    /// High-water mark of match records resident across array output
+    /// FIFOs plus the bank output buffer in any one cycle.
+    pub max_output_fifo_records: u64,
 }
 
 /// Per-array streaming state.
@@ -131,6 +137,8 @@ fn simulate_streaming_inner(
     let mut interrupts: u64 = 0;
     let mut backpressure: u64 = 0;
     let mut max_skew = 0usize;
+    let mut max_input_fifo_bytes = 0u64;
+    let mut max_output_fifo_records = 0u64;
     let mut probe = telemetry.map(|(tel, label)| tel.probe(label));
 
     let done = |lanes: &[ArrayLane<'_>]| {
@@ -227,6 +235,16 @@ fn simulate_streaming_inner(
                 meter.charge(Category::Buffer, cost.buffer_pj);
             }
         }
+        // FIFO high-water marks, under the same occupancy definitions as
+        // the cycle-sampled probe above (but tracked every cycle).
+        let input_occupancy: u64 = lanes.iter().map(|l| l.input_fifo.len() as u64).sum();
+        let output_occupancy: u64 = lanes
+            .iter()
+            .map(|l| l.output_fifo.len() as u64)
+            .sum::<u64>()
+            + bank_output.len() as u64;
+        max_input_fifo_bytes = max_input_fifo_bytes.max(input_occupancy);
+        max_output_fifo_records = max_output_fifo_records.max(output_occupancy);
     }
     // Final drain.
     for lane in lanes.iter_mut() {
@@ -257,6 +275,8 @@ fn simulate_streaming_inner(
         max_skew,
         output_interrupts: interrupts,
         output_backpressure: backpressure,
+        max_input_fifo_bytes,
+        max_output_fifo_records,
     };
     let metrics = Metrics {
         input_chars: input.len() as u64,
@@ -296,6 +316,7 @@ fn simulate_streaming_inner(
     }
     if let Some((tel, _)) = telemetry {
         crate::record_run_metrics(tel, &result, powered);
+        crate::record_bank_stats(tel, machine, &stats);
     }
     (result, stats)
 }

@@ -31,7 +31,7 @@ mod cost;
 pub mod replicate;
 mod result;
 
-pub use bank::{simulate_streaming, BankStats};
+pub use bank::{simulate_streaming, simulate_streaming_traced, BankStats};
 pub use cost::CostModel;
 pub use replicate::{max_match_span, simulate_replicated, ReplicatedRun};
 pub use result::{MatchEvent, RunResult};
@@ -378,6 +378,27 @@ pub(crate) fn record_run_metrics(telemetry: &Telemetry, result: &RunResult, powe
         .add(powered);
     reg.counter("rap_sim_matches_total", &labels)
         .add(result.metrics.matches);
+}
+
+/// Records one streaming run's buffer-hierarchy stats into the telemetry
+/// registry, labeled by machine: output interrupts and backpressure as
+/// counters, FIFO high-water marks as max-tracking gauges. This is the
+/// Prometheus-visible face of [`BankStats`] — the scan service reads it
+/// as its backpressure signal.
+pub fn record_bank_stats(telemetry: &Telemetry, machine: Machine, stats: &BankStats) {
+    let machine = machine.to_string();
+    let labels: [(&str, &str); 1] = [("machine", &machine)];
+    let reg = telemetry.registry();
+    reg.counter("rap_sim_output_interrupts_total", &labels)
+        .add(stats.output_interrupts);
+    reg.counter("rap_sim_output_backpressure_total", &labels)
+        .add(stats.output_backpressure);
+    reg.gauge("rap_sim_input_fifo_hwm_bytes", &labels)
+        .set_max(stats.max_input_fifo_bytes);
+    reg.gauge("rap_sim_output_fifo_hwm_records", &labels)
+        .set_max(stats.max_output_fifo_records);
+    reg.gauge("rap_sim_bank_skew_hwm_bytes", &labels)
+        .set_max(stats.max_skew as u64);
 }
 
 fn simulate_inner(

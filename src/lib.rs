@@ -44,6 +44,7 @@
 //! | [`analyze`] | dataflow static analyzer over compiled IRs (rules A001–A011) + pruning |
 //! | [`bound`] | abstract-interpretation worst-case bounds over mapped plans (rules B001–B008) |
 //! | [`admit`] | static multi-tenant interference analyzer with certified co-residency admission (rules S001–S008) |
+//! | [`serve`] | multi-tenant streaming scan service on the admitted-composition fabric (rules R001–R004) |
 //! | [`telemetry`] | metrics registry, span timing, cycle-sampled simulator probes, JSONL/Prometheus export |
 //! | [`pipeline`] | typed parse → compile → map → verify → simulate stages, plan cache, grid driver |
 //! | [`workloads`] | synthetic stand-ins for the seven benchmark suites (§5.1) |
@@ -61,6 +62,7 @@ pub use rap_engines as engines;
 pub use rap_mapper as mapper;
 pub use rap_pipeline as pipeline;
 pub use rap_regex as regex;
+pub use rap_serve as serve;
 pub use rap_sim as sim;
 pub use rap_telemetry as telemetry;
 pub use rap_verify as verify;

@@ -11,6 +11,13 @@
 //! The test also exercises the rejection side: a deliberately
 //! over-subscribed single-bank fabric carrying all seven suites must be
 //! refused with the placement-overlap error (S001).
+//!
+//! A property test then extends the certificate check to the *chunked,
+//! interleaved* regime rap-serve operates in: random tenants streaming
+//! random inputs in randomly sized chunks through one shared serve
+//! shard must each receive exactly the events of their solo
+//! `simulate_streaming` run — demultiplexing never leaks or loses a
+//! match across tenant boundaries, regardless of chunking.
 
 use rap::admit::{admit, AdmitOptions, Rule, Tenant};
 use rap::bound::{analyze_bounds, BoundOptions};
@@ -195,6 +202,116 @@ fn admitted_compositions_preserve_per_tenant_behaviour() {
                 (4..7).contains(&admitted),
                 "CA admitted {admitted}/7 adjacent pairs; expected interference on some"
             ),
+        }
+    }
+}
+
+mod interleaved_streaming {
+    use proptest::prelude::*;
+    use rap::pipeline::{BenchConfig, PatternSet, Pipeline};
+    use rap::serve::{SendOutcome, ServeConfig, Server};
+    use rap::Simulator;
+
+    /// Compile-safe sources over a tiny alphabet, including one
+    /// `$`-anchored pattern to exercise end-of-stream deferral.
+    const POOL: [&str; 9] = [
+        "abc", "a[ab]c", "ab", "ba+c", "c{3,9}a", "a.{2,6}b", "cab", "b[abc]a", "ca$",
+    ];
+
+    /// A tenant: 1–3 pool patterns, an input stream, and a cycle of
+    /// chunk sizes to split it with.
+    fn arb_tenant() -> impl Strategy<Value = (Vec<usize>, Vec<u8>, Vec<usize>)> {
+        (
+            prop::collection::vec(0..POOL.len(), 1..4),
+            prop::collection::vec(
+                prop_oneof![4 => Just(b'a'), 4 => Just(b'b'), 4 => Just(b'c'), 1 => Just(b'x')],
+                1..200,
+            ),
+            prop::collection::vec(1usize..40, 1..8),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Interleaved chunked streaming through one shared serve shard
+        /// delivers each tenant exactly its solo streaming run.
+        #[test]
+        fn interleaved_chunked_streams_match_solo_runs(
+            tenants in prop::collection::vec(arb_tenant(), 2..5),
+        ) {
+            let spec = BenchConfig {
+                patterns_per_suite: 4,
+                input_len: 256,
+                match_rate: 0.02,
+                seed: 3,
+            };
+            // One shard: every tenant co-resides on one composed plan.
+            let server = Server::new(
+                Pipeline::new(spec),
+                ServeConfig { shards: 1, ..ServeConfig::default() },
+            );
+            let sets: Vec<PatternSet> = tenants
+                .iter()
+                .map(|(picks, _, _)| {
+                    let sources: Vec<String> =
+                        picks.iter().map(|&p| POOL[p].to_string()).collect();
+                    PatternSet::parse(&sources).expect("pool patterns parse")
+                })
+                .collect();
+            let sessions: Vec<_> = sets
+                .iter()
+                .enumerate()
+                .map(|(i, set)| {
+                    server
+                        .register(&format!("pt-{i}"), set)
+                        .expect("pool tenants admit")
+                })
+                .collect();
+
+            // Round-robin interleave, each tenant cycling its own
+            // chunk-size sequence; shed chunks retry after a drain.
+            let mut cursors = vec![0usize; tenants.len()];
+            let mut rounds = vec![0usize; tenants.len()];
+            loop {
+                let mut progressed = false;
+                for (i, (_, input, sizes)) in tenants.iter().enumerate() {
+                    let at = cursors[i];
+                    if at >= input.len() {
+                        continue;
+                    }
+                    let len = sizes[rounds[i] % sizes.len()].min(input.len() - at);
+                    rounds[i] += 1;
+                    let piece = &input[at..at + len];
+                    while let SendOutcome::Shed = sessions[i].send(piece).expect("session open") {
+                        sessions[i].wait_idle();
+                    }
+                    cursors[i] = at + len;
+                    progressed = true;
+                }
+                if !progressed {
+                    break;
+                }
+            }
+
+            for (i, (_, input, _)) in tenants.iter().enumerate() {
+                sessions[i].finish();
+                let mut delivered = sessions[i].drain();
+                delivered.sort_unstable_by_key(|m| (m.end, m.pattern));
+                delivered.dedup();
+                let sim = Simulator::new(server.config().machine);
+                let plan = server
+                    .pipeline()
+                    .plan(&sim, &sets[i], None)
+                    .expect("solo plan builds");
+                let expected = plan.simulate_streaming(input).0.matches;
+                prop_assert_eq!(
+                    delivered,
+                    expected,
+                    "tenant pt-{} diverged from its solo streaming run",
+                    i
+                );
+            }
         }
     }
 }
