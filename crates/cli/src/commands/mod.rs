@@ -12,6 +12,7 @@ pub mod layout;
 pub mod lint;
 pub mod scan;
 pub mod serve;
+pub mod swap;
 pub mod trace;
 
 use crate::CliError;

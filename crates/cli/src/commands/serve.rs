@@ -310,6 +310,7 @@ mod tests {
             "--json",
         ]);
         assert!(s.contains("\"tenants\": ["), "{s}");
+        assert!(s.contains("\"shard\": 0"), "{s}");
         assert!(s.contains("\"solo_equal\": true"), "{s}");
         assert!(!s.contains("\"solo_equal\": false"), "{s}");
     }

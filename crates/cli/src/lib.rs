@@ -12,6 +12,7 @@
 //! rap analyze <suite> [--machine M] [--patterns N] [--prune] [--json]
 //! rap bound   <suite> [--machine M] [--patterns N] [--equivalence] [--json]
 //! rap admit   <suite> [<suite>...] [--machine M] [--banks N] [--overlap] [--json]
+//! rap swap    <suite> [<suite>...] --out <suite> --in <suite> [--json]
 //! rap serve   <suite> [<suite>...] [--shards N] [--queue-pages N] [--listen ADDR] [--json]
 //! rap trace   <suite> [--machine M] [--sample N] [--top N] [--out FILE] [--json]
 //! rap cache   stats|gc|clear [--store-dir DIR] [--max-bytes N] [--json]
@@ -76,6 +77,7 @@ COMMANDS:
     analyze    Run the dataflow static analyzer over a suite's automata
     bound      Compute certified worst-case bounds for a suite's mapped plan
     admit      Decide whether suites can share one fabric without interference
+    swap       Certify a live tenant hot-swap on an admitted composition
     serve      Run the multi-tenant streaming scan service over suite tenants
     trace      Profile one suite with cycle-level telemetry attached
     cache      Inspect or manage the persistent artifact store
@@ -104,6 +106,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "layout" => commands::layout::run(rest, out),
         "lint" => commands::lint::run(rest, out),
         "admit" => commands::admit::run(rest, out),
+        "swap" => commands::swap::run(rest, out),
         "serve" => commands::serve::run(rest, out),
         "analyze" => commands::analyze::run(rest, out),
         "bound" => commands::bound::run(rest, out),

@@ -194,6 +194,27 @@ pub(crate) fn compose_key(parts: &[(&str, CacheKey)]) -> CacheKey {
     h.finish()
 }
 
+/// Derives the content address of a post-swap composed plan from the
+/// resident composition's key and the replacement tenant. Unlike
+/// [`compose_key`] this is order-*sensitive*: the certificate pins the
+/// replacement to the outgoing tenant's pattern window and match-ID
+/// base, so swapping different tenants of the same resident set yields
+/// different artifacts.
+pub(crate) fn swap_key(
+    resident: CacheKey,
+    outgoing: &str,
+    incoming_name: &str,
+    incoming: CacheKey,
+) -> CacheKey {
+    let mut h = StableHasher::new();
+    h.write_str("swap");
+    h.write(&resident.0.to_le_bytes());
+    h.write_str(outgoing);
+    h.write_str(incoming_name);
+    h.write(&incoming.0.to_le_bytes());
+    h.finish()
+}
+
 /// Running hit/miss totals for one cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {

@@ -94,6 +94,23 @@ pub struct Admission {
     pub plan: Option<Arc<VerifiedPlan>>,
 }
 
+/// What [`Pipeline::swap`] produces.
+#[derive(Debug)]
+pub struct SwapOutcome {
+    /// The static hot-swap analysis (Q001–Q008 findings, drain bound,
+    /// reconfiguration cost, the certificate).
+    pub analysis: rap_swap::SwapAnalysis,
+    /// The verified post-swap composed plan — `None` when rejected.
+    pub plan: Option<Arc<VerifiedPlan>>,
+}
+
+impl SwapOutcome {
+    /// Whether the swap was certified.
+    pub fn certified(&self) -> bool {
+        self.plan.is_some()
+    }
+}
+
 impl Admission {
     /// Whether the composition was certified.
     pub fn admitted(&self) -> bool {
@@ -457,6 +474,82 @@ impl Pipeline {
             None => None,
         };
         Ok(Admission { analysis, plan })
+    }
+
+    /// Runs the hot-swap safety analyzer against a certified admission:
+    /// replace resident tenant `outgoing` with the `incoming`
+    /// `(name, simulator knobs, patterns)` tenant while everyone else
+    /// keeps scanning. The replacement's solo plan is built (or
+    /// recalled) through the ordinary cached plan path, then
+    /// [`rap_swap::analyze_swap`] issues or refuses the certificate. On
+    /// certification the spliced post-swap composition re-enters the
+    /// typed chain (assemble → map-from-parts → verify) and is
+    /// cached/persisted under a swap-specific key derived from the
+    /// resident composition's key and the replacement's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the replacement's compile/verify failures, and
+    /// verification failure of the spliced plan itself (which would
+    /// indicate a swap-analyzer soundness bug).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `admission` was not certified.
+    pub fn swap(
+        &self,
+        admission: &Admission,
+        outgoing: &str,
+        incoming: (&str, &Simulator, &PatternSet),
+        options: &rap_swap::SwapOptions,
+    ) -> Result<SwapOutcome, EvalError> {
+        let resident = admission
+            .analysis
+            .composed
+            .as_ref()
+            .expect("hot swap requires a certified admission");
+        let resident_plan = admission
+            .plan
+            .as_ref()
+            .expect("certified admissions carry a composed plan");
+        let (name, sim, patterns) = incoming;
+        let solo = self.plan(sim, patterns, None)?;
+        let tenant = rap_swap::Tenant {
+            name,
+            images: solo.compiled().images(),
+            patterns: patterns.parsed(),
+            mapping: solo.mapping(),
+            match_base: None,
+            slot: None,
+        };
+        let arch = resident.mapping.config.arch;
+        let analysis = self.metrics.timed(Stage::Swap, || {
+            rap_swap::analyze_swap(resident, outgoing, &tenant, &arch, options)
+        });
+        self.metrics.record_swap(analysis.certified());
+        let plan = match &analysis.plan {
+            Some(cert) => {
+                let key = crate::cache::swap_key(
+                    resident_plan.compiled().key(),
+                    outgoing,
+                    name,
+                    solo.compiled().key(),
+                );
+                Some(self.plans.get_or_build(
+                    key,
+                    |p| p,
+                    || {
+                        let compiled =
+                            CompiledSet::assemble(sim.machine, key, cert.composed.images.clone());
+                        self.metrics.timed(Stage::Verify, || {
+                            MappedPlan::from_parts(compiled, cert.composed.mapping.clone()).verify()
+                        })
+                    },
+                )?)
+            }
+            None => None,
+        };
+        Ok(SwapOutcome { analysis, plan })
     }
 
     /// Fans independent grid cells out over this pipeline's worker pool,
@@ -889,6 +982,61 @@ mod tests {
         let disk = report.disk_store.expect("disk");
         assert_eq!((disk.hits, disk.misses, disk.corrupt), (3, 0, 0));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn certified_swap_builds_a_verified_post_swap_plan() {
+        let pipe = Pipeline::new(BenchConfig::default());
+        let sim = pipe.simulator_for(Machine::Rap, Suite::Snort);
+        let alpha =
+            PatternSet::parse(&["needle".to_string(), "ne+dle".to_string()]).expect("parses");
+        let bravo = PatternSet::parse(&["haystack".to_string()]).expect("parses");
+        let tenants: Vec<(&str, &Simulator, &PatternSet)> =
+            vec![("alpha", &sim, &alpha), ("bravo", &sim, &bravo)];
+        let admission = pipe
+            .admit(&tenants, &rap_admit::AdmitOptions::default())
+            .expect("admits");
+        assert!(admission.admitted());
+
+        let charlie = PatternSet::parse(&["beacon".to_string()]).expect("parses");
+        let outcome = pipe
+            .swap(
+                &admission,
+                "bravo",
+                ("charlie", &sim, &charlie),
+                &rap_swap::SwapOptions::default(),
+            )
+            .expect("analyzes");
+        assert!(outcome.certified(), "{}", outcome.analysis.report);
+        let plan = outcome.plan.as_ref().expect("certified");
+        let cert = outcome.analysis.plan.as_ref().expect("certified");
+        assert!(cert.drain.cycles > 0);
+        // The cached artifact is the spliced composition, verified.
+        assert_eq!(plan.compiled().images().len(), cert.composed.images.len());
+        let report = pipe.report();
+        assert_eq!(report.swaps_certified, 1);
+        assert!(report.stage_secs(Stage::Swap) > 0.0);
+
+        // A rejected swap (unbounded replacement footprint on a pinned
+        // one-bank fabric) reports without a plan.
+        let big_sources: Vec<String> = (0..64).map(|i| format!("pattern{i:03}xyz")).collect();
+        let big = PatternSet::parse(&big_sources).expect("parses");
+        let rejected = pipe
+            .swap(
+                &admission,
+                "bravo",
+                ("delta", &sim, &big),
+                &rap_swap::SwapOptions {
+                    banks: Some(1),
+                    ..rap_swap::SwapOptions::default()
+                },
+            )
+            .expect("analyzes");
+        if !rejected.certified() {
+            assert!(rejected.plan.is_none());
+            assert!(!rejected.analysis.report.is_legal());
+            assert_eq!(pipe.report().swaps_rejected, 1);
+        }
     }
 
     #[test]

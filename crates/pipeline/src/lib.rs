@@ -69,7 +69,7 @@ pub use artifact::{
     build_plan, build_plan_sim, AnalyzedSet, CompiledSet, MappedPlan, PatternSet, VerifiedPlan,
 };
 pub use cache::{CacheKey, CacheStats, StableHasher};
-pub use driver::{default_workers, par_map, Admission, Pipeline};
+pub use driver::{default_workers, par_map, Admission, Pipeline, SwapOutcome};
 pub use error::EvalError;
 pub use report::{PipelineReport, Stage, STAGES};
 pub use store::{
@@ -81,3 +81,4 @@ pub use workload::{corpus_stats, suite_corpus, BenchConfig, SuiteCorpus};
 
 pub use rap_admit::AdmitOptions;
 pub use rap_analyze::{AnalyzeOptions, SoundnessConfig};
+pub use rap_swap::SwapOptions;

@@ -35,12 +35,14 @@ pub enum Stage {
     Bound,
     /// Multi-tenant admission analysis (opt-in).
     Admit,
+    /// Hot-swap safety analysis and certificate construction (opt-in).
+    Swap,
     /// Cycle-accurate simulation.
     Simulate,
 }
 
 /// All stages in execution order.
-pub const STAGES: [Stage; 8] = [
+pub const STAGES: [Stage; 9] = [
     Stage::Generate,
     Stage::Compile,
     Stage::Analyze,
@@ -48,6 +50,7 @@ pub const STAGES: [Stage; 8] = [
     Stage::Verify,
     Stage::Bound,
     Stage::Admit,
+    Stage::Swap,
     Stage::Simulate,
 ];
 
@@ -69,6 +72,7 @@ impl Stage {
             Stage::Verify => "verify",
             Stage::Bound => "bound",
             Stage::Admit => "admit",
+            Stage::Swap => "swap",
             Stage::Simulate => "simulate",
         }
     }
@@ -82,7 +86,8 @@ impl Stage {
             Stage::Verify => 4,
             Stage::Bound => 5,
             Stage::Admit => 6,
-            Stage::Simulate => 7,
+            Stage::Swap => 7,
+            Stage::Simulate => 8,
         }
     }
 }
@@ -97,11 +102,13 @@ impl fmt::Display for Stage {
 /// a telemetry registry, registered once at pipeline construction.
 #[derive(Debug)]
 pub(crate) struct Metrics {
-    stage_ns: [Histogram; 8],
+    stage_ns: [Histogram; 9],
     bound_arrays: Counter,
     bound_peak_active: Gauge,
     admitted: Counter,
     rejected: Counter,
+    swaps_certified: Counter,
+    swaps_rejected: Counter,
     patterns: Counter,
     states: Counter,
     pruned: Counter,
@@ -144,6 +151,10 @@ impl Metrics {
                 "rap_pipeline_compositions_total",
                 &[("verdict", "rejected")],
             ),
+            swaps_certified: registry
+                .counter("rap_pipeline_swaps_total", &[("verdict", "certified")]),
+            swaps_rejected: registry
+                .counter("rap_pipeline_swaps_total", &[("verdict", "rejected")]),
             patterns: registry.counter("rap_pipeline_patterns_compiled_total", &[]),
             states: registry.counter("rap_pipeline_states_compiled_total", &[]),
             pruned: registry.counter("rap_pipeline_states_pruned_total", &[]),
@@ -200,6 +211,15 @@ impl Metrics {
         }
     }
 
+    /// Charges one Swap-stage verdict.
+    pub fn record_swap(&self, certified: bool) {
+        if certified {
+            self.swaps_certified.inc();
+        } else {
+            self.swaps_rejected.inc();
+        }
+    }
+
     pub fn record_grid(&self, workers: u64, ns: u64) {
         self.workers.set_max(workers);
         self.grid_ns.add(ns);
@@ -225,7 +245,7 @@ impl Metrics {
             self.store_stale.set(disk.stale);
             self.store_evictions.set(disk.evictions);
         }
-        let mut stage_ns = [0u64; 8];
+        let mut stage_ns = [0u64; 9];
         for (out, hist) in stage_ns.iter_mut().zip(&self.stage_ns) {
             *out = hist.sum();
         }
@@ -241,6 +261,8 @@ impl Metrics {
             peak_active_bound: self.bound_peak_active.get(),
             compositions_admitted: self.admitted.get(),
             compositions_rejected: self.rejected.get(),
+            swaps_certified: self.swaps_certified.get(),
+            swaps_rejected: self.swaps_rejected.get(),
             cells_evaluated: self.cells.get(),
             max_workers: self.workers.get(),
             grid_ns: self.grid_ns.get(),
@@ -253,7 +275,7 @@ impl Metrics {
 pub struct PipelineReport {
     /// Cumulative wall-clock nanoseconds per stage, summed across workers
     /// (parallel stage time can exceed elapsed real time).
-    pub stage_ns: [u64; 8],
+    pub stage_ns: [u64; 9],
     /// Verified-plan memory-tier hits/misses. Without a disk store, a
     /// miss is a distinct compile; with one, disk hits answer some misses
     /// without compiling (see [`PipelineReport::disk_store`]).
@@ -278,6 +300,10 @@ pub struct PipelineReport {
     pub compositions_admitted: u64,
     /// Multi-tenant compositions the Admit stage rejected.
     pub compositions_rejected: u64,
+    /// Hot swaps the Swap stage certified.
+    pub swaps_certified: u64,
+    /// Hot swaps the Swap stage rejected.
+    pub swaps_rejected: u64,
     /// (machine × suite) cells simulated.
     pub cells_evaluated: u64,
     /// Largest worker count used by a grid fan-out.
@@ -339,6 +365,13 @@ impl fmt::Display for PipelineReport {
                 f,
                 "  admission    : {} composition(s) admitted, {} rejected",
                 self.compositions_admitted, self.compositions_rejected
+            )?;
+        }
+        if self.swaps_certified + self.swaps_rejected > 0 {
+            writeln!(
+                f,
+                "  hot swaps    : {} certified, {} rejected",
+                self.swaps_certified, self.swaps_rejected
             )?;
         }
         writeln!(

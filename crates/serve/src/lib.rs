@@ -58,7 +58,7 @@ pub use config::ServeConfig;
 pub use metrics::ServeMetrics;
 pub use net::{
     Client, RegisterReply, OP_ACCEPTED, OP_ACK, OP_BYE, OP_CHUNK, OP_EVENTS, OP_FINISH,
-    OP_REGISTER, OP_REJECTED,
+    OP_REGISTER, OP_REJECTED, OP_SWAP,
 };
 pub use rules::{Report, Rule};
 pub use server::{ServeError, Server};

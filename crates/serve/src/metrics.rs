@@ -36,6 +36,15 @@ pub struct ServeMetrics {
     pub scan_ns: Histogram,
     /// `rap_serve_register_ns`: registration (admission) latency.
     pub register_ns: Histogram,
+    /// `rap_serve_swaps_total{verdict="completed"}`: certified hot
+    /// swaps executed (outgoing drained, replacement attached).
+    pub swaps_completed: Counter,
+    /// `rap_serve_swaps_total{verdict="rejected"}`: hot swaps refused
+    /// by the Q-rule analyzer.
+    pub swaps_rejected: Counter,
+    /// `rap_serve_swap_ns`: end-to-end hot-swap latency (analysis +
+    /// drain + re-registration).
+    pub swap_ns: Histogram,
     registry: Registry,
 }
 
@@ -56,6 +65,9 @@ impl ServeMetrics {
             chunks_shed: registry.counter("rap_serve_chunks_shed_total", &[]),
             scan_ns: registry.histogram("rap_serve_chunk_scan_ns", &[]),
             register_ns: registry.histogram("rap_serve_register_ns", &[]),
+            swaps_completed: registry.counter("rap_serve_swaps_total", &[("verdict", "completed")]),
+            swaps_rejected: registry.counter("rap_serve_swaps_total", &[("verdict", "rejected")]),
+            swap_ns: registry.histogram("rap_serve_swap_ns", &[]),
             registry: registry.clone(),
         }
     }

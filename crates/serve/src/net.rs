@@ -31,6 +31,14 @@ pub const OP_REGISTER: u8 = 0x01;
 pub const OP_CHUNK: u8 = 0x02;
 /// Client→server: end of stream; run the final scan.
 pub const OP_FINISH: u8 = 0x03;
+/// Client→server: hot-swap this connection's tenant for a replacement
+/// (same payload shape as `REGISTER`: name line + pattern lines). On
+/// certification the server drains the outgoing tenant, replies with
+/// its residual `EVENTS` and an `ACCEPTED`
+/// (`shard=<n> drain_cycles=<d>`), and the connection continues as the
+/// replacement's session. A refusal replies `REJECTED` (Q-rule
+/// findings JSON) and leaves the outgoing session streaming.
+pub const OP_SWAP: u8 = 0x04;
 /// Server→client: registration accepted (`shard=<n>`).
 pub const OP_ACCEPTED: u8 = 0x81;
 /// Server→client: registration refused (findings JSON payload).
@@ -147,6 +155,49 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                     || write_frame(&mut stream, OP_EVENTS, &encode_events(&events)).is_err()
                 {
                     break;
+                }
+            }
+            OP_SWAP => {
+                let Some(s) = session.take() else { break };
+                let text = String::from_utf8_lossy(&payload);
+                let mut lines = text.lines();
+                let name = lines.next().unwrap_or_default().trim().to_string();
+                let sources: Vec<String> = lines
+                    .filter(|l| !l.trim().is_empty())
+                    .map(str::to_string)
+                    .collect();
+                let swapped = rap_pipeline::PatternSet::parse(&sources)
+                    .map_err(|e| ServeError::Pipeline(e.to_string()))
+                    .and_then(|patterns| shared.swap_tenant(&s, &name, &patterns));
+                match swapped {
+                    Ok((replacement, plan)) => {
+                        // The outgoing tenant drained inside swap_tenant;
+                        // ship its residual events before the handover.
+                        let events = s.drain();
+                        drop(s);
+                        let reply = format!(
+                            "shard={} drain_cycles={}",
+                            replacement.shard(),
+                            plan.drain.cycles
+                        );
+                        session = Some(replacement);
+                        if write_frame(&mut stream, OP_EVENTS, &encode_events(&events)).is_err()
+                            || write_frame(&mut stream, OP_ACCEPTED, reply.as_bytes()).is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(error) => {
+                        // Refusals leave the outgoing session streaming.
+                        session = Some(s);
+                        let body = match &error {
+                            ServeError::SwapRejected(analysis) => analysis.report.to_json(),
+                            other => format!("{{\"error\":{:?}}}", other.to_string()),
+                        };
+                        if write_frame(&mut stream, OP_REJECTED, body.as_bytes()).is_err() {
+                            break;
+                        }
+                    }
                 }
             }
             OP_FINISH => {
@@ -276,6 +327,48 @@ impl Client {
             ));
         }
         Ok((outcome, decode_events(&payload)))
+    }
+
+    /// Hot-swaps this connection's tenant for `name`/`patterns`.
+    /// Returns the outgoing tenant's residual match events and the
+    /// server's verdict: [`RegisterReply::Accepted`] carries
+    /// `shard=<n> drain_cycles=<d>` and the connection continues as the
+    /// replacement's session; [`RegisterReply::Rejected`] carries the
+    /// Q-rule findings JSON and the outgoing session keeps streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn swap(
+        &mut self,
+        name: &str,
+        patterns: &[String],
+    ) -> std::io::Result<(RegisterReply, Vec<MatchEvent>)> {
+        let mut body = String::new();
+        body.push_str(name);
+        for pattern in patterns {
+            body.push('\n');
+            body.push_str(pattern);
+        }
+        write_frame(&mut self.stream, OP_SWAP, body.as_bytes())?;
+        let (op, payload) = read_frame(&mut self.stream)?;
+        if op == OP_REJECTED {
+            let text = String::from_utf8_lossy(&payload).to_string();
+            return Ok((RegisterReply::Rejected(text), Vec::new()));
+        }
+        if op != OP_EVENTS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "expected EVENTS or REJECTED",
+            ));
+        }
+        let events = decode_events(&payload);
+        let (op, payload) = read_frame(&mut self.stream)?;
+        let text = String::from_utf8_lossy(&payload).to_string();
+        Ok(match op {
+            OP_ACCEPTED => (RegisterReply::Accepted(text), events),
+            _ => (RegisterReply::Rejected(text), events),
+        })
     }
 
     /// Ends the stream; returns the final (including `$`-anchored)

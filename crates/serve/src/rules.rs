@@ -25,6 +25,11 @@ pub enum Rule {
     /// R004: a session disconnected, its queue was drained to the last
     /// accepted byte, and its arrays were released by recomposition.
     SessionDrained,
+    /// R005: a resident tenant was hot-swapped — the outgoing session
+    /// drained under its certified Q-rule drain bound and the
+    /// replacement attached to the freed footprint while every other
+    /// session kept scanning.
+    TenantSwapped,
 }
 
 impl Rule {
@@ -35,6 +40,7 @@ impl Rule {
             Rule::SessionBackpressure => "R002-session-backpressure",
             Rule::ChunkShed => "R003-chunk-shed",
             Rule::SessionDrained => "R004-session-drained",
+            Rule::TenantSwapped => "R005-tenant-swapped",
         }
     }
 
@@ -43,17 +49,18 @@ impl Rule {
         match self {
             Rule::AdmissionRejected | Rule::ChunkShed => Severity::Error,
             Rule::SessionBackpressure => Severity::Warning,
-            Rule::SessionDrained => Severity::Info,
+            Rule::SessionDrained | Rule::TenantSwapped => Severity::Info,
         }
     }
 
     /// Every rule, in code order.
-    pub fn all() -> [Rule; 4] {
+    pub fn all() -> [Rule; 5] {
         [
             Rule::AdmissionRejected,
             Rule::SessionBackpressure,
             Rule::ChunkShed,
             Rule::SessionDrained,
+            Rule::TenantSwapped,
         ]
     }
 }

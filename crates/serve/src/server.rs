@@ -35,6 +35,10 @@ pub enum ServeError {
     /// The admission analyzer refused the proposed composition; the
     /// analysis carries the refusing S-rule findings.
     Rejected(Box<AdmissionAnalysis>),
+    /// The hot-swap analyzer refused the proposed replacement; the
+    /// analysis carries the refusing Q-rule findings. The outgoing
+    /// session is untouched.
+    SwapRejected(Box<rap_swap::SwapAnalysis>),
     /// A tenant with this name is already resident.
     DuplicateTenant(String),
     /// The session was already finished or drained.
@@ -49,6 +53,11 @@ impl fmt::Display for ServeError {
             ServeError::Rejected(analysis) => write!(
                 f,
                 "admission rejected the composition ({} finding(s))",
+                analysis.report.len()
+            ),
+            ServeError::SwapRejected(analysis) => write!(
+                f,
+                "hot swap rejected ({} finding(s))",
                 analysis.report.len()
             ),
             ServeError::DuplicateTenant(name) => {
@@ -74,6 +83,9 @@ pub(crate) struct Tenancy {
     /// Per-session event-queue budget in records: `queue_pages` times
     /// the B002 worst-case output-records occupancy.
     pub events_budget: u64,
+    /// Banks in the certified fabric — the geometry hot-swap analysis
+    /// must be pinned to (a swap may not grow the scanning fabric).
+    pub banks: u32,
 }
 
 /// A tenant resident on a shard (control-plane view).
@@ -177,18 +189,21 @@ impl Shared {
         Simulator::new(self.config.machine)
     }
 
-    /// The least-loaded shard by resident tenant count.
+    /// The least-loaded shard by resident tenant count, ties broken
+    /// deterministically toward the lowest shard id (so identical
+    /// registration sequences always produce identical placements).
     fn shard_for_new_session(&self) -> Arc<ShardInner> {
         Arc::clone(
             self.shards
                 .iter()
                 .min_by_key(|shard| {
-                    shard
+                    let residents = shard
                         .residency
                         .lock()
                         .expect("shard residency poisoned")
                         .tenants
-                        .len()
+                        .len();
+                    (residents, shard.id)
                 })
                 .expect("server has at least one shard"),
         )
@@ -253,6 +268,7 @@ impl Shared {
             composed,
             input_budget,
             events_budget,
+            banks: admission.analysis.banks,
         }));
         Ok(())
     }
@@ -291,6 +307,19 @@ impl Shared {
             return Err(ServeError::DuplicateTenant(name.to_string()));
         }
         let shard = self.shard_for_new_session();
+        self.register_on_shard(name, patterns, &shard, start)
+    }
+
+    /// Registration core: admits `name` onto `shard` and builds its
+    /// session. The caller holds the registration lock and has already
+    /// checked for duplicate names.
+    fn register_on_shard(
+        self: &Arc<Shared>,
+        name: &str,
+        patterns: &PatternSet,
+        shard: &Arc<ShardInner>,
+        start: Instant,
+    ) -> Result<Session, ServeError> {
         let resident_count = {
             let mut residency = shard.residency.lock().expect("shard residency poisoned");
             residency.tenants.push(ResidentTenant {
@@ -327,7 +356,7 @@ impl Shared {
         let span = max_match_span(images);
         let inner = Arc::new(SessionInner::new(
             name,
-            Arc::clone(&shard),
+            Arc::clone(shard),
             anchored_end,
             anchored_start,
             span,
@@ -342,6 +371,101 @@ impl Shared {
             .register_ns
             .record(start.elapsed().as_nanos() as u64);
         Ok(Session::new(inner, Arc::clone(self)))
+    }
+
+    /// Hot-swaps a resident tenant: statically certifies replacing the
+    /// `outgoing` session's tenant with `name`/`patterns` on the same
+    /// shard (Q001–Q008), then — only if certified — drains the
+    /// outgoing session and registers the replacement into the freed
+    /// footprint. Every other session keeps scanning throughout; a
+    /// refusal leaves the outgoing session untouched and streaming.
+    pub(crate) fn swap_tenant(
+        self: &Arc<Shared>,
+        outgoing: &Session,
+        name: &str,
+        patterns: &PatternSet,
+    ) -> Result<(Session, Box<rap_swap::ReconfigPlan>), ServeError> {
+        let start = Instant::now();
+        if patterns.is_empty() {
+            self.metrics.swaps_rejected.inc();
+            return Err(ServeError::Pipeline("empty pattern set".to_string()));
+        }
+        let _serial = self
+            .registration
+            .lock()
+            .expect("registration lock poisoned");
+        if self.name_taken(name) {
+            self.metrics.swaps_rejected.inc();
+            return Err(ServeError::DuplicateTenant(name.to_string()));
+        }
+        let shard = Arc::clone(&outgoing.inner().shard);
+        let outgoing_name = outgoing.tenant().to_string();
+        let Some(tenancy) = shard.tenancy() else {
+            self.metrics.swaps_rejected.inc();
+            return Err(ServeError::Pipeline(
+                "shard has no certified composition".to_string(),
+            ));
+        };
+        // Static safety analysis first — no state is mutated until the
+        // certificate is in hand.
+        let sim = self.simulator();
+        let solo = self
+            .pipeline
+            .plan(&sim, patterns, None)
+            .map_err(|e| ServeError::Pipeline(e.to_string()))?;
+        let incoming = rap_swap::Tenant {
+            name,
+            images: solo.compiled().images(),
+            patterns: patterns.parsed(),
+            mapping: solo.mapping(),
+            match_base: None,
+            slot: None,
+        };
+        let arch = tenancy.plan.mapping().config.arch;
+        let analysis = rap_swap::analyze_swap(
+            &tenancy.composed,
+            &outgoing_name,
+            &incoming,
+            &arch,
+            &rap_swap::SwapOptions {
+                banks: Some(tenancy.banks),
+                bv_column_budget: None,
+            },
+        );
+        let Some(plan) = analysis.plan.clone() else {
+            self.metrics.swaps_rejected.inc();
+            self.finding(
+                Rule::AdmissionRejected,
+                format!(
+                    "hot swap {outgoing_name:?} -> {name:?} refused on shard {}: {} error finding(s)",
+                    shard.id,
+                    analysis.report.errors().count()
+                ),
+            );
+            self.metrics
+                .swap_ns
+                .record(start.elapsed().as_nanos() as u64);
+            return Err(ServeError::SwapRejected(Box::new(analysis)));
+        };
+        // Spend the certificate: drain ONLY the outgoing session (its
+        // final scan covers every accepted byte, bounded by the
+        // certified drain window), then attach the replacement to the
+        // freed footprint. Staying sessions never stop scanning.
+        outgoing.finish();
+        let session = self.register_on_shard(name, patterns, &shard, Instant::now())?;
+        self.metrics.swaps_completed.inc();
+        self.metrics
+            .swap_ns
+            .record(start.elapsed().as_nanos() as u64);
+        self.finding(
+            Rule::TenantSwapped,
+            format!(
+                "tenant {outgoing_name:?} hot-swapped for {name:?} on shard {} \
+                 (certified drain bound {} cycle(s), reconfig {} cycle(s))",
+                shard.id, plan.drain.cycles, plan.cost.cycles
+            ),
+        );
+        Ok((session, Box::new(plan)))
     }
 }
 
@@ -450,6 +574,29 @@ impl Server {
     /// [`ServeError::Pipeline`] when a stage fails.
     pub fn register(&self, name: &str, patterns: &PatternSet) -> Result<Session, ServeError> {
         self.shared.register(name, patterns)
+    }
+
+    /// Hot-swaps a resident tenant: statically certifies replacing the
+    /// `outgoing` session's tenant with the `name`/`patterns`
+    /// replacement on the same shard, and only then drains the outgoing
+    /// session (within its certified drain bound) and registers the
+    /// replacement into the freed footprint. Every other session keeps
+    /// scanning throughout. Returns the replacement's session and the
+    /// certified [`rap_swap::ReconfigPlan`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::SwapRejected`] with the Q-rule findings when the
+    /// swap cannot be certified (the outgoing session is untouched),
+    /// [`ServeError::DuplicateTenant`] on a name clash,
+    /// [`ServeError::Pipeline`] when a stage fails.
+    pub fn swap_tenant(
+        &self,
+        outgoing: &Session,
+        name: &str,
+        patterns: &PatternSet,
+    ) -> Result<(Session, Box<rap_swap::ReconfigPlan>), ServeError> {
+        self.shared.swap_tenant(outgoing, name, patterns)
     }
 
     /// Parses `sources` and registers the tenant.

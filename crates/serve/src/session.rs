@@ -170,6 +170,11 @@ impl Session {
         Session { inner, shared }
     }
 
+    /// The shared session core (for the server's swap path).
+    pub(crate) fn inner(&self) -> &Arc<SessionInner> {
+        &self.inner
+    }
+
     /// The tenant name this session registered under.
     pub fn tenant(&self) -> &str {
         &self.inner.name

@@ -279,6 +279,211 @@ fn warm_registration_compiles_nothing() {
 }
 
 #[test]
+fn shard_selection_breaks_ties_toward_the_lowest_id() {
+    let server = server(3, 8);
+    let a = server
+        .register("first", &patterns(&["aaa"]))
+        .expect("admits");
+    let b = server
+        .register("second", &patterns(&["bbb"]))
+        .expect("admits");
+    let c = server
+        .register("third", &patterns(&["ccc"]))
+        .expect("admits");
+    // Every shard starts empty; the deterministic tie-break fills them
+    // in ascending id order.
+    assert_eq!(
+        (a.shard(), b.shard(), c.shard()),
+        (0, 1, 2),
+        "least-loaded ties must resolve to the lowest shard id"
+    );
+    // A fourth tenant wraps back to the (again tied) lowest id.
+    let d = server
+        .register("fourth", &patterns(&["ddd"]))
+        .expect("admits");
+    assert_eq!(d.shard(), 0);
+}
+
+#[test]
+fn hot_swap_replaces_a_tenant_while_the_other_keeps_streaming() {
+    let server = server(1, 8);
+    let stay_set = patterns(&["needle"]);
+    let out_set = patterns(&["haystack"]);
+    let stay = server.register("stay", &stay_set).expect("admits");
+    let out = server.register("legacy", &out_set).expect("admits");
+    assert_eq!(stay.shard(), out.shard());
+
+    stay.send(b"a needle here").expect("open");
+    out.send(b"one haystack").expect("open");
+    out.wait_idle();
+    let pre_out = out.drain();
+    assert_eq!(pre_out.len(), 1, "outgoing tenant matched pre-swap");
+
+    let in_set = patterns(&["beacon"]);
+    let (incoming, plan) = server
+        .swap_tenant(&out, "modern", &in_set)
+        .expect("certifies");
+    assert_eq!(plan.outgoing, "legacy");
+    assert_eq!(plan.incoming, "modern");
+    assert!(plan.drain.cycles > 0);
+    assert_eq!(incoming.shard(), stay.shard(), "swap stays on the shard");
+
+    // The staying session never stopped: it scans across the swap.
+    stay.send(b" and a needle there").expect("open");
+    stay.wait_idle();
+    // The replacement streams into the freed footprint.
+    incoming.send(b"lit a beacon").expect("open");
+    incoming.finish();
+    assert_eq!(incoming.drain().len(), 1);
+    stay.finish();
+    assert_eq!(
+        stay.drain().len(),
+        2,
+        "staying tenant delivers matches from before and after the swap"
+    );
+
+    let findings = server.findings();
+    assert!(
+        !findings.by_rule(rap_serve::Rule::SessionDrained).is_empty(),
+        "the outgoing session must drain gracefully (R004)"
+    );
+    assert!(
+        !findings.by_rule(rap_serve::Rule::TenantSwapped).is_empty(),
+        "the swap must be recorded (R005)"
+    );
+    assert_eq!(server.metrics().swaps_completed.get(), 1);
+    assert_eq!(server.metrics().swaps_rejected.get(), 0);
+    // The outgoing session is closed; its name is free again.
+    assert!(
+        out.send(b"more").is_err(),
+        "outgoing session must be closed"
+    );
+    drop(server.register("legacy", &out_set).expect("slot was freed"));
+}
+
+#[test]
+fn rejected_swap_leaves_the_outgoing_session_streaming() {
+    let server = server(1, 8);
+    // Unbounded span: the drain bound cannot be certified (Q005).
+    let out_set = patterns(&["begin.*end"]);
+    let out = server.register("cyclic", &out_set).expect("admits");
+    let in_set = patterns(&["safe"]);
+    match server.swap_tenant(&out, "replacement", &in_set) {
+        Err(ServeError::SwapRejected(analysis)) => {
+            assert!(!analysis.certified());
+            assert!(
+                !analysis
+                    .report
+                    .by_rule(rap_swap::Rule::DrainUnbounded)
+                    .is_empty(),
+                "unbounded outgoing span must raise Q005"
+            );
+        }
+        Err(other) => panic!("expected a swap rejection, got {other:?}"),
+        Ok(_) => panic!("expected a swap rejection, got a certificate"),
+    }
+    assert_eq!(server.metrics().swaps_rejected.get(), 1);
+    assert_eq!(server.metrics().swaps_completed.get(), 0);
+    // The refusal left the outgoing session untouched and streaming.
+    out.send(b"begin middle end").expect("still open");
+    out.finish();
+    assert_eq!(out.drain().len(), 1);
+}
+
+#[test]
+fn mid_stream_disconnect_drains_within_budget_and_frees_the_slot() {
+    let server = server(1, 8);
+    let set = patterns(&["target"]);
+    {
+        let session = server.register("flaky", &set).expect("admits");
+        session.send(b"a target mid-stream").expect("open");
+        // Disconnect: the handle is dropped with bytes still in flight.
+    }
+    for _ in 0..200 {
+        if server.active_sessions() == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(server.active_sessions(), 0, "drop must release the slot");
+    let findings = server.findings();
+    assert!(
+        !findings.by_rule(rap_serve::Rule::SessionDrained).is_empty(),
+        "mid-stream disconnect must drain gracefully (R004)"
+    );
+    // The freed composition resources admit a re-registration under the
+    // same name, and the recycled session scans normally.
+    let revived = server.register("flaky", &set).expect("slot was freed");
+    revived.send(b"second target").expect("open");
+    revived.finish();
+    assert_eq!(revived.drain().len(), 1);
+}
+
+#[test]
+fn framed_swap_hands_the_connection_to_the_replacement() {
+    let mut server = server(1, 8);
+    let addr = server.listen("127.0.0.1:0").expect("binds");
+    let mut client = Client::connect(addr).expect("connects");
+    match client
+        .register("legacy", &["oldsig".to_string()])
+        .expect("io")
+    {
+        RegisterReply::Accepted(_) => {}
+        RegisterReply::Rejected(body) => panic!("rejected: {body}"),
+    }
+    let (_, events) = client.send_chunk(b"nothing of note").expect("io");
+    assert!(events.is_empty());
+    let (_, events) = client.send_chunk(b" an oldsig though").expect("io");
+    assert_eq!(events.len(), 1, "outgoing tenant matches pre-swap");
+
+    let (reply, residual) = client.swap("modern", &["newsig".to_string()]).expect("io");
+    match reply {
+        RegisterReply::Accepted(text) => {
+            assert!(text.starts_with("shard="), "{text}");
+            assert!(text.contains("drain_cycles="), "{text}");
+        }
+        RegisterReply::Rejected(body) => panic!("swap rejected: {body}"),
+    }
+    assert!(
+        residual.is_empty(),
+        "already-delivered events must not replay at the swap"
+    );
+    // The connection now speaks for the replacement tenant.
+    let (_, events) = client.send_chunk(b"a newsig lands").expect("io");
+    assert_eq!(events, vec![MatchEvent { pattern: 0, end: 8 }]);
+    let final_events = client.finish().expect("io");
+    assert!(final_events.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn framed_swap_rejection_keeps_the_old_session_usable() {
+    let mut server = server(1, 8);
+    let addr = server.listen("127.0.0.1:0").expect("binds");
+    let mut client = Client::connect(addr).expect("connects");
+    match client
+        .register("cyclic", &["begin.*end".to_string()])
+        .expect("io")
+    {
+        RegisterReply::Accepted(_) => {}
+        RegisterReply::Rejected(body) => panic!("rejected: {body}"),
+    }
+    let (reply, residual) = client
+        .swap("replacement", &["safe".to_string()])
+        .expect("io");
+    match reply {
+        RegisterReply::Rejected(body) => {
+            assert!(body.contains("Q005"), "Q findings must travel: {body}")
+        }
+        RegisterReply::Accepted(text) => panic!("unbounded swap certified: {text}"),
+    }
+    assert!(residual.is_empty());
+    let (_, events) = client.send_chunk(b"begin middle end").expect("io");
+    assert_eq!(events.len(), 1, "old session must keep streaming");
+    server.shutdown();
+}
+
+#[test]
 fn framed_tcp_protocol_round_trips() {
     let mut server = server(2, 8);
     let addr = server.listen("127.0.0.1:0").expect("binds");

@@ -28,11 +28,13 @@
 mod array;
 pub mod bank;
 mod cost;
+pub mod reconfig;
 pub mod replicate;
 mod result;
 
 pub use bank::{simulate_streaming, simulate_streaming_traced, BankStats};
 pub use cost::CostModel;
+pub use reconfig::{extract_arrays, pick_quiescence, simulate_hot_swap, Extraction, HotSwapRun};
 pub use replicate::{max_match_span, simulate_replicated, ReplicatedRun};
 pub use result::{MatchEvent, RunResult};
 

@@ -1,0 +1,1082 @@
+//! `rap-swap` — static hot-swap safety analyzer and certified live
+//! partial reconfiguration.
+//!
+//! RAP's headline property is reconfigurability, and `rap-admit` already
+//! certifies *static* co-residency. This crate certifies the *dynamic*
+//! step: replacing one resident tenant with a new verified plan while
+//! every other tenant keeps scanning. [`analyze_swap`] takes a resident
+//! certified [`ComposedPlan`], the outgoing tenant's name, and the
+//! replacement plan, and either emits a certified [`ReconfigPlan`] or
+//! rejects with `Q`-rule findings on the shared `rap-diag` schema:
+//!
+//! | Code | Severity | Meaning |
+//! |------|----------|---------|
+//! | `Q001-footprint-slots` | error | the swap footprint (freed + free slots) cannot host the replacement without touching a staying tenant |
+//! | `Q002-bank-interference` | error | a post-swap shared bank's worst-case burst exceeds its output capacity |
+//! | `Q003-port-interference` | error | a post-swap shared bank's summed fan-in exceeds its port budget |
+//! | `Q004-column-budget` | error | post-swap counter/BV columns exceed the fabric budget |
+//! | `Q005-drain-unbounded` | error | the outgoing tenant's match span is unbounded: no finite drain bound exists |
+//! | `Q006-demux-discontinuity` | error | the replacement cannot reuse the outgoing match-ID namespace without colliding with a staying tenant |
+//! | `Q007-readmission-failed` | error | the spliced post-swap composition fails the verify/admission gate |
+//! | `Q008-reconfig-overrun` | warning | reprogramming the footprint takes longer than the certified drain window |
+//!
+//! The analysis is a **delta** against the resident composition: staying
+//! tenants' per-array loads are read off one `rap-bound` pass over the
+//! resident composed plan (their slots, match IDs, and images are never
+//! re-derived), and only the *replacement* tenant's solo bounds are
+//! computed fresh. The certificate preserves every staying tenant's
+//! slots and match-ID range verbatim — that is what makes the swap
+//! invisible to them — and splices the replacement into the outgoing
+//! tenant's pattern-index window.
+//!
+//! The drain bound is derived from certified quantities only: the
+//! outgoing tenant's `max_match_span` (how many bytes an in-flight match
+//! can still need), its B003 input-FIFO residency plus one ping-pong
+//! page (bytes admitted but unscanned at the swap), a conservative
+//! bit-vector stall allowance, and its B002 output-FIFO occupancy
+//! flushed at one record per cycle. Reconfiguration cost is accounted
+//! through the `rap-circuit` component models: one CAM row write and one
+//! local-switch row write per cycle per tile (both fit the 2.08 GHz
+//! clock period), local/global controller energy per tile/array.
+//!
+//! [`execute`] spends a certificate on `rap-sim`'s partial
+//! reconfiguration mechanism and returns per-tenant match streams, so
+//! callers can check the certified promise — staying tenants
+//! bit-identical to an unswapped run — end to end.
+
+use rap_admit::{ComposedPlan, TenantSummary};
+use rap_arch::config::ArchConfig;
+use rap_bound::{analyze_bounds, BoundOptions};
+use rap_circuit::models::{CAM_32X128, GLOBAL_CONTROLLER, LOCAL_CONTROLLER, SRAM_128X128};
+use rap_circuit::Machine;
+use rap_compiler::Compiled;
+use rap_diag::{Location, RuleCode, Severity};
+use rap_mapper::{ArrayKind, ArrayPlan, Mapping};
+use rap_sim::{extract_arrays, max_match_span, simulate_hot_swap, MatchEvent};
+use rap_telemetry::Telemetry;
+
+pub use rap_admit::Tenant;
+
+/// The hot-swap report type.
+pub type Report = rap_diag::Report<Rule>;
+
+/// The hot-swap rules (`Q` series; see the crate docs for the table).
+/// Codes are stable and append-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Q001: the swap footprint cannot host the replacement — the
+    /// outgoing tenant's freed slots plus the free slots hold no
+    /// contiguous run of the required size, the replacement was mapped
+    /// for a different geometry, or the outgoing tenant is not resident.
+    FootprintSlots,
+    /// Q002: after the swap, a bank shared by two or more tenants has a
+    /// worst-case simultaneous match burst exceeding its total output
+    /// FIFO capacity (delta over the resident composition's certified
+    /// per-array bounds).
+    BankInterference,
+    /// Q003: after the swap, a shared bank's summed per-tile
+    /// global-switch fan-in exceeds its port budget.
+    PortInterference,
+    /// Q004: post-swap counter/BV columns exceed the fabric budget.
+    ColumnBudget,
+    /// Q005: the outgoing tenant's match span is unbounded (cyclic
+    /// automaton): the cycles to quiesce its arrays cannot be bounded,
+    /// so no drain certificate exists.
+    DrainUnbounded,
+    /// Q006: the replacement's match-ID namespace (the outgoing
+    /// tenant's base, kept for demux continuity) collides with a
+    /// staying tenant's range.
+    DemuxDiscontinuity,
+    /// Q007: the spliced post-swap composition fails the static verify
+    /// gate — the certificate cannot be issued.
+    ReadmissionFailed,
+    /// Q008: reprogramming the swap footprint outlasts the certified
+    /// drain window; the freed slots idle while the stream continues.
+    ReconfigOverrun,
+}
+
+impl Rule {
+    /// The stable diagnostic code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::FootprintSlots => "Q001-footprint-slots",
+            Rule::BankInterference => "Q002-bank-interference",
+            Rule::PortInterference => "Q003-port-interference",
+            Rule::ColumnBudget => "Q004-column-budget",
+            Rule::DrainUnbounded => "Q005-drain-unbounded",
+            Rule::DemuxDiscontinuity => "Q006-demux-discontinuity",
+            Rule::ReadmissionFailed => "Q007-readmission-failed",
+            Rule::ReconfigOverrun => "Q008-reconfig-overrun",
+        }
+    }
+
+    /// The fixed severity of this rule's findings.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::FootprintSlots
+            | Rule::BankInterference
+            | Rule::PortInterference
+            | Rule::ColumnBudget
+            | Rule::DrainUnbounded
+            | Rule::DemuxDiscontinuity
+            | Rule::ReadmissionFailed => Severity::Error,
+            Rule::ReconfigOverrun => Severity::Warning,
+        }
+    }
+
+    /// Every rule, in code order.
+    pub fn all() -> [Rule; 8] {
+        [
+            Rule::FootprintSlots,
+            Rule::BankInterference,
+            Rule::PortInterference,
+            Rule::ColumnBudget,
+            Rule::DrainUnbounded,
+            Rule::DemuxDiscontinuity,
+            Rule::ReadmissionFailed,
+            Rule::ReconfigOverrun,
+        ]
+    }
+}
+
+impl RuleCode for Rule {
+    fn code(&self) -> &'static str {
+        Rule::code(*self)
+    }
+}
+
+/// Hot-swap analysis knobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwapOptions {
+    /// Banks in the resident fabric. `None` uses the smallest fabric
+    /// covering every resident slot — the fabric that is actually
+    /// scanning. `Some(n)` fixes it (e.g. to leave staging headroom).
+    pub banks: Option<u32>,
+    /// Fabric-wide counter/BV column budget; `None` uses the fabric's
+    /// full column capacity.
+    pub bv_column_budget: Option<u64>,
+}
+
+/// The certified drain bound for the outgoing tenant, in fabric cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DrainBound {
+    /// The outgoing tenant's certified maximum match span in bytes.
+    pub span_bytes: u64,
+    /// Bytes possibly admitted but unscanned at the swap offset: the
+    /// B003 input-FIFO residency plus one ping-pong input page.
+    pub window_bytes: u64,
+    /// Match records to flush from the outgoing arrays' output FIFOs
+    /// (the B002 worst-case occupancy), at one record per cycle.
+    pub output_records: u64,
+    /// Conservative per-byte cycle allowance: 1 plus the outgoing
+    /// arrays' placed counter/BV columns (a bit-vector processing phase
+    /// stalls intake at most one cycle per placed column).
+    pub stall_allowance: u64,
+    /// The bound: `(window + span) × allowance + records`.
+    pub cycles: u64,
+}
+
+/// Reconfiguration cost of the swap, through the `rap-circuit` models.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconfigCost {
+    /// Tiles reprogrammed (the replacement arrays' allocated tiles).
+    pub tiles: u64,
+    /// CAM row writes (32 rows per tile).
+    pub cam_writes: u64,
+    /// Local-switch SRAM row writes (128 rows per tile).
+    pub switch_writes: u64,
+    /// Cycles to reprogram: tiles program in parallel across arrays,
+    /// serialized within an array by its local controller, one row
+    /// write per cycle (CAM and switch write delays both fit the clock
+    /// period).
+    pub cycles: u64,
+    /// Energy in picojoules: row writes plus per-tile local-controller
+    /// and per-array global-controller transactions.
+    pub energy_pj: f64,
+}
+
+/// A certified plan for one live partial reconfiguration.
+#[derive(Clone, Debug)]
+pub struct ReconfigPlan {
+    /// The tenant leaving the fabric.
+    pub outgoing: String,
+    /// The tenant taking over the footprint.
+    pub incoming: String,
+    /// Banks in the fabric the swap was certified against.
+    pub banks: u32,
+    /// Slots the replacement occupies (reprogrammed during the swap).
+    pub slots: Vec<u32>,
+    /// Outgoing slots the replacement does not reuse (power-gated).
+    pub freed_slots: Vec<u32>,
+    /// The outgoing arrays, as indices into the **resident** composed
+    /// mapping (the arrays that stop consuming and drain).
+    pub retired_arrays: Vec<usize>,
+    /// The replacement arrays, as indices into the **post-swap**
+    /// composed mapping (the arrays that attach at the swap offset).
+    pub fresh_arrays: Vec<usize>,
+    /// The certified drain bound.
+    pub drain: DrainBound,
+    /// The reconfiguration cost.
+    pub cost: ReconfigCost,
+    /// The post-swap certificate: staying tenants keep their slots and
+    /// match-ID ranges verbatim; the replacement owns the outgoing
+    /// tenant's pattern window and match-ID base.
+    pub composed: ComposedPlan,
+}
+
+/// Everything the hot-swap analyzer produces.
+#[derive(Clone, Debug)]
+pub struct SwapAnalysis {
+    /// The Q-rule findings.
+    pub report: Report,
+    /// Names of the tenants that stay resident across the swap.
+    pub staying: Vec<String>,
+    /// The certificate: present exactly when no error was found.
+    pub plan: Option<ReconfigPlan>,
+}
+
+impl SwapAnalysis {
+    /// Whether the swap was certified.
+    pub fn certified(&self) -> bool {
+        self.plan.is_some()
+    }
+}
+
+/// Counter/BV columns a set of images occupies (same accounting as
+/// rap-admit's S004).
+fn bv_columns(images: &[Compiled]) -> u64 {
+    images
+        .iter()
+        .filter_map(|image| match image {
+            Compiled::Nbva(c) => Some(
+                c.bv_allocs
+                    .iter()
+                    .flatten()
+                    .map(|a| u64::from(a.columns))
+                    .sum::<u64>(),
+            ),
+            Compiled::Nfa(_) | Compiled::Lnfa(_) => None,
+        })
+        .sum()
+}
+
+/// Rewrites every pattern index in an array plan by a signed offset.
+fn shift_array(plan: &ArrayPlan, delta: isize) -> ArrayPlan {
+    let mut out = plan.clone();
+    let shift = |p: usize| -> usize {
+        usize::try_from(p as isize + delta).expect("pattern index stays non-negative")
+    };
+    match &mut out.kind {
+        ArrayKind::Nfa { placements } | ArrayKind::Nbva { placements, .. } => {
+            for p in placements {
+                p.pattern = shift(p.pattern);
+            }
+        }
+        ArrayKind::Lnfa { bins } => {
+            for bin in bins {
+                for m in &mut bin.members {
+                    m.pattern = shift(m.pattern);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Maps each occupied slot of a composed plan to its array index (the
+/// composed mapping lists arrays in slot order).
+fn slot_ranks(tenants: &[TenantSummary]) -> Vec<(u32, usize)> {
+    let mut slots: Vec<u32> = tenants
+        .iter()
+        .flat_map(|t| t.slots.iter().copied())
+        .collect();
+    slots.sort_unstable();
+    slots.into_iter().enumerate().map(|(r, s)| (s, r)).collect()
+}
+
+/// Array indices (into the composed mapping) of one tenant's slots.
+fn tenant_arrays(tenants: &[TenantSummary], tenant: usize) -> Vec<usize> {
+    let ranks = slot_ranks(tenants);
+    let rank_of = |slot: u32| -> usize {
+        ranks
+            .iter()
+            .find(|(s, _)| *s == slot)
+            .expect("tenant slot is occupied")
+            .1
+    };
+    let mut out: Vec<usize> = tenants[tenant].slots.iter().map(|&s| rank_of(s)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Statically analyzes replacing resident tenant `outgoing` with
+/// `incoming` on the fabric the resident [`ComposedPlan`] occupies, and
+/// certifies a [`ReconfigPlan`] when the swap is safe.
+///
+/// The `incoming` tenant's `match_base` and `slot` fields are ignored:
+/// the analyzer pins the replacement to the outgoing tenant's match-ID
+/// base (demux continuity) and to a contiguous run of freed/free slots
+/// (footprint disjointness).
+///
+/// # Panics
+///
+/// Panics when the resident plan's summaries are inconsistent with its
+/// mapping (not produced by `rap_admit::admit`).
+pub fn analyze_swap(
+    resident: &ComposedPlan,
+    outgoing: &str,
+    incoming: &rap_admit::Tenant<'_>,
+    arch: &ArchConfig,
+    options: &SwapOptions,
+) -> SwapAnalysis {
+    let mut report = Report::default();
+    let staying_names: Vec<String> = resident
+        .tenants
+        .iter()
+        .filter(|t| t.name != outgoing)
+        .map(|t| t.name.clone())
+        .collect();
+
+    let Some(out_idx) = resident.tenants.iter().position(|t| t.name == outgoing) else {
+        report.push(
+            Rule::FootprintSlots,
+            Rule::FootprintSlots.severity(),
+            Location::default(),
+            format!("tenant {outgoing:?} is not resident in the composition"),
+        );
+        return SwapAnalysis {
+            report,
+            staying: staying_names,
+            plan: None,
+        };
+    };
+
+    // Geometry: the replacement must have been mapped for the resident
+    // fabric's shape (same contract as rap-admit's S001a).
+    if incoming.mapping.config.arch != *arch || resident.mapping.config.arch != *arch {
+        report.push(
+            Rule::FootprintSlots,
+            Rule::FootprintSlots.severity(),
+            Location::default(),
+            format!(
+                "tenant {:?} was mapped for a different array geometry than \
+                 the resident fabric",
+                incoming.name
+            ),
+        );
+    }
+    if incoming.mapping.config.bvm != resident.mapping.config.bvm {
+        report.push(
+            Rule::FootprintSlots,
+            Rule::FootprintSlots.severity(),
+            Location::default(),
+            "replacement was mapped with a different bit-vector-module \
+             configuration than the resident composition"
+                .to_string(),
+        );
+    }
+    let need = incoming.mapping.arrays.len();
+    if need == 0 || incoming.images.is_empty() {
+        report.push(
+            Rule::FootprintSlots,
+            Rule::FootprintSlots.severity(),
+            Location::default(),
+            format!("replacement tenant {:?} carries no arrays", incoming.name),
+        );
+    }
+
+    // The fabric under analysis: the smallest one covering every
+    // resident slot, unless pinned. Live reconfiguration happens on the
+    // fabric that is scanning — it does not grow mid-stream.
+    let apb = arch.arrays_per_bank.max(1);
+    let max_slot = resident
+        .tenants
+        .iter()
+        .flat_map(|t| t.slots.iter().copied())
+        .max()
+        .unwrap_or(0);
+    let banks = options
+        .banks
+        .unwrap_or_else(|| (max_slot + 1).div_ceil(apb).max(1));
+    let slot_count = banks * apb;
+
+    // Footprint: slots available to the replacement are the outgoing
+    // tenant's (freed at quiescence) plus the fabric's free slots. The
+    // replacement needs a contiguous run — preferring the freed base so
+    // a same-shape update is a pure in-place reprogram.
+    let freed: Vec<u32> = resident.tenants[out_idx].slots.clone();
+    let staying_slots: Vec<u32> = resident
+        .tenants
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != out_idx)
+        .flat_map(|(_, t)| t.slots.iter().copied())
+        .collect();
+    let available = |slot: u32| slot < slot_count && !staying_slots.contains(&slot);
+    let run_fits = |base: u32| (0..need as u32).all(|a| available(base + a));
+    let base = freed
+        .iter()
+        .copied()
+        .min()
+        .filter(|&b| run_fits(b))
+        .or_else(|| (0..slot_count).find(|&b| run_fits(b)));
+    let Some(base) = base else {
+        report.push(
+            Rule::FootprintSlots,
+            Rule::FootprintSlots.severity(),
+            Location::default(),
+            format!(
+                "replacement tenant {:?} needs {need} contiguous slot(s) but \
+                 the {slot_count}-slot fabric's freed+free set holds no such \
+                 run (staying tenants hold {} slot(s))",
+                incoming.name,
+                staying_slots.len()
+            ),
+        );
+        return SwapAnalysis {
+            report,
+            staying: staying_names,
+            plan: None,
+        };
+    };
+    let slots: Vec<u32> = (base..base + need as u32).collect();
+    let freed_slots: Vec<u32> = freed
+        .iter()
+        .copied()
+        .filter(|s| !slots.contains(s))
+        .collect();
+
+    // Drain bound: certified quantities of the *outgoing* sub-plan,
+    // carved out of the resident composition (not re-derived from the
+    // tenant's sources).
+    let retired_arrays = tenant_arrays(&resident.tenants, out_idx);
+    let outgoing_ex = extract_arrays(&resident.images, &resident.mapping, &retired_arrays);
+    let span = max_match_span(&outgoing_ex.images);
+    let drain = match span {
+        None => {
+            report.push(
+                Rule::DrainUnbounded,
+                Rule::DrainUnbounded.severity(),
+                Location::default(),
+                format!(
+                    "outgoing tenant {outgoing:?} has an unbounded match span \
+                     (cyclic automaton): its arrays cannot be certified to \
+                     quiesce in bounded cycles"
+                ),
+            );
+            None
+        }
+        Some(span) => {
+            let out_bounds = analyze_bounds(
+                &outgoing_ex.images,
+                &[],
+                &outgoing_ex.mapping,
+                &BoundOptions::bounds_only(),
+            );
+            let window_bytes =
+                out_bounds.bank.input_fifo_bytes + 2 * u64::from(arch.bank_input_entries);
+            let output_records = out_bounds.bank.output_fifo_records;
+            let stall_allowance = 1 + bv_columns(&outgoing_ex.images);
+            let cycles = (window_bytes + span as u64) * stall_allowance + output_records;
+            Some(DrainBound {
+                span_bytes: span as u64,
+                window_bytes,
+                output_records,
+                stall_allowance,
+                cycles,
+            })
+        }
+    };
+
+    // Demux continuity: the replacement inherits the outgoing match-ID
+    // base so staying tenants' namespaces survive verbatim; the
+    // inherited range must not collide with a staying range.
+    let in_base = resident.tenants[out_idx].match_ids.0;
+    let in_ids = (in_base, in_base + incoming.images.len() as u64);
+    for (i, t) in resident.tenants.iter().enumerate() {
+        if i == out_idx {
+            continue;
+        }
+        if in_ids.0 < t.match_ids.1 && t.match_ids.0 < in_ids.1 {
+            report.push(
+                Rule::DemuxDiscontinuity,
+                Rule::DemuxDiscontinuity.severity(),
+                Location::default(),
+                format!(
+                    "replacement match-ID range [{}, {}) (inherited from \
+                     {outgoing:?} for demux continuity) collides with staying \
+                     tenant {:?} [{}, {})",
+                    in_ids.0, in_ids.1, t.name, t.match_ids.0, t.match_ids.1
+                ),
+            );
+        }
+    }
+
+    // Interference delta: staying loads from ONE bound pass over the
+    // resident composition; only the replacement's solo bounds are new.
+    let resident_bounds = analyze_bounds(
+        &resident.images,
+        &[],
+        &resident.mapping,
+        &BoundOptions::bounds_only(),
+    );
+    let incoming_bounds = analyze_bounds(
+        incoming.images,
+        &[],
+        incoming.mapping,
+        &BoundOptions::bounds_only(),
+    );
+    let ranks = slot_ranks(&resident.tenants);
+    let rank_of = |slot: u32| ranks.iter().find(|(s, _)| *s == slot).map(|&(_, r)| r);
+    for bank in 0..banks {
+        let lo = bank * apb;
+        let hi = lo + apb;
+        let mut lanes = 0u64;
+        let mut burst = 0u64;
+        let mut fanin = 0u64;
+        let mut residents: Vec<usize> = Vec::new();
+        for (i, t) in resident.tenants.iter().enumerate() {
+            if i == out_idx {
+                continue;
+            }
+            for &slot in t.slots.iter().filter(|&&s| s >= lo && s < hi) {
+                let rank = rank_of(slot).expect("staying slot is occupied");
+                let bound = &resident_bounds.arrays[rank];
+                lanes += 1;
+                burst += bound.reporters;
+                fanin += u64::from(bound.peak_fanin);
+                if !residents.contains(&i) {
+                    residents.push(i);
+                }
+            }
+        }
+        for (a, &slot) in slots.iter().enumerate() {
+            if slot >= lo && slot < hi {
+                let bound = &incoming_bounds.arrays[a];
+                lanes += 1;
+                burst += bound.reporters;
+                fanin += u64::from(bound.peak_fanin);
+                if !residents.contains(&usize::MAX) {
+                    residents.push(usize::MAX);
+                }
+            }
+        }
+        if residents.len() < 2 {
+            continue; // single-tenant banks reproduce solo behaviour
+        }
+        let capacity =
+            lanes * u64::from(arch.array_output_entries) + u64::from(arch.bank_output_entries);
+        if burst > capacity {
+            report.push(
+                Rule::BankInterference,
+                Rule::BankInterference.severity(),
+                Location::default(),
+                format!(
+                    "bank {bank}: post-swap worst-case burst of {burst} match \
+                     record(s) exceeds the {capacity}-record output capacity"
+                ),
+            );
+        }
+        let fanin_budget = u64::from(apb) * u64::from(arch.global_ports_per_tile);
+        if fanin_budget > 0 && fanin > fanin_budget {
+            report.push(
+                Rule::PortInterference,
+                Rule::PortInterference.severity(),
+                Location::default(),
+                format!(
+                    "bank {bank}: post-swap summed global-switch fan-in \
+                     {fanin} exceeds the {fanin_budget}-port bank budget"
+                ),
+            );
+        }
+    }
+
+    // Column budget delta.
+    let out_lo = resident.tenants[out_idx].pattern_range.0;
+    let out_hi = resident.tenants[out_idx].pattern_range.1;
+    let outgoing_bv = bv_columns(&resident.images[out_lo..out_hi]);
+    let post_bv = bv_columns(&resident.images) - outgoing_bv + bv_columns(incoming.images);
+    let bv_budget = options.bv_column_budget.unwrap_or_else(|| {
+        u64::from(slot_count) * u64::from(arch.tiles_per_array) * u64::from(arch.tile_columns)
+    });
+    if post_bv > bv_budget {
+        report.push(
+            Rule::ColumnBudget,
+            Rule::ColumnBudget.severity(),
+            Location::default(),
+            format!(
+                "post-swap composition requests {post_bv} counter/BV \
+                 column(s) but the fabric budget is {bv_budget}"
+            ),
+        );
+    }
+
+    // Reconfiguration cost through the circuit models.
+    let tiles: u64 = incoming
+        .mapping
+        .arrays
+        .iter()
+        .map(|a| u64::from(a.tiles_used))
+        .sum();
+    let max_array_tiles: u64 = incoming
+        .mapping
+        .arrays
+        .iter()
+        .map(|a| u64::from(a.tiles_used))
+        .max()
+        .unwrap_or(0);
+    let cam_writes = tiles * 32;
+    let switch_writes = tiles * 128;
+    let cost = ReconfigCost {
+        tiles,
+        cam_writes,
+        switch_writes,
+        cycles: max_array_tiles * (32 + 128) + 1,
+        energy_pj: cam_writes as f64 * CAM_32X128.access_energy_pj(1.0)
+            + switch_writes as f64 * SRAM_128X128.access_energy_pj(1.0)
+            + tiles as f64 * LOCAL_CONTROLLER.access_energy_pj(1.0)
+            + incoming.mapping.arrays.len() as f64 * GLOBAL_CONTROLLER.access_energy_pj(1.0),
+    };
+    if let Some(d) = &drain {
+        if cost.cycles > d.cycles {
+            report.push(
+                Rule::ReconfigOverrun,
+                Rule::ReconfigOverrun.severity(),
+                Location::default(),
+                format!(
+                    "reprogramming the footprint takes {} cycle(s) but the \
+                     certified drain window is {}: the swap slots idle for {} \
+                     extra cycle(s)",
+                    cost.cycles,
+                    d.cycles,
+                    cost.cycles - d.cycles
+                ),
+            );
+        }
+    }
+
+    if !report.is_legal() {
+        return SwapAnalysis {
+            report,
+            staying: staying_names,
+            plan: None,
+        };
+    }
+    let drain = drain.expect("legal report implies a bounded drain");
+
+    // Splice the certificate: staying tenants keep arrays, slots, and
+    // match IDs verbatim (pattern indices shift only for tenants whose
+    // window sits after the outgoing one); the replacement fills the
+    // outgoing pattern window.
+    let n_in = incoming.images.len();
+    let delta = n_in as isize - (out_hi - out_lo) as isize;
+    let mut images: Vec<Compiled> = Vec::with_capacity(resident.images.len());
+    images.extend_from_slice(&resident.images[..out_lo]);
+    images.extend(incoming.images.iter().cloned());
+    images.extend_from_slice(&resident.images[out_hi..]);
+
+    // Build the post-swap occupancy: (slot, array plan) pairs.
+    let mut placed: Vec<(u32, ArrayPlan)> = Vec::new();
+    for (i, t) in resident.tenants.iter().enumerate() {
+        if i == out_idx {
+            continue;
+        }
+        let arrays = tenant_arrays(&resident.tenants, i);
+        let shift = if t.pattern_range.0 >= out_hi {
+            delta
+        } else {
+            0
+        };
+        for (&slot, &rank) in t.slots.iter().zip(arrays.iter()) {
+            placed.push((slot, shift_array(&resident.mapping.arrays[rank], shift)));
+        }
+    }
+    for (a, &slot) in slots.iter().enumerate() {
+        placed.push((
+            slot,
+            shift_array(&incoming.mapping.arrays[a], out_lo as isize),
+        ));
+    }
+    placed.sort_by_key(|(slot, _)| *slot);
+    let mapping = Mapping {
+        arrays: placed.into_iter().map(|(_, p)| p).collect(),
+        config: rap_mapper::MapperConfig {
+            arch: *arch,
+            bin_size: resident
+                .mapping
+                .config
+                .bin_size
+                .max(incoming.mapping.config.bin_size),
+            bvm: resident.mapping.config.bvm,
+            validate: false,
+        },
+    };
+
+    // Post-swap summaries: resident order, replacement in the outgoing
+    // tenant's position.
+    let occupied_after = staying_slots.len() + need;
+    let free_after = u64::from(slot_count).saturating_sub(occupied_after as u64);
+    let tenants: Vec<TenantSummary> = resident
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if i == out_idx {
+                TenantSummary {
+                    name: incoming.name.to_string(),
+                    patterns: n_in,
+                    arrays: need,
+                    pattern_range: (out_lo, out_lo + n_in),
+                    match_ids: in_ids,
+                    slots: slots.clone(),
+                    hot_swappable: need as u64 <= free_after,
+                }
+            } else {
+                let (lo, hi) = t.pattern_range;
+                let shift = if lo >= out_hi { delta } else { 0 };
+                TenantSummary {
+                    pattern_range: (
+                        usize::try_from(lo as isize + shift).expect("range stays non-negative"),
+                        usize::try_from(hi as isize + shift).expect("range stays non-negative"),
+                    ),
+                    hot_swappable: t.arrays as u64 <= free_after,
+                    ..t.clone()
+                }
+            }
+        })
+        .collect();
+
+    // Re-admission gate: the spliced plan must pass the same static
+    // verifier every solo plan passes before simulation.
+    let verdict = rap_verify::verify(&images, &mapping, arch);
+    if !verdict.is_legal() {
+        report.push(
+            Rule::ReadmissionFailed,
+            Rule::ReadmissionFailed.severity(),
+            Location::default(),
+            format!(
+                "spliced post-swap composition fails the verify gate with {} \
+                 finding(s)",
+                verdict.len()
+            ),
+        );
+        return SwapAnalysis {
+            report,
+            staying: staying_names,
+            plan: None,
+        };
+    }
+
+    let composed = ComposedPlan {
+        images,
+        mapping,
+        tenants,
+    };
+    let fresh_arrays = {
+        let idx = composed
+            .tenants
+            .iter()
+            .position(|t| t.name == incoming.name)
+            .expect("replacement is in the post-swap summaries");
+        tenant_arrays(&composed.tenants, idx)
+    };
+    SwapAnalysis {
+        report,
+        staying: staying_names,
+        plan: Some(ReconfigPlan {
+            outgoing: outgoing.to_string(),
+            incoming: incoming.name.to_string(),
+            banks,
+            slots,
+            freed_slots,
+            retired_arrays,
+            fresh_arrays,
+            drain,
+            cost,
+            composed,
+        }),
+    }
+}
+
+/// Per-tenant match streams of one executed hot swap.
+#[derive(Clone, Debug)]
+pub struct SwapExecution {
+    /// Staying tenants' full-stream matches (tenant-local pattern
+    /// indices, global end offsets), in resident order.
+    pub staying: Vec<(String, Vec<MatchEvent>)>,
+    /// The outgoing tenant's matches, all ending at or before the swap
+    /// offset.
+    pub outgoing: Vec<MatchEvent>,
+    /// The replacement tenant's post-swap matches (global offsets).
+    pub incoming: Vec<MatchEvent>,
+    /// Cycles the retired arrays needed beyond the swap offset.
+    pub observed_drain_cycles: u64,
+    /// Cycle at which the swap window closed.
+    pub quiesce_cycle: u64,
+}
+
+/// Spends a certificate: applies `plan` to the resident composition
+/// mid-stream at byte offset `swap_at` through `rap-sim`'s partial
+/// reconfiguration mechanism, and demultiplexes the result per tenant.
+///
+/// # Panics
+///
+/// Panics when `swap_at` exceeds the input length or `plan` was not
+/// produced for `resident`.
+pub fn execute(
+    plan: &ReconfigPlan,
+    resident: &ComposedPlan,
+    input: &[u8],
+    swap_at: usize,
+    machine: Machine,
+    telemetry: Option<(&Telemetry, &str)>,
+) -> SwapExecution {
+    let run = simulate_hot_swap(
+        &resident.images,
+        &resident.mapping,
+        &plan.retired_arrays,
+        &plan.composed.images,
+        &plan.composed.mapping,
+        &plan.fresh_arrays,
+        input,
+        swap_at,
+        machine,
+        telemetry,
+    );
+    let out_idx = resident
+        .tenants
+        .iter()
+        .position(|t| t.name == plan.outgoing)
+        .expect("plan's outgoing tenant is resident");
+    let staying = resident
+        .tenants
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != out_idx)
+        .map(|(i, t)| (t.name.clone(), resident.tenant_matches(i, &run.pre_matches)))
+        .collect();
+    let outgoing = resident.tenant_matches(out_idx, &run.pre_matches);
+    let in_idx = plan
+        .composed
+        .tenants
+        .iter()
+        .position(|t| t.name == plan.incoming)
+        .expect("plan's replacement is in the certificate");
+    let incoming = plan.composed.tenant_matches(in_idx, &run.fresh_matches);
+    SwapExecution {
+        staying,
+        outgoing,
+        incoming,
+        observed_drain_cycles: run.observed_drain_cycles,
+        quiesce_cycle: run.quiesce_cycle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rap_admit::{admit, AdmitOptions, Tenant};
+    use rap_compiler::{Compiler, CompilerConfig};
+    use rap_mapper::{map_workload, MapperConfig};
+    use rap_regex::Pattern;
+
+    struct Owned {
+        name: String,
+        images: Vec<Compiled>,
+        patterns: Vec<Pattern>,
+        mapping: Mapping,
+    }
+
+    fn owned(name: &str, sources: &[&str], config: &MapperConfig) -> Owned {
+        let compiler = Compiler::new(CompilerConfig::default());
+        let patterns: Vec<Pattern> = sources
+            .iter()
+            .map(|s| rap_regex::parse_pattern(s).expect("parses"))
+            .collect();
+        let images: Vec<Compiled> = patterns
+            .iter()
+            .map(|p| compiler.compile_anchored(p).expect("compiles"))
+            .collect();
+        let mapping = map_workload(&images, config);
+        Owned {
+            name: name.to_string(),
+            images,
+            patterns,
+            mapping,
+        }
+    }
+
+    fn view(o: &Owned) -> Tenant<'_> {
+        Tenant {
+            name: &o.name,
+            images: &o.images,
+            patterns: &o.patterns,
+            mapping: &o.mapping,
+            match_base: None,
+            slot: None,
+        }
+    }
+
+    fn compose(tenants: &[&Owned], config: &MapperConfig) -> ComposedPlan {
+        let views: Vec<Tenant<'_>> = tenants.iter().map(|o| view(o)).collect();
+        let analysis = admit(&views, &config.arch, &AdmitOptions::default());
+        assert!(analysis.admitted(), "{}", analysis.report);
+        analysis.composed.expect("certified")
+    }
+
+    #[test]
+    fn rule_codes_are_stable() {
+        let codes: Vec<&str> = Rule::all().iter().map(|r| r.code()).collect();
+        assert_eq!(codes[0], "Q001-footprint-slots");
+        assert_eq!(codes.len(), 8);
+        for w in codes.windows(2) {
+            assert!(w[0] < w[1], "codes out of order: {w:?}");
+        }
+    }
+
+    #[test]
+    fn same_shape_swap_certifies_in_place() {
+        let config = MapperConfig::default();
+        let a = owned("alpha", &["needle", "b{3,9}c"], &config);
+        let b = owned("bravo", &["haystack"], &config);
+        let resident = compose(&[&a, &b], &config);
+        let c = owned("charlie", &["beacon"], &config);
+        let analysis = analyze_swap(
+            &resident,
+            "bravo",
+            &view(&c),
+            &config.arch,
+            &SwapOptions::default(),
+        );
+        assert!(analysis.certified(), "{}", analysis.report);
+        let plan = analysis.plan.expect("certified");
+        // Same shape: the replacement reuses the freed base in place.
+        let bravo = resident.tenants.iter().find(|t| t.name == "bravo").unwrap();
+        assert_eq!(plan.slots[0], bravo.slots[0]);
+        assert_eq!(plan.drain.span_bytes, "haystack".len() as u64);
+        assert!(plan.drain.cycles > 0);
+        assert!(plan.cost.tiles > 0);
+        // Staying tenant's slots and match IDs survive verbatim.
+        let alpha_pre = resident.tenants.iter().find(|t| t.name == "alpha").unwrap();
+        let alpha_post = plan
+            .composed
+            .tenants
+            .iter()
+            .find(|t| t.name == "alpha")
+            .unwrap();
+        assert_eq!(alpha_pre.slots, alpha_post.slots);
+        assert_eq!(alpha_pre.match_ids, alpha_post.match_ids);
+    }
+
+    #[test]
+    fn executed_swap_keeps_staying_tenants_bit_identical() {
+        let config = MapperConfig::default();
+        let a = owned("alpha", &["needle", "ne+dle"], &config);
+        let b = owned("bravo", &["haystack"], &config);
+        let resident = compose(&[&a, &b], &config);
+        let c = owned("charlie", &["beacon"], &config);
+        let analysis = analyze_swap(
+            &resident,
+            "bravo",
+            &view(&c),
+            &config.arch,
+            &SwapOptions::default(),
+        );
+        let plan = analysis.plan.expect("certified");
+        let input = b"a needle in the haystack, then a beacon, then a neeedle".to_vec();
+        let swap_at = 25;
+        let exec = execute(&plan, &resident, &input, swap_at, Machine::Rap, None);
+
+        // Staying tenant: bit-identical to the unswapped composed run.
+        let unswapped =
+            rap_sim::simulate(&resident.images, &resident.mapping, &input, Machine::Rap);
+        let alpha_idx = resident
+            .tenants
+            .iter()
+            .position(|t| t.name == "alpha")
+            .unwrap();
+        let want = resident.tenant_matches(alpha_idx, &unswapped.matches);
+        let got = &exec.staying.iter().find(|(n, _)| n == "alpha").unwrap().1;
+        assert_eq!(got, &want);
+
+        // Replacement: bit-identical to a cold re-admitted composition
+        // over the post-swap suffix.
+        let cold = compose(&[&a, &c], &config);
+        let cold_run =
+            rap_sim::simulate(&cold.images, &cold.mapping, &input[swap_at..], Machine::Rap);
+        let c_idx = cold
+            .tenants
+            .iter()
+            .position(|t| t.name == "charlie")
+            .unwrap();
+        let mut want_in = cold.tenant_matches(c_idx, &cold_run.matches);
+        for m in &mut want_in {
+            m.end += swap_at;
+        }
+        assert_eq!(exec.incoming, want_in);
+
+        // Outgoing tenant reports only before the swap.
+        assert!(exec.outgoing.iter().all(|m| m.end <= swap_at));
+    }
+
+    #[test]
+    fn unbounded_span_rejects_with_q005() {
+        let config = MapperConfig::default();
+        let a = owned("alpha", &["needle"], &config);
+        let b = owned("bravo", &["x.*y"], &config);
+        let resident = compose(&[&a, &b], &config);
+        let c = owned("charlie", &["beacon"], &config);
+        let analysis = analyze_swap(
+            &resident,
+            "bravo",
+            &view(&c),
+            &config.arch,
+            &SwapOptions::default(),
+        );
+        assert!(!analysis.certified());
+        assert!(!analysis.report.by_rule(Rule::DrainUnbounded).is_empty());
+    }
+
+    #[test]
+    fn oversized_replacement_rejects_with_q001() {
+        let config = MapperConfig::default();
+        let a = owned("alpha", &["needle"], &config);
+        let b = owned("bravo", &["haystack"], &config);
+        let resident = compose(&[&a, &b], &config);
+        // Many patterns -> more arrays than the freed+free footprint on
+        // the minimal resident fabric.
+        let sources: Vec<String> = (0..64).map(|i| format!("pattern{i:03}xyz")).collect();
+        let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+        let big = owned("charlie", &refs, &config);
+        let analysis = analyze_swap(
+            &resident,
+            "bravo",
+            &view(&big),
+            &config.arch,
+            &SwapOptions::default(),
+        );
+        if big.mapping.arrays.len() > resident.mapping.arrays.len() {
+            assert!(!analysis.certified());
+            assert!(!analysis.report.by_rule(Rule::FootprintSlots).is_empty());
+        }
+    }
+
+    #[test]
+    fn missing_outgoing_tenant_rejects_with_q001() {
+        let config = MapperConfig::default();
+        let a = owned("alpha", &["needle"], &config);
+        let b = owned("bravo", &["haystack"], &config);
+        let resident = compose(&[&a, &b], &config);
+        let c = owned("charlie", &["beacon"], &config);
+        let analysis = analyze_swap(
+            &resident,
+            "nobody",
+            &view(&c),
+            &config.arch,
+            &SwapOptions::default(),
+        );
+        assert!(!analysis.certified());
+        assert!(!analysis.report.by_rule(Rule::FootprintSlots).is_empty());
+        assert_eq!(analysis.staying.len(), 2);
+    }
+}
